@@ -1,0 +1,48 @@
+// Figure 4: Query 1 runtime, PII vs UPI, QT swept 0.1..0.9, C = 0.1.
+//
+// Expected shape: both get faster as QT rises (less data); the UPI is
+// 20-100x faster because it answers with one seek plus a sequential scan
+// while PII random-seeks the heap per qualifying tuple.
+#include "bench_util.h"
+
+using namespace upi;
+using namespace upi::bench;
+
+int main(int argc, char** argv) {
+  flags::Parse(argc, argv);
+  DblpData d = MakeDblp(false);
+
+  storage::DbEnv pii_env;
+  auto table = baseline::UnclusteredTable::Build(
+                   &pii_env, "author", datagen::DblpGenerator::AuthorSchema(),
+                   {datagen::AuthorCols::kInstitution}, d.authors)
+                   .ValueOrDie();
+  storage::DbEnv upi_env;
+  auto upi = core::Upi::Build(&upi_env, "author",
+                              datagen::DblpGenerator::AuthorSchema(),
+                              AuthorUpiOptions(0.1), {}, d.authors)
+                 .ValueOrDie();
+
+  PrintTitle("Figure 4: Query 1 runtime (simulated seconds), C=0.1");
+  std::printf("# authors=%zu  value=%s\n", d.authors.size(),
+              d.popular_institution.c_str());
+  std::printf("%-6s %12s %12s %9s %6s %12s\n", "QT", "PII[s]", "UPI[s]",
+              "speedup", "rows", "wall(UPI)ms");
+  for (double qt = 0.1; qt <= 0.91; qt += 0.1) {
+    QueryCost pii = RunCold(&pii_env, [&]() -> size_t {
+      std::vector<core::PtqMatch> out;
+      CheckOk(table->QueryPii(datagen::AuthorCols::kInstitution,
+                              d.popular_institution, qt, &out));
+      return out.size();
+    });
+    QueryCost upic = RunCold(&upi_env, [&]() -> size_t {
+      std::vector<core::PtqMatch> out;
+      CheckOk(upi->QueryPtq(d.popular_institution, qt, &out));
+      return out.size();
+    });
+    std::printf("%-6.1f %12.3f %12.3f %8.1fx %6zu %12.1f\n", qt,
+                pii.sim_ms / 1000.0, upic.sim_ms / 1000.0,
+                pii.sim_ms / upic.sim_ms, upic.rows, upic.wall_ms);
+  }
+  return 0;
+}

@@ -1,0 +1,156 @@
+// Micro-benchmarks (google-benchmark) for the substrates: wall-clock CPU
+// costs of the building blocks, plus ablations for design choices called out
+// in DESIGN.md (bulk load vs random insert, tailored vs plain pointer
+// selection, histogram estimation).
+#include <benchmark/benchmark.h>
+
+#include "btree/btree.h"
+#include "btree/bulk_load.h"
+#include "common/random.h"
+#include "core/upi.h"
+#include "datagen/dblp.h"
+#include "histogram/prob_histogram.h"
+#include "prob/gaussian2d.h"
+#include "storage/db_env.h"
+
+namespace upi {
+namespace {
+
+std::string Key(int i) {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "k%08d", i);
+  return buf;
+}
+
+void BM_BTreePut(benchmark::State& state) {
+  storage::DbEnv env(256ull << 20);
+  storage::PageFile* file = env.CreateFile("t", 8192);
+  btree::BTree tree(env.MakePager(file));
+  Rng rng(1);
+  int i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        tree.Put(Key(static_cast<int>(rng.Uniform(1u << 24)) + i++), "value"));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BTreePut);
+
+void BM_BTreeGet(benchmark::State& state) {
+  storage::DbEnv env(256ull << 20);
+  storage::PageFile* file = env.CreateFile("t", 8192);
+  btree::BTreeBuilder builder(env.MakePager(file));
+  const int kN = 100000;
+  for (int i = 0; i < kN; ++i) {
+    (void)builder.Add(Key(i), "value");
+  }
+  btree::BTree tree = builder.Finish().ValueOrDie();
+  Rng rng(2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tree.Get(Key(static_cast<int>(rng.Uniform(kN)))));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BTreeGet);
+
+void BM_BTreeBulkLoad100k(benchmark::State& state) {
+  for (auto _ : state) {
+    storage::DbEnv env(256ull << 20);
+    storage::PageFile* file = env.CreateFile("t", 8192);
+    btree::BTreeBuilder builder(env.MakePager(file));
+    for (int i = 0; i < 100000; ++i) {
+      (void)builder.Add(Key(i), "value");
+    }
+    benchmark::DoNotOptimize(builder.Finish());
+  }
+  state.SetItemsProcessed(state.iterations() * 100000);
+}
+BENCHMARK(BM_BTreeBulkLoad100k)->Unit(benchmark::kMillisecond);
+
+void BM_BTreeScan(benchmark::State& state) {
+  storage::DbEnv env(256ull << 20);
+  storage::PageFile* file = env.CreateFile("t", 8192);
+  btree::BTreeBuilder builder(env.MakePager(file));
+  const int kN = 100000;
+  for (int i = 0; i < kN; ++i) (void)builder.Add(Key(i), "value");
+  btree::BTree tree = builder.Finish().ValueOrDie();
+  for (auto _ : state) {
+    uint64_t n = 0;
+    for (btree::Cursor c = tree.SeekToFirst(); c.Valid(); c.Next()) ++n;
+    benchmark::DoNotOptimize(n);
+  }
+  state.SetItemsProcessed(state.iterations() * kN);
+}
+BENCHMARK(BM_BTreeScan)->Unit(benchmark::kMillisecond);
+
+void BM_GaussianProbInCircle(benchmark::State& state) {
+  prob::ConstrainedGaussian2D g({0, 0}, 20.0, 60.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(g.ProbInCircle({25, 10}, 30.0));
+  }
+}
+BENCHMARK(BM_GaussianProbInCircle);
+
+void BM_ZipfSample(benchmark::State& state) {
+  ZipfDistribution z(2000, 1.0);
+  Rng rng(3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(z.Sample(&rng));
+  }
+}
+BENCHMARK(BM_ZipfSample);
+
+void BM_HistogramEstimate(benchmark::State& state) {
+  histogram::ProbHistogram h(20);
+  Rng rng(4);
+  for (int i = 0; i < 100000; ++i) {
+    h.Add("v" + std::to_string(rng.Uniform(500)), rng.NextDouble(),
+          rng.Bernoulli(0.4));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(h.EstimateHeapHits("v42", 0.1, 0.3));
+  }
+}
+BENCHMARK(BM_HistogramEstimate);
+
+void BM_UpiInsert(benchmark::State& state) {
+  datagen::DblpConfig cfg;
+  cfg.num_authors = 1;
+  datagen::DblpGenerator gen(cfg);
+  storage::DbEnv env(256ull << 20);
+  core::UpiOptions opt;
+  opt.cluster_column = datagen::AuthorCols::kInstitution;
+  core::Upi upi(&env, "a", datagen::DblpGenerator::AuthorSchema(), opt);
+  catalog::TupleId id = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(upi.Insert(gen.MakeAuthor(id++)));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_UpiInsert);
+
+void BM_UpiQueryPtq(benchmark::State& state) {
+  datagen::DblpConfig cfg;
+  cfg.num_authors = 20000;
+  datagen::DblpGenerator gen(cfg);
+  auto tuples = gen.GenerateAuthors();
+  storage::DbEnv env(512ull << 20);
+  core::UpiOptions opt;
+  opt.cluster_column = datagen::AuthorCols::kInstitution;
+  opt.charge_open_per_query = false;
+  auto upi = core::Upi::Build(&env, "a", datagen::DblpGenerator::AuthorSchema(),
+                              opt, {}, tuples)
+                 .ValueOrDie();
+  std::string v = gen.PopularInstitution();
+  for (auto _ : state) {
+    std::vector<core::PtqMatch> out;
+    benchmark::DoNotOptimize(upi->QueryPtq(v, 0.3, &out));
+    benchmark::DoNotOptimize(out.size());
+  }
+}
+BENCHMARK(BM_UpiQueryPtq)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace upi
+
+BENCHMARK_MAIN();

@@ -1,0 +1,89 @@
+// Table 7: Maintenance cost — "we randomly delete 1% of the tuples from the
+// DBLP Author table and randomly insert new tuples equal to 10% of the
+// existing tuples", on an unclustered table, a UPI, and a Fractured UPI
+// (whose insert buffer is flushed at the end, as in the paper).
+// Expected shape: UPI far worse on both (random B+Tree I/O); Fractured UPI
+// cheapest, with deletions nearly free (delete-set append).
+#include "bench_util.h"
+
+using namespace upi;
+using namespace upi::bench;
+
+int main(int argc, char** argv) {
+  flags::Parse(argc, argv);
+  DblpData d = MakeDblp(false);
+  const double cutoff = 0.1;
+
+  storage::DbEnv heap_env, upi_env, frac_env;
+  auto table = baseline::UnclusteredTable::Build(
+                   &heap_env, "author", datagen::DblpGenerator::AuthorSchema(),
+                   {datagen::AuthorCols::kInstitution}, d.authors)
+                   .ValueOrDie();
+  auto upi = core::Upi::Build(&upi_env, "author",
+                              datagen::DblpGenerator::AuthorSchema(),
+                              AuthorUpiOptions(cutoff), {}, d.authors)
+                 .ValueOrDie();
+  core::FracturedUpi fractured(&frac_env, "author",
+                               datagen::DblpGenerator::AuthorSchema(),
+                               AuthorUpiOptions(cutoff), {});
+  CheckOk(fractured.BuildMain(d.authors));
+
+  // Shared workload.
+  Rng rng(d.cfg.seed + 7);
+  std::vector<catalog::Tuple> victims;
+  size_t delete_count = d.authors.size() / 100;
+  for (const auto& t : d.authors) {
+    if (victims.size() >= delete_count) break;
+    if (rng.Bernoulli(0.02)) victims.push_back(t);
+  }
+  std::vector<catalog::Tuple> inserts;
+  catalog::TupleId next_id = d.cfg.num_authors + 1;
+  for (size_t i = 0; i < d.authors.size() / 10; ++i) {
+    inserts.push_back(d.gen->MakeAuthor(next_id++));
+  }
+
+  PrintTitle("Table 7: Maintenance cost (simulated seconds)");
+  std::printf("# authors=%zu: insert %zu tuples (10%%), delete %zu (1%%)\n",
+              d.authors.size(), inserts.size(), victims.size());
+  std::printf("%-15s %12s %12s\n", "system", "Insert[s]", "Delete[s]");
+
+  {
+    QueryCost ins = RunMaintenance(&heap_env, [&]() -> size_t {
+      for (const auto& t : inserts) CheckOk(table->Insert(t));
+      return inserts.size();
+    });
+    QueryCost del = RunMaintenance(&heap_env, [&]() -> size_t {
+      for (const auto& t : victims) CheckOk(table->Delete(t.id()));
+      return victims.size();
+    });
+    std::printf("%-15s %12.1f %12.2f\n", "Unclustered", ins.sim_ms / 1000.0,
+                del.sim_ms / 1000.0);
+  }
+  {
+    QueryCost ins = RunMaintenance(&upi_env, [&]() -> size_t {
+      for (const auto& t : inserts) CheckOk(upi->Insert(t));
+      return inserts.size();
+    });
+    QueryCost del = RunMaintenance(&upi_env, [&]() -> size_t {
+      for (const auto& t : victims) CheckOk(upi->Delete(t));
+      return victims.size();
+    });
+    std::printf("%-15s %12.1f %12.2f\n", "UPI", ins.sim_ms / 1000.0,
+                del.sim_ms / 1000.0);
+  }
+  {
+    QueryCost ins = RunMaintenance(&frac_env, [&]() -> size_t {
+      for (const auto& t : inserts) CheckOk(fractured.Insert(t));
+      CheckOk(fractured.FlushBuffer());
+      return inserts.size();
+    });
+    QueryCost del = RunMaintenance(&frac_env, [&]() -> size_t {
+      for (const auto& t : victims) CheckOk(fractured.Delete(t.id()));
+      CheckOk(fractured.FlushBuffer());
+      return victims.size();
+    });
+    std::printf("%-15s %12.1f %12.2f\n", "Fractured UPI", ins.sim_ms / 1000.0,
+                del.sim_ms / 1000.0);
+  }
+  return 0;
+}

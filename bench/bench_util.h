@@ -1,0 +1,148 @@
+// Shared benchmark harness: fixture builders for the DBLP-like and
+// Cartel-like datasets, the cold-query protocol, and table printing.
+//
+// "Runtime" in every bench is the *simulated* disk time (the quantity the
+// paper measured on its 10k-RPM drive; see DESIGN.md for the substitution
+// rationale); wall-clock CPU time is printed alongside. All benches accept:
+//   --scale=<f>   dataset scale (1.0 = 100k authors / 200k pubs / 200k obs;
+//                 ~7 approximates the paper's sizes)
+//   --seed=<n>    generator seed
+#pragma once
+
+#include <chrono>
+#include <cstdio>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baseline/secondary_utree.h"
+#include "baseline/unclustered_table.h"
+#include "common/flags.h"
+#include "core/continuous_upi.h"
+#include "core/cost_model.h"
+#include "core/fractured_upi.h"
+#include "core/upi.h"
+#include "datagen/cartel.h"
+#include "datagen/dblp.h"
+#include "exec/aggregate.h"
+#include "storage/db_env.h"
+
+namespace upi::bench {
+
+struct QueryCost {
+  double sim_ms = 0.0;
+  double wall_ms = 0.0;
+  size_t rows = 0;
+};
+
+/// Aborts with a message on error (benches have no meaningful recovery).
+inline void CheckOk(const Status& st) {
+  if (!st.ok()) {
+    std::fprintf(stderr, "bench failed: %s\n", st.ToString().c_str());
+    std::exit(1);
+  }
+}
+
+/// Runs `fn` (returning a row count) against a cold cache and reports costs.
+inline QueryCost RunCold(storage::DbEnv* env, const std::function<size_t()>& fn) {
+  env->ColdCache();
+  sim::StatsWindow window(env->disk());
+  auto t0 = std::chrono::steady_clock::now();
+  QueryCost cost;
+  cost.rows = fn();
+  auto t1 = std::chrono::steady_clock::now();
+  cost.sim_ms = window.ElapsedMs();
+  cost.wall_ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+  return cost;
+}
+
+/// Measures a maintenance operation (warm cache, but flushes afterwards so
+/// deferred writes are charged — the paper's maintenance numbers include the
+/// write-back).
+inline QueryCost RunMaintenance(storage::DbEnv* env,
+                                const std::function<size_t()>& fn) {
+  env->pool()->FlushAll();
+  env->disk()->ResetHead();
+  sim::StatsWindow window(env->disk());
+  auto t0 = std::chrono::steady_clock::now();
+  QueryCost cost;
+  cost.rows = fn();
+  env->pool()->FlushAll();
+  auto t1 = std::chrono::steady_clock::now();
+  cost.sim_ms = window.ElapsedMs();
+  cost.wall_ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+  return cost;
+}
+
+inline void PrintTitle(const std::string& title) {
+  std::printf("# %s\n", title.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// DBLP fixtures
+// ---------------------------------------------------------------------------
+
+struct DblpData {
+  datagen::DblpConfig cfg;
+  std::unique_ptr<datagen::DblpGenerator> gen;
+  std::vector<catalog::Tuple> authors;
+  std::vector<catalog::Tuple> publications;  // filled only when requested
+  std::string popular_institution;           // the "MIT" (non-selective)
+  std::string selective_institution;         // ~300 matches at scale 1
+  std::string mid_country;                   // the "Japan"
+};
+
+inline DblpData MakeDblp(bool with_publications) {
+  DblpData d;
+  double scale = flags::GetDouble("scale", 1.0);
+  d.cfg = datagen::DblpConfig{}.Scaled(scale);
+  d.cfg.seed = static_cast<uint64_t>(flags::GetInt64("seed", 42));
+  d.gen = std::make_unique<datagen::DblpGenerator>(d.cfg);
+  d.authors = d.gen->GenerateAuthors();
+  if (with_publications) {
+    d.publications = d.gen->GeneratePublications(d.authors);
+  }
+  d.popular_institution = d.gen->PopularInstitution();
+  d.selective_institution = datagen::FindValueWithApproxCount(
+      d.authors, datagen::AuthorCols::kInstitution,
+      static_cast<uint64_t>(300 * scale) + 30);
+  d.mid_country = d.gen->MidCountry();
+  return d;
+}
+
+inline core::UpiOptions AuthorUpiOptions(double cutoff) {
+  core::UpiOptions opt;
+  opt.cluster_column = datagen::AuthorCols::kInstitution;
+  opt.cutoff = cutoff;
+  return opt;
+}
+
+inline core::UpiOptions PublicationUpiOptions(double cutoff) {
+  core::UpiOptions opt;
+  opt.cluster_column = datagen::PublicationCols::kInstitution;
+  opt.cutoff = cutoff;
+  return opt;
+}
+
+// ---------------------------------------------------------------------------
+// Cartel fixtures
+// ---------------------------------------------------------------------------
+
+struct CartelData {
+  datagen::CartelConfig cfg;
+  std::unique_ptr<datagen::CartelGenerator> gen;
+  std::vector<catalog::Tuple> observations;
+};
+
+inline CartelData MakeCartel() {
+  CartelData d;
+  double scale = flags::GetDouble("scale", 1.0);
+  d.cfg = datagen::CartelConfig{}.Scaled(scale);
+  d.cfg.seed = static_cast<uint64_t>(flags::GetInt64("seed", 42));
+  d.gen = std::make_unique<datagen::CartelGenerator>(d.cfg);
+  d.observations = d.gen->GenerateObservations();
+  return d;
+}
+
+}  // namespace upi::bench

@@ -1,0 +1,69 @@
+// PII — Probabilistic Inverted Index (Singh et al., ICDE 2007), the paper's
+// baseline for discrete distributions (Section 7.2): an inverted index whose
+// per-value entry lists are ordered by descending probability, stored here as
+// a B+Tree keyed (value ASC, probability DESC, TupleID) — the same structure
+// the paper's own implementation used on BDB. Entries point at heap RIDs, so
+// every qualifying tuple costs a heap fetch; the query executor sorts the
+// RIDs first (bitmap-scan style), which is also what the paper did.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "btree/btree.h"
+#include "btree/bulk_load.h"
+#include "catalog/tuple.h"
+#include "core/upi_key.h"
+#include "storage/db_env.h"
+#include "storage/heap_file.h"
+
+namespace upi::baseline {
+
+class PiiIndex {
+ public:
+  PiiIndex(storage::DbEnv* env, const std::string& name, uint32_t page_size);
+
+  Status Put(std::string_view value, double confidence, catalog::TupleId id,
+             storage::Rid rid);
+  Status Remove(std::string_view value, double confidence, catalog::TupleId id);
+
+  struct Entry {
+    core::UpiKey key;   // (value, confidence, id)
+    storage::Rid rid;
+  };
+
+  /// Inverted-list scan: entries for `value` with confidence >= qt, in
+  /// descending confidence order. `limit` optionally stops after N entries
+  /// (top-k support).
+  Status Collect(std::string_view value, double qt, std::vector<Entry>* out,
+                 size_t limit = SIZE_MAX) const;
+
+  void ChargeOpen() { file_->ChargeOpen(); }
+  uint64_t num_entries() const { return tree_->num_entries(); }
+  uint64_t size_bytes() const { return tree_->size_bytes(); }
+  btree::BTree* tree() { return tree_.get(); }
+
+  class Builder {
+   public:
+    Builder(storage::DbEnv* env, const std::string& name, uint32_t page_size);
+    Status Add(std::string_view value, double confidence, catalog::TupleId id,
+               storage::Rid rid);
+    Result<std::unique_ptr<PiiIndex>> Finish();
+
+   private:
+    storage::PageFile* file_;
+    btree::BTreeBuilder builder_;
+  };
+
+ private:
+  PiiIndex(storage::PageFile* file, btree::BTree tree);
+
+  static std::string EncodeRid(storage::Rid rid);
+  static storage::Rid DecodeRid(std::string_view buf);
+
+  storage::PageFile* file_;
+  std::unique_ptr<btree::BTree> tree_;
+};
+
+}  // namespace upi::baseline

@@ -1,0 +1,81 @@
+#include "baseline/secondary_utree.h"
+
+#include <algorithm>
+
+namespace upi::baseline {
+
+using catalog::Tuple;
+using catalog::ValueType;
+using rtree::ObjectEntry;
+
+Result<std::unique_ptr<SecondaryUtree>> SecondaryUtree::Build(
+    storage::DbEnv* env, std::string name, const UnclusteredTable& table,
+    int location_column, const std::vector<Tuple>& tuples, uint32_t page_size) {
+  std::unique_ptr<SecondaryUtree> ut(new SecondaryUtree());
+  std::vector<ObjectEntry> entries;
+  entries.reserve(tuples.size());
+  for (const Tuple& t : tuples) {
+    if (t.Get(location_column).type() != ValueType::kGaussian2D) {
+      return Status::InvalidArgument("location column must be Gaussian2D");
+    }
+    const auto& g = t.Get(location_column).gaussian();
+    ObjectEntry e;
+    double x0, y0, x1, y1;
+    g.Mbr(&x0, &y0, &x1, &y1);
+    e.mbr = rtree::Rect{x0, y0, x1, y1};
+    e.id = t.id();
+    UPI_ASSIGN_OR_RETURN(storage::Rid rid, table.RidOf(t.id()));
+    e.payload = PackRid(rid);
+    e.mean = g.mean();
+    e.sigma = g.sigma();
+    e.bound = g.bound_radius();
+    entries.push_back(e);
+  }
+  storage::PageFile* file = env->CreateFile(name + ".utree", page_size);
+  UPI_ASSIGN_OR_RETURN(
+      rtree::RTree built,
+      rtree::RTree::BulkBuild(env->MakePager(file),
+                              rtree::RTreeOptions{page_size, 0.9}, &ut->locator_,
+                              std::move(entries),
+                              [](uint64_t, const ObjectEntry&) -> Status {
+                                return Status::OK();
+                              }));
+  ut->rtree_ = std::make_unique<rtree::RTree>(std::move(built));
+  env->pool()->FlushAll();
+  return ut;
+}
+
+Status SecondaryUtree::QueryRange(const UnclusteredTable& table,
+                                  prob::Point center, double radius, double qt,
+                                  std::vector<core::PtqMatch>* out) const {
+  if (charge_open_per_query) rtree_->ChargeOpen();
+  struct Hit {
+    storage::Rid rid;
+    catalog::TupleId id;
+    double prob;
+  };
+  std::vector<Hit> hits;
+  UPI_RETURN_NOT_OK(rtree_->SearchCircle(
+      center, radius, [&](const ObjectEntry& e, uint64_t) {
+        if (e.UpperBoundInCircle(center, radius) < qt) return;
+        double p = e.ProbInCircle(center, radius);
+        if (p >= qt) hits.push_back(Hit{UnpackRid(e.payload), e.id, p});
+      }));
+  // Bitmap-style: sort RIDs before the heap fetches; they are still spread
+  // across the whole unclustered heap.
+  std::sort(hits.begin(), hits.end(),
+            [](const Hit& a, const Hit& b) { return a.rid < b.rid; });
+  std::string bytes;
+  auto* heap = const_cast<UnclusteredTable&>(table).heap();
+  for (const Hit& h : hits) {
+    UPI_RETURN_NOT_OK(heap->Read(h.rid, &bytes));
+    core::PtqMatch m;
+    m.id = h.id;
+    m.confidence = h.prob;
+    UPI_ASSIGN_OR_RETURN(m.tuple, Tuple::Deserialize(bytes));
+    out->push_back(std::move(m));
+  }
+  return Status::OK();
+}
+
+}  // namespace upi::baseline

@@ -1,0 +1,80 @@
+// The unclustered baseline: a heap file "clustered by an auto-increment
+// sequence" (paper Section 7.2) with PII secondary indexes on uncertain
+// discrete columns. Queries go through a PII index and fetch each qualifying
+// tuple from the heap by RID — the random-seek pattern the UPI is built to
+// avoid.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "baseline/pii.h"
+#include "catalog/schema.h"
+#include "catalog/tuple.h"
+#include "core/upi.h"  // PtqMatch
+#include "storage/db_env.h"
+#include "storage/heap_file.h"
+
+namespace upi::baseline {
+
+class UnclusteredTable {
+ public:
+  UnclusteredTable(storage::DbEnv* env, std::string name, catalog::Schema schema,
+                   uint32_t page_size = 8192);
+
+  /// Bulk-builds: appends all tuples sequentially and bulk-loads a PII index
+  /// on each column in `pii_columns`.
+  static Result<std::unique_ptr<UnclusteredTable>> Build(
+      storage::DbEnv* env, std::string name, catalog::Schema schema,
+      std::vector<int> pii_columns, const std::vector<catalog::Tuple>& tuples,
+      uint32_t page_size = 8192);
+
+  /// Declares a PII index on a discrete column (empty table only).
+  Status AddPiiColumn(int column);
+
+  /// Appends the tuple and updates every PII index.
+  Status Insert(const catalog::Tuple& tuple);
+
+  /// Deletes by TupleId: reads the tuple, removes its PII entries, and
+  /// punches a hole in the heap.
+  Status Delete(catalog::TupleId id);
+
+  /// PTQ through the PII index on `column`, bitmap-style RID-ordered heap
+  /// fetch. Results in heap order.
+  Status QueryPii(int column, std::string_view value, double qt,
+                  std::vector<core::PtqMatch>* out) const;
+
+  /// Top-k through the PII index: the inverted list is probability-ordered,
+  /// so only k entries are read.
+  Status QueryTopK(int column, std::string_view value, size_t k,
+                   std::vector<core::PtqMatch>* out) const;
+
+  storage::HeapFile* heap() { return heap_.get(); }
+  PiiIndex* pii(int column) const;
+  uint64_t num_tuples() const { return id_to_rid_.size(); }
+  uint64_t size_bytes() const;
+  const catalog::Schema& schema() const { return schema_; }
+  Result<storage::Rid> RidOf(catalog::TupleId id) const;
+
+  /// Charge-open behaviour matches Upi (off by default; see UpiOptions).
+  bool charge_open_per_query = false;
+
+ private:
+  storage::DbEnv* env_;
+  std::string name_;
+  catalog::Schema schema_;
+  uint32_t page_size_;
+
+  storage::PageFile* heap_pagefile_;
+  std::unique_ptr<storage::HeapFile> heap_;
+  std::map<int, std::unique_ptr<PiiIndex>> piis_;
+  // RID lookup by TupleId. Kept in memory: a real system resolves this via
+  // its primary-key index; charging it no I/O matches the paper's setup where
+  // the auto-increment primary index is small and hot.
+  std::unordered_map<catalog::TupleId, storage::Rid> id_to_rid_;
+};
+
+}  // namespace upi::baseline

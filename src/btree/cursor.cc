@@ -1,0 +1,58 @@
+#include "btree/btree.h"
+
+namespace upi::btree {
+
+Cursor::Cursor(const BTree* tree, PageId leaf_id, size_t idx)
+    : tree_(tree), leaf_id_(leaf_id), idx_(idx) {
+  if (!tree_->ReadNode(leaf_id_, &leaf_).ok()) {
+    valid_ = false;
+    return;
+  }
+  valid_ = true;
+  SkipForwardToValid();
+}
+
+void Cursor::MaybePrefetch() {
+  if (readahead_ == 0) return;
+  if (prefetch_remaining_ > 0) {
+    --prefetch_remaining_;
+    return;
+  }
+  // Fetch the next readahead_ leaves of the chain in one burst; they are
+  // then pool hits when the merge actually reaches them.
+  Node n = leaf_;
+  for (uint32_t i = 0; i < readahead_; ++i) {
+    PageId next = n.right_sibling;
+    if (next == kInvalidPage) break;
+    if (!tree_->ReadNode(next, &n).ok()) break;
+  }
+  prefetch_remaining_ = readahead_;
+}
+
+void Cursor::LoadLeaf(PageId id) {
+  leaf_id_ = id;
+  if (id == kInvalidPage || !tree_->ReadNode(id, &leaf_).ok()) {
+    valid_ = false;
+    return;
+  }
+  idx_ = 0;
+  MaybePrefetch();
+}
+
+void Cursor::SkipForwardToValid() {
+  while (valid_ && idx_ >= leaf_.entries.size()) {
+    if (leaf_.right_sibling == kInvalidPage) {
+      valid_ = false;
+      return;
+    }
+    LoadLeaf(leaf_.right_sibling);
+  }
+}
+
+void Cursor::Next() {
+  if (!valid_) return;
+  ++idx_;
+  SkipForwardToValid();
+}
+
+}  // namespace upi::btree

@@ -1,0 +1,117 @@
+#include "btree/node.h"
+
+#include <algorithm>
+
+#include "common/coding.h"
+
+namespace upi::btree {
+
+namespace {
+size_t VarintLen(uint32_t v) {
+  size_t n = 1;
+  while (v >= 0x80) {
+    v >>= 7;
+    ++n;
+  }
+  return n;
+}
+}  // namespace
+
+size_t Node::LeafEntrySize(std::string_view key, std::string_view value) {
+  return VarintLen(static_cast<uint32_t>(key.size())) + key.size() +
+         VarintLen(static_cast<uint32_t>(value.size())) + value.size();
+}
+
+size_t Node::ChildEntrySize(std::string_view key) {
+  return VarintLen(static_cast<uint32_t>(key.size())) + key.size() + 4;
+}
+
+size_t Node::SerializedSize() const {
+  size_t sz = kNodeHeaderSize;
+  if (is_leaf) {
+    for (const auto& e : entries) sz += LeafEntrySize(e.key, e.value);
+  } else {
+    for (const auto& c : children) sz += ChildEntrySize(c.key);
+  }
+  return sz;
+}
+
+void Node::Serialize(std::string* out) const {
+  out->clear();
+  out->push_back(is_leaf ? '\x01' : '\x00');
+  out->push_back('\x00');
+  out->push_back('\x00');
+  out->push_back('\x00');
+  PutFixed32(out, static_cast<uint32_t>(Count()));
+  PutFixed32(out, right_sibling);
+  if (is_leaf) {
+    for (const auto& e : entries) {
+      PutVarint32(out, static_cast<uint32_t>(e.key.size()));
+      out->append(e.key);
+      PutVarint32(out, static_cast<uint32_t>(e.value.size()));
+      out->append(e.value);
+    }
+  } else {
+    for (const auto& c : children) {
+      PutVarint32(out, static_cast<uint32_t>(c.key.size()));
+      out->append(c.key);
+      PutFixed32(out, c.child);
+    }
+  }
+}
+
+Status Node::Deserialize(std::string_view page, Node* out) {
+  if (page.size() < kNodeHeaderSize) return Status::Corruption("btree node too small");
+  out->is_leaf = page[0] == '\x01';
+  uint32_t count = GetFixed32(page.data() + 4);
+  out->right_sibling = GetFixed32(page.data() + 8);
+  out->entries.clear();
+  out->children.clear();
+  const char* p = page.data() + kNodeHeaderSize;
+  const char* limit = page.data() + page.size();
+  for (uint32_t i = 0; i < count; ++i) {
+    uint32_t klen;
+    size_t n = GetVarint32(p, limit, &klen);
+    if (n == 0 || p + n + klen > limit) return Status::Corruption("bad btree key");
+    p += n;
+    std::string key(p, klen);
+    p += klen;
+    if (out->is_leaf) {
+      uint32_t vlen;
+      n = GetVarint32(p, limit, &vlen);
+      if (n == 0 || p + n + vlen > limit) return Status::Corruption("bad btree value");
+      p += n;
+      out->entries.push_back(LeafEntry{std::move(key), std::string(p, vlen)});
+      p += vlen;
+    } else {
+      if (p + 4 > limit) return Status::Corruption("bad btree child");
+      out->children.push_back(ChildEntry{std::move(key), GetFixed32(p)});
+      p += 4;
+    }
+  }
+  return Status::OK();
+}
+
+size_t Node::LowerBound(std::string_view key) const {
+  auto it = std::lower_bound(
+      entries.begin(), entries.end(), key,
+      [](const LeafEntry& e, std::string_view k) { return e.key < k; });
+  return static_cast<size_t>(it - entries.begin());
+}
+
+size_t Node::ChildIndex(std::string_view key) const {
+  // children[0].key is empty and compares <= everything, so upper_bound over
+  // keys > `key` minus one lands on the covering child.
+  size_t lo = 0, hi = children.size();
+  while (lo + 1 < hi) {
+    size_t mid = (lo + hi) / 2;
+    if (std::string_view(children[mid].key) <= key) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+}  // namespace upi::btree

@@ -1,0 +1,64 @@
+// In-memory view of one B+Tree node plus its page (de)serialization.
+//
+// Pages are deserialized into a Node, mutated, and serialized back — trading
+// some CPU for a much simpler and more obviously correct implementation than
+// in-place slotted updates. All I/O cost accounting happens at the page
+// layer, so this choice does not affect any measured result.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/page_file.h"
+
+namespace upi::btree {
+
+using storage::PageId;
+using storage::kInvalidPage;
+
+/// Entry of a leaf node: a full (key, value) record.
+struct LeafEntry {
+  std::string key;
+  std::string value;
+};
+
+/// Entry of an internal node: separator key plus child pointer. The first
+/// entry's key is always empty (the leftmost child has no lower separator).
+struct ChildEntry {
+  std::string key;
+  PageId child = kInvalidPage;
+};
+
+struct Node {
+  bool is_leaf = true;
+  PageId right_sibling = kInvalidPage;  // leaf chain; unused for internal
+  std::vector<LeafEntry> entries;       // leaf payload
+  std::vector<ChildEntry> children;     // internal payload
+
+  size_t Count() const { return is_leaf ? entries.size() : children.size(); }
+
+  /// Bytes this node occupies when serialized.
+  size_t SerializedSize() const;
+
+  void Serialize(std::string* out) const;
+  static Status Deserialize(std::string_view page, Node* out);
+
+  /// Serialized size contribution of one leaf entry.
+  static size_t LeafEntrySize(std::string_view key, std::string_view value);
+  /// Serialized size contribution of one internal entry.
+  static size_t ChildEntrySize(std::string_view key);
+
+  /// Index of the first leaf entry with entry.key >= key (lower bound).
+  size_t LowerBound(std::string_view key) const;
+
+  /// For internal nodes: index of the child subtree that covers `key`
+  /// (largest i with children[i].key <= key; index 0 if none).
+  size_t ChildIndex(std::string_view key) const;
+};
+
+inline constexpr size_t kNodeHeaderSize = 12;
+
+}  // namespace upi::btree

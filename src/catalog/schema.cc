@@ -1,0 +1,24 @@
+#include "catalog/schema.h"
+
+namespace upi::catalog {
+
+int Schema::FindColumn(std::string_view name) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].name == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+std::string Schema::ToString() const {
+  std::string s = "(";
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (i > 0) s += ", ";
+    s += columns_[i].name;
+    s += " ";
+    s += ValueTypeName(columns_[i].type);
+  }
+  s += ")";
+  return s;
+}
+
+}  // namespace upi::catalog

@@ -1,0 +1,33 @@
+// Table schemas: named, typed columns. Uncertain columns carry the ^p types.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "catalog/value.h"
+
+namespace upi::catalog {
+
+struct Column {
+  std::string name;
+  ValueType type = ValueType::kNull;
+};
+
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Column> columns) : columns_(std::move(columns)) {}
+
+  size_t num_columns() const { return columns_.size(); }
+  const Column& column(size_t i) const { return columns_[i]; }
+
+  /// Index of the named column, or -1.
+  int FindColumn(std::string_view name) const;
+
+  std::string ToString() const;
+
+ private:
+  std::vector<Column> columns_;
+};
+
+}  // namespace upi::catalog

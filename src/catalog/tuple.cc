@@ -1,0 +1,46 @@
+#include "catalog/tuple.h"
+
+#include "common/coding.h"
+#include "prob/confidence.h"
+
+namespace upi::catalog {
+
+Tuple::Tuple(TupleId id, double existence, std::vector<Value> values)
+    : id_(id), existence_(QuantizeProb(existence)), values_(std::move(values)) {}
+
+double Tuple::ConfidenceOf(size_t col, std::string_view value) const {
+  const Value& v = values_[col];
+  if (v.type() != ValueType::kDiscrete) return 0.0;
+  return prob::Confidence(existence_, v.discrete().ProbabilityOf(value));
+}
+
+void Tuple::Serialize(std::string* out) const {
+  PutFixed64BE(out, id_);
+  AppendProbDesc(out, existence_);
+  PutVarint32(out, static_cast<uint32_t>(values_.size()));
+  for (const Value& v : values_) v.Serialize(out);
+}
+
+Result<Tuple> Tuple::Deserialize(std::string_view buf) {
+  const char* p = buf.data();
+  const char* limit = buf.data() + buf.size();
+  if (p + 12 > limit) return Status::Corruption("truncated tuple header");
+  TupleId id = GetFixed64BE(p);
+  p += 8;
+  double existence = DecodeProbDesc(p);
+  p += 4;
+  uint32_t n;
+  size_t consumed = GetVarint32(p, limit, &n);
+  if (consumed == 0) return Status::Corruption("bad tuple column count");
+  p += consumed;
+  std::vector<Value> values;
+  values.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    Value v;
+    UPI_RETURN_NOT_OK(Value::Deserialize(&p, limit, &v));
+    values.push_back(std::move(v));
+  }
+  return Tuple(id, existence, std::move(values));
+}
+
+}  // namespace upi::catalog

@@ -1,0 +1,46 @@
+// An uncertain tuple: TupleID, existence probability (the paper's Existence
+// column), and typed values. Tuples serialize to a flat byte string that the
+// UPI heap duplicates once per alternative of the clustered attribute.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "catalog/schema.h"
+#include "catalog/value.h"
+
+namespace upi::catalog {
+
+using TupleId = uint64_t;
+
+class Tuple {
+ public:
+  Tuple() = default;
+  /// `existence` is quantized to the key-encoding grid (see QuantizeProb) so
+  /// confidences derived from it survive disk round-trips exactly.
+  Tuple(TupleId id, double existence, std::vector<Value> values);
+
+  TupleId id() const { return id_; }
+  double existence() const { return existence_; }
+  const std::vector<Value>& values() const { return values_; }
+  const Value& Get(size_t i) const { return values_[i]; }
+
+  /// Confidence that this tuple exists and its discrete column `col` takes
+  /// `value`: existence * P(value) (Section 1).
+  double ConfidenceOf(size_t col, std::string_view value) const;
+
+  void Serialize(std::string* out) const;
+  static Result<Tuple> Deserialize(std::string_view buf);
+
+  bool operator==(const Tuple& o) const {
+    return id_ == o.id_ && existence_ == o.existence_ && values_ == o.values_;
+  }
+
+ private:
+  TupleId id_ = 0;
+  double existence_ = 1.0;
+  std::vector<Value> values_;
+};
+
+}  // namespace upi::catalog

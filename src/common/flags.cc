@@ -1,0 +1,52 @@
+#include "common/flags.h"
+
+#include <cstdlib>
+#include <map>
+#include <string_view>
+
+namespace upi::flags {
+namespace {
+std::map<std::string, std::string>& Registry() {
+  static std::map<std::string, std::string> m;
+  return m;
+}
+}  // namespace
+
+void Parse(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg(argv[i]);
+    if (arg.substr(0, 2) != "--") continue;
+    arg.remove_prefix(2);
+    auto eq = arg.find('=');
+    if (eq != std::string_view::npos) {
+      Registry()[std::string(arg.substr(0, eq))] = std::string(arg.substr(eq + 1));
+    } else if (i + 1 < argc && argv[i + 1][0] != '-') {
+      Registry()[std::string(arg)] = argv[++i];
+    } else {
+      Registry()[std::string(arg)] = "true";
+    }
+  }
+}
+
+std::string GetString(const std::string& name, const std::string& def) {
+  auto it = Registry().find(name);
+  return it == Registry().end() ? def : it->second;
+}
+
+int64_t GetInt64(const std::string& name, int64_t def) {
+  auto it = Registry().find(name);
+  return it == Registry().end() ? def : std::strtoll(it->second.c_str(), nullptr, 10);
+}
+
+double GetDouble(const std::string& name, double def) {
+  auto it = Registry().find(name);
+  return it == Registry().end() ? def : std::strtod(it->second.c_str(), nullptr);
+}
+
+bool GetBool(const std::string& name, bool def) {
+  auto it = Registry().find(name);
+  if (it == Registry().end()) return def;
+  return it->second == "true" || it->second == "1" || it->second == "yes";
+}
+
+}  // namespace upi::flags

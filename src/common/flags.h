@@ -1,0 +1,18 @@
+// Minimal command-line flag parsing for the bench / example binaries.
+// Syntax: --name=value or --name value; unrecognized args are left alone.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace upi::flags {
+
+/// Parses --key=value pairs out of argv. Call once from main().
+void Parse(int argc, char** argv);
+
+std::string GetString(const std::string& name, const std::string& def);
+int64_t GetInt64(const std::string& name, int64_t def);
+double GetDouble(const std::string& name, double def);
+bool GetBool(const std::string& name, bool def);
+
+}  // namespace upi::flags

@@ -1,0 +1,30 @@
+#include "common/random.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace upi {
+
+ZipfDistribution::ZipfDistribution(size_t n, double s) : s_(s) {
+  cdf_.resize(n);
+  double sum = 0.0;
+  for (size_t k = 0; k < n; ++k) {
+    sum += 1.0 / std::pow(static_cast<double>(k + 1), s);
+    cdf_[k] = sum;
+  }
+  norm_ = sum;
+  for (double& c : cdf_) c /= norm_;
+}
+
+size_t ZipfDistribution::Sample(Rng* rng) const {
+  double u = rng->NextDouble();
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  if (it == cdf_.end()) return cdf_.size() - 1;
+  return static_cast<size_t>(it - cdf_.begin());
+}
+
+double ZipfDistribution::Pmf(size_t k) const {
+  return 1.0 / std::pow(static_cast<double>(k + 1), s_) / norm_;
+}
+
+}  // namespace upi

@@ -1,0 +1,64 @@
+// Deterministic random sources used by the synthetic data generators and the
+// property-based tests. Everything is seeded explicitly so experiments are
+// exactly reproducible.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace upi {
+
+/// \brief Thin wrapper over a 64-bit Mersenne Twister with convenience
+/// samplers for the distributions the generators need.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 42) : gen_(seed) {}
+
+  uint64_t NextU64() { return gen_(); }
+  /// Uniform integer in [0, n).
+  uint64_t Uniform(uint64_t n) {
+    return std::uniform_int_distribution<uint64_t>(0, n - 1)(gen_);
+  }
+  /// Uniform double in [0, 1).
+  double NextDouble() { return std::uniform_real_distribution<double>(0.0, 1.0)(gen_); }
+  /// Uniform double in [lo, hi).
+  double UniformDouble(double lo, double hi) {
+    return std::uniform_real_distribution<double>(lo, hi)(gen_);
+  }
+  double Gaussian(double mean, double stddev) {
+    return std::normal_distribution<double>(mean, stddev)(gen_);
+  }
+  /// Returns true with probability p.
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+  std::mt19937_64& engine() { return gen_; }
+
+ private:
+  std::mt19937_64 gen_;
+};
+
+/// \brief Zipf(s) sampler over ranks {0, ..., n-1} with a precomputed CDF.
+///
+/// The DBLP generator uses this both to pick institution popularity and to
+/// weigh search-result ranks when assigning alternative probabilities
+/// (Section 7.1 of the paper).
+class ZipfDistribution {
+ public:
+  ZipfDistribution(size_t n, double s);
+
+  /// Samples a rank in [0, n).
+  size_t Sample(Rng* rng) const;
+
+  /// Probability mass of rank k.
+  double Pmf(size_t k) const;
+
+  size_t n() const { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;  // cumulative, cdf_.back() == 1.0
+  double norm_ = 0.0;
+  double s_ = 1.0;
+};
+
+}  // namespace upi

@@ -1,0 +1,84 @@
+#include "core/cost_model.h"
+
+#include <cmath>
+
+#include "core/fractured_upi.h"
+#include "core/upi.h"
+
+namespace upi::core {
+
+TableStats TableStats::Of(const Upi& upi) {
+  TableStats s;
+  s.table_bytes = upi.heap_tree()->size_bytes();
+  s.num_leaf_pages = upi.heap_tree()->num_leaf_pages();
+  s.btree_height = upi.heap_tree()->height();
+  s.num_fractures = 1;
+  s.page_size = upi.options().page_size;
+  return s;
+}
+
+TableStats TableStats::Of(const FracturedUpi& fractured) {
+  TableStats s;
+  s.page_size = fractured.options().page_size;
+  uint32_t max_h = 1;
+  if (fractured.main() != nullptr) {
+    TableStats m = Of(*fractured.main());
+    s.table_bytes += m.table_bytes;
+    s.num_leaf_pages += m.num_leaf_pages;
+    max_h = m.btree_height;
+  }
+  for (const auto& f : fractured.fractures()) {
+    TableStats m = Of(*f);
+    s.table_bytes += m.table_bytes;
+    s.num_leaf_pages += m.num_leaf_pages;
+    if (m.btree_height > max_h) max_h = m.btree_height;
+  }
+  s.btree_height = max_h;
+  s.num_fractures = static_cast<uint32_t>(fractured.num_fractures());
+  return s;
+}
+
+double CostModel::CostScanMs() const { return params_.ReadMs(stats_.table_bytes); }
+
+double CostModel::LookupOverheadMs() const {
+  return params_.init_ms + stats_.btree_height * params_.seek_ms;
+}
+
+double CostModel::FracturedQueryMs(double selectivity) const {
+  return CostScanMs() * selectivity + stats_.num_fractures * LookupOverheadMs();
+}
+
+double CostModel::MergeMs() const {
+  return static_cast<double>(stats_.table_bytes) / (1024.0 * 1024.0) *
+         (params_.read_ms_per_mb + params_.write_ms_per_mb);
+}
+
+double CostModel::SaturationCeilingMs() const { return CostScanMs(); }
+
+double CostModel::DeviceCalibratedK() const {
+  double ceiling = SaturationCeilingMs();
+  if (ceiling <= 0) return 1.0;
+  double per_pointer = params_.min_seek_ms + params_.ReadMs(stats_.page_size);
+  return 2.0 * per_pointer / ceiling;
+}
+
+double CostModel::PaperHeuristicK() const {
+  double x0 = 0.05 * static_cast<double>(stats_.num_leaf_pages);
+  if (x0 <= 0) return 1.0;
+  // (1 - e^{-k x0}) / (1 + e^{-k x0}) = 0.99  =>  e^{-k x0} = 1/199.
+  return std::log(199.0) / x0;
+}
+
+double CostModel::PointerFollowMs(double num_pointers) const {
+  if (num_pointers <= 0) return 0.0;
+  double k = SigmoidK();
+  double e = std::exp(-k * num_pointers);
+  return SaturationCeilingMs() * (1.0 - e) / (1.0 + e);
+}
+
+double CostModel::CutoffQueryMs(double selectivity, double num_pointers) const {
+  return CostScanMs() * selectivity + 2.0 * LookupOverheadMs() +
+         PointerFollowMs(num_pointers);
+}
+
+}  // namespace upi::core

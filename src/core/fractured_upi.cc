@@ -1,0 +1,509 @@
+#include "core/fractured_upi.h"
+
+#include <algorithm>
+#include <functional>
+
+#include "common/coding.h"
+
+namespace upi::core {
+
+using catalog::Tuple;
+using catalog::TupleId;
+using catalog::Value;
+using catalog::ValueType;
+
+namespace {
+
+/// K-way merge of B+Trees whose keys are globally unique: emits every (key,
+/// value) pair in ascending key order. The parallel sort-merge of Section 4.3.
+Status MergeTrees(const std::vector<const btree::BTree*>& trees,
+                  const std::function<Status(std::string_view, std::string_view)>& emit) {
+  std::vector<btree::Cursor> curs;
+  curs.reserve(trees.size());
+  for (const btree::BTree* t : trees) {
+    curs.push_back(t->SeekToFirst());
+    // Stream each source in sequential bursts (Section 4.3: merging costs
+    // about one sequential read + write of the data).
+    curs.back().SetReadahead(128);
+  }
+  while (true) {
+    int best = -1;
+    for (size_t i = 0; i < curs.size(); ++i) {
+      if (!curs[i].Valid()) continue;
+      if (best < 0 || curs[i].key() < curs[best].key()) best = static_cast<int>(i);
+    }
+    if (best < 0) break;
+    UPI_RETURN_NOT_OK(emit(curs[best].key(), curs[best].value()));
+    curs[best].Next();
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+FracturedUpi::FracturedUpi(storage::DbEnv* env, std::string name,
+                           catalog::Schema schema, UpiOptions options,
+                           std::vector<int> secondary_columns)
+    : env_(env),
+      name_(std::move(name)),
+      schema_(std::move(schema)),
+      options_(options),
+      secondary_columns_(std::move(secondary_columns)) {}
+
+Status FracturedUpi::BuildMain(const std::vector<Tuple>& tuples) {
+  if (main_ != nullptr) return Status::Internal("main fracture already built");
+  UPI_ASSIGN_OR_RETURN(main_, Upi::Build(env_, name_ + ".main", schema_,
+                                         options_, secondary_columns_, tuples));
+  main_and_fracture_tuples_ = tuples.size();
+  return Status::OK();
+}
+
+Status FracturedUpi::Insert(const Tuple& tuple) {
+  if (deleted_.contains(tuple.id()) || buffer_deletes_.contains(tuple.id())) {
+    return Status::InvalidArgument("TupleId reuse after deletion is not allowed");
+  }
+  auto [it, inserted] = buffer_.emplace(tuple.id(), tuple);
+  if (!inserted) return Status::AlreadyExists("TupleId already buffered");
+  return Status::OK();
+}
+
+Status FracturedUpi::Delete(TupleId id) {
+  auto it = buffer_.find(id);
+  if (it != buffer_.end()) {
+    buffer_.erase(it);  // never reached disk; no delete-set entry needed
+    return Status::OK();
+  }
+  buffer_deletes_.insert(id);
+  return Status::OK();
+}
+
+void FracturedUpi::PersistDeleteSet(const std::string& name,
+                                    const std::vector<TupleId>& ids) {
+  if (ids.empty()) return;
+  storage::PageFile* file = env_->CreateFile(name, options_.page_size);
+  const size_t per_page = options_.page_size / 8;
+  std::string page;
+  for (size_t i = 0; i < ids.size(); i += per_page) {
+    page.clear();
+    for (size_t j = i; j < std::min(ids.size(), i + per_page); ++j) {
+      PutFixed64BE(&page, ids[j]);
+    }
+    storage::PageId pid = file->Allocate();
+    file->Write(pid, page);  // sequential batch write
+  }
+}
+
+void FracturedUpi::EnableAdaptiveTuning(std::vector<WorkloadQuery> workload,
+                                        double storage_budget_bytes) {
+  tuning_workload_ = std::move(workload);
+  tuning_budget_bytes_ = storage_budget_bytes;
+}
+
+void FracturedUpi::RetuneFromBuffer() {
+  if (tuning_workload_.empty() || buffer_.empty()) return;
+  // Build statistics of the data about to be flushed and re-run the
+  // Section 6.3 procedure: the new fracture gets its own cutoff threshold.
+  histogram::ProbHistogram hist(20);
+  double total_bytes = 0.0;
+  std::string buf;
+  for (const auto& [id, t] : buffer_) {
+    buf.clear();
+    t.Serialize(&buf);
+    total_bytes += static_cast<double>(buf.size());
+    const Value& cv = t.Get(options_.cluster_column);
+    if (cv.type() != ValueType::kDiscrete) continue;
+    bool first = true;
+    for (const auto& a : cv.discrete().alternatives()) {
+      hist.Add(a.value, t.existence() * a.prob, first);
+      first = false;
+    }
+  }
+  double avg_entry = total_bytes / static_cast<double>(buffer_.size()) + 24.0;
+  histogram::SelectivityEstimator estimator(&hist);
+  Advisor advisor(env_->params(), &estimator, avg_entry, options_.page_size);
+  CutoffRecommendation rec = advisor.RecommendCutoff(
+      {0.0, 0.05, 0.1, 0.15, 0.2, 0.3, 0.4, 0.5}, tuning_workload_,
+      tuning_budget_bytes_);
+  if (rec.feasible) options_.cutoff = rec.cutoff;
+}
+
+Status FracturedUpi::FlushBuffer() {
+  if (buffer_.empty() && buffer_deletes_.empty()) return Status::OK();
+  RetuneFromBuffer();
+  std::string frac_name = name_ + ".frac" + std::to_string(fracture_seq_++);
+  if (!buffer_.empty()) {
+    std::vector<Tuple> tuples;
+    tuples.reserve(buffer_.size());
+    for (auto& [id, t] : buffer_) tuples.push_back(t);
+    // Each fracture is an independent UPI built with the *current* tuning
+    // parameters (Section 4.2: per-fracture parameters).
+    UPI_ASSIGN_OR_RETURN(std::unique_ptr<Upi> frac,
+                         Upi::Build(env_, frac_name, schema_, options_,
+                                    secondary_columns_, tuples));
+    fractures_.push_back(std::move(frac));
+    main_and_fracture_tuples_ += buffer_.size();
+  }
+  if (!buffer_deletes_.empty()) {
+    std::vector<TupleId> ids(buffer_deletes_.begin(), buffer_deletes_.end());
+    PersistDeleteSet(frac_name + ".delset", ids);
+    deleted_.insert(buffer_deletes_.begin(), buffer_deletes_.end());
+  }
+  buffer_.clear();
+  buffer_deletes_.clear();
+  env_->pool()->FlushAll();
+  return Status::OK();
+}
+
+uint64_t FracturedUpi::num_live_tuples() const {
+  return main_and_fracture_tuples_ + buffer_.size() - deleted_.size() -
+         buffer_deletes_.size();
+}
+
+double FracturedUpi::EstimateSelectivity(std::string_view value,
+                                         double qt) const {
+  double hits = 0.0, total = 0.0;
+  auto add = [&](const Upi& u) {
+    const auto& h = u.prob_histogram();
+    hits += h.EstimateHeapHits(value, qt, u.options().cutoff);
+    total += h.EstimateTotalHeapEntries(u.options().cutoff);
+  };
+  if (main_ != nullptr) add(*main_);
+  for (const auto& f : fractures_) add(*f);
+  if (total <= 0) return 0.0;
+  double s = hits / total;
+  return s > 1.0 ? 1.0 : s;
+}
+
+uint64_t FracturedUpi::size_bytes() const {
+  uint64_t total = main_ != nullptr ? main_->size_bytes() : 0;
+  for (const auto& f : fractures_) total += f->size_bytes();
+  return total;
+}
+
+// ---------------------------------------------------------------------------
+// Queries
+// ---------------------------------------------------------------------------
+
+Status FracturedUpi::QueryBuffer(std::string_view value, double qt,
+                                 std::vector<PtqMatch>* out) const {
+  for (const auto& [id, t] : buffer_) {
+    const Value& cv = t.Get(options_.cluster_column);
+    if (cv.type() != ValueType::kDiscrete) continue;
+    double p = cv.discrete().ProbabilityOf(value) * t.existence();
+    if (p >= qt && p > 0.0) {
+      out->push_back(PtqMatch{id, p, t});
+    }
+  }
+  return Status::OK();
+}
+
+Status FracturedUpi::QueryBufferSecondary(int column, std::string_view value,
+                                          double qt,
+                                          std::vector<PtqMatch>* out) const {
+  for (const auto& [id, t] : buffer_) {
+    const Value& sv = t.Get(column);
+    if (sv.type() != ValueType::kDiscrete) continue;
+    double p = sv.discrete().ProbabilityOf(value) * t.existence();
+    if (p >= qt && p > 0.0) {
+      out->push_back(PtqMatch{id, p, t});
+    }
+  }
+  return Status::OK();
+}
+
+Status FracturedUpi::QueryPtq(std::string_view value, double qt,
+                              std::vector<PtqMatch>* out) const {
+  std::vector<PtqMatch> all;
+  UPI_RETURN_NOT_OK(QueryBuffer(value, qt, &all));
+  auto query_one = [&](const Upi& upi) -> Status {
+    // Each fracture is its own set of DB files: pay Costinit per fracture
+    // (the Nfrac * Costinit term of the Section 6.2 model), plus one more for
+    // the fracture's cutoff index when it must be consulted.
+    upi.heap_file_->ChargeOpen();
+    if (qt < upi.options().cutoff) upi.cutoff_->ChargeOpen();
+    std::vector<PtqMatch> part;
+    UPI_RETURN_NOT_OK(upi.QueryPtq(value, qt, &part));
+    for (auto& m : part) {
+      if (!IsDeleted(m.id) && !buffer_deletes_.contains(m.id)) {
+        all.push_back(std::move(m));
+      }
+    }
+    return Status::OK();
+  };
+  if (main_ != nullptr) UPI_RETURN_NOT_OK(query_one(*main_));
+  for (const auto& f : fractures_) UPI_RETURN_NOT_OK(query_one(*f));
+  std::sort(all.begin(), all.end(), [](const PtqMatch& a, const PtqMatch& b) {
+    if (a.confidence != b.confidence) return a.confidence > b.confidence;
+    return a.id < b.id;
+  });
+  out->insert(out->end(), std::make_move_iterator(all.begin()),
+              std::make_move_iterator(all.end()));
+  return Status::OK();
+}
+
+Status FracturedUpi::QueryBySecondary(int column, std::string_view value,
+                                      double qt, SecondaryAccessMode mode,
+                                      std::vector<PtqMatch>* out) const {
+  std::vector<PtqMatch> all;
+  UPI_RETURN_NOT_OK(QueryBufferSecondary(column, value, qt, &all));
+  auto query_one = [&](const Upi& upi) -> Status {
+    upi.heap_file_->ChargeOpen();  // per-fracture Costinit, as in QueryPtq
+    std::vector<PtqMatch> part;
+    UPI_RETURN_NOT_OK(upi.QueryBySecondary(column, value, qt, mode, &part));
+    for (auto& m : part) {
+      if (!IsDeleted(m.id) && !buffer_deletes_.contains(m.id)) {
+        all.push_back(std::move(m));
+      }
+    }
+    return Status::OK();
+  };
+  if (main_ != nullptr) UPI_RETURN_NOT_OK(query_one(*main_));
+  for (const auto& f : fractures_) UPI_RETURN_NOT_OK(query_one(*f));
+  std::sort(all.begin(), all.end(), [](const PtqMatch& a, const PtqMatch& b) {
+    if (a.confidence != b.confidence) return a.confidence > b.confidence;
+    return a.id < b.id;
+  });
+  out->insert(out->end(), std::make_move_iterator(all.begin()),
+              std::make_move_iterator(all.end()));
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Merge (Section 4.3)
+// ---------------------------------------------------------------------------
+
+Result<std::unique_ptr<Upi>> FracturedUpi::MergeUpis(
+    const std::vector<const Upi*>& sources, const std::string& merged_name,
+    std::set<catalog::TupleId>* filtered_ids) {
+  // The merged UPI is repartitioned under a single cutoff threshold. Sources
+  // may have been built with different per-fracture thresholds (Section 4.2),
+  // so the merged C is the maximum of the current setting and every source's:
+  // then repartitioning only ever *demotes* heap entries into the cutoff
+  // index (the tuple bytes are in the stream), never promotes cutoff entries
+  // into the heap (which would need extra random reads). Lowering C requires
+  // a rebuild from base data, not a merge.
+  UpiOptions merged_options = options_;
+  for (const Upi* s : sources) {
+    merged_options.cutoff = std::max(merged_options.cutoff, s->options().cutoff);
+  }
+  const double c_merged = merged_options.cutoff;
+
+  // The empty structures this constructor makes are replaced below by the
+  // bulk-merged ones.
+  auto merged = std::make_unique<Upi>(env_, merged_name, schema_, merged_options);
+
+  auto not_deleted = [&](std::string_view key, bool* keep) -> Status {
+    *keep = false;
+    UpiKey k;
+    UPI_RETURN_NOT_OK(DecodeUpiKey(key, &k));
+    *keep = !deleted_.contains(k.id);
+    if (!*keep) filtered_ids->insert(k.id);
+    return Status::OK();
+  };
+
+  // Heap: k-way merge of all source heaps into a fresh bulk-loaded tree.
+  // Entries whose combined probability falls below the merged cutoff (and
+  // that are not their tuple's first alternative) are demoted to the cutoff
+  // index. Heap keys alone cannot tell whether an entry is its tuple's
+  // *first* alternative, but the streamed tuple bytes can.
+  histogram::ProbHistogram merged_hist;
+  struct HistEntry {
+    std::string attr;
+    double prob;
+    catalog::TupleId id;
+  };
+  struct Demoted {
+    std::string attr;
+    double prob;
+    catalog::TupleId id;
+    std::string first_key;  // heap key of the tuple's first alternative
+  };
+  std::vector<HistEntry> heap_hist;
+  std::vector<Demoted> demotions;  // produced in ascending key order
+  {
+    std::vector<const btree::BTree*> trees;
+    for (const Upi* s : sources) trees.push_back(s->heap_tree());
+    storage::PageFile* file =
+        env_->CreateFile(merged_name + ".heap.built", options_.page_size);
+    btree::BTreeBuilder builder(env_->MakePager(file));
+    UPI_RETURN_NOT_OK(MergeTrees(
+        trees, [&](std::string_view key, std::string_view value) -> Status {
+          bool keep = false;
+          UPI_RETURN_NOT_OK(not_deleted(key, &keep));
+          if (!keep) return Status::OK();
+          UpiKey k;
+          UPI_RETURN_NOT_OK(DecodeUpiKey(key, &k));
+          if (k.prob < c_merged) {
+            // Possibly demote: only a tuple's first alternative stays in the
+            // heap below the cutoff (Algorithm 1).
+            UPI_ASSIGN_OR_RETURN(Tuple t, Tuple::Deserialize(value));
+            const auto& dist =
+                t.Get(options_.cluster_column).discrete();
+            const prob::Alternative& first = dist.First();
+            if (first.value != k.attr) {
+              demotions.push_back(Demoted{
+                  std::move(k.attr), k.prob, k.id,
+                  EncodeUpiKey(first.value, t.existence() * first.prob, k.id)});
+              return Status::OK();
+            }
+          }
+          heap_hist.push_back(HistEntry{std::move(k.attr), k.prob, k.id});
+          return builder.Add(key, value);
+        }));
+    UPI_ASSIGN_OR_RETURN(btree::BTree tree, builder.Finish());
+    merged->heap_file_ = file;
+    merged->heap_ = std::make_unique<btree::BTree>(std::move(tree));
+  }
+  uint64_t distinct_tuples = 0;
+  {
+    std::unordered_map<catalog::TupleId, size_t> best;
+    for (size_t i = 0; i < heap_hist.size(); ++i) {
+      auto [it, inserted] = best.try_emplace(heap_hist[i].id, i);
+      if (!inserted) {
+        const HistEntry& cur = heap_hist[i];
+        const HistEntry& b = heap_hist[it->second];
+        if (cur.prob > b.prob ||
+            (cur.prob == b.prob && cur.attr < b.attr)) {
+          it->second = i;
+        }
+      }
+    }
+    distinct_tuples = best.size();
+    for (size_t i = 0; i < heap_hist.size(); ++i) {
+      bool is_first = best[heap_hist[i].id] == i;
+      merged_hist.Add(heap_hist[i].attr, heap_hist[i].prob, is_first);
+    }
+  }
+
+  // Which (id, attr) alternatives were demoted — secondary pointer lists
+  // referencing them must drop them (they are no longer heap-resident).
+  std::unordered_map<catalog::TupleId, std::vector<std::string>> demoted_attrs;
+  for (const Demoted& d : demotions) demoted_attrs[d.id].push_back(d.attr);
+
+  // Cutoff index: (k+1)-way merge of the source cutoff trees plus the
+  // demotion stream (already in ascending key order). First-alternative
+  // pointers are merge-invariant.
+  {
+    std::vector<const btree::BTree*> trees;
+    for (const Upi* s : sources) trees.push_back(s->cutoff_index()->tree());
+    CutoffIndex::Builder builder(env_, merged_name + ".cutoff.built",
+                                 options_.page_size);
+    size_t next_demotion = 0;
+    auto flush_demotions_below = [&](std::string_view key) -> Status {
+      while (next_demotion < demotions.size()) {
+        const Demoted& d = demotions[next_demotion];
+        std::string dkey = EncodeUpiKey(d.attr, d.prob, d.id);
+        if (!key.empty() && dkey >= key) break;
+        merged_hist.Add(d.attr, d.prob, /*is_first=*/false);
+        UPI_RETURN_NOT_OK(builder.Add(d.attr, d.prob, d.id, d.first_key));
+        ++next_demotion;
+      }
+      return Status::OK();
+    };
+    UPI_RETURN_NOT_OK(MergeTrees(
+        trees, [&](std::string_view key, std::string_view value) -> Status {
+          bool keep = false;
+          UPI_RETURN_NOT_OK(not_deleted(key, &keep));
+          if (!keep) return Status::OK();
+          UPI_RETURN_NOT_OK(flush_demotions_below(key));
+          UpiKey k;
+          UPI_RETURN_NOT_OK(DecodeUpiKey(key, &k));
+          merged_hist.Add(k.attr, k.prob, /*is_first=*/false);
+          return builder.Add(k.attr, k.prob, k.id, std::string(value));
+        }));
+    UPI_RETURN_NOT_OK(flush_demotions_below(std::string_view()));
+    UPI_ASSIGN_OR_RETURN(merged->cutoff_, builder.Finish());
+  }
+
+  // Secondary indexes: pointer lists name clustered-attribute alternatives,
+  // which merging does not move — except demoted ones, which are filtered.
+  for (int col : secondary_columns_) {
+    std::vector<const btree::BTree*> trees;
+    for (const Upi* s : sources) trees.push_back(s->secondary(col)->tree());
+    SecondaryIndex::Builder builder(
+        env_, merged_name + ".sec." + schema_.column(col).name + ".built",
+        options_.page_size, options_.max_secondary_pointers);
+    UPI_RETURN_NOT_OK(MergeTrees(
+        trees, [&](std::string_view key, std::string_view value) -> Status {
+          bool keep = false;
+          UPI_RETURN_NOT_OK(not_deleted(key, &keep));
+          if (!keep) return Status::OK();
+          UpiKey k;
+          UPI_RETURN_NOT_OK(DecodeUpiKey(key, &k));
+          std::vector<SecondaryPointer> pointers;
+          bool has_cutoff;
+          UPI_RETURN_NOT_OK(
+              SecondaryIndex::DecodePointers(value, &pointers, &has_cutoff));
+          auto dit = demoted_attrs.find(k.id);
+          if (dit != demoted_attrs.end()) {
+            auto& gone = dit->second;
+            auto is_demoted = [&](const SecondaryPointer& p) {
+              return std::find(gone.begin(), gone.end(), p.attr) != gone.end();
+            };
+            size_t before = pointers.size();
+            pointers.erase(
+                std::remove_if(pointers.begin(), pointers.end(), is_demoted),
+                pointers.end());
+            if (pointers.size() != before) has_cutoff = true;
+          }
+          return builder.Add(k.attr, k.prob, k.id, pointers, has_cutoff);
+        }));
+    UPI_ASSIGN_OR_RETURN(merged->secondaries_[col], builder.Finish());
+  }
+
+  merged->histogram_ = std::move(merged_hist);
+  merged->num_tuples_ = distinct_tuples;
+  return merged;
+}
+
+Status FracturedUpi::MergeAll() {
+  UPI_RETURN_NOT_OK(FlushBuffer());
+  if (main_ == nullptr && fractures_.empty()) return Status::OK();
+
+  std::vector<const Upi*> sources;
+  if (main_ != nullptr) sources.push_back(main_.get());
+  for (const auto& f : fractures_) sources.push_back(f.get());
+
+  std::string merged_name = name_ + ".merged" + std::to_string(fracture_seq_++);
+  std::set<catalog::TupleId> filtered;
+  UPI_ASSIGN_OR_RETURN(std::unique_ptr<Upi> merged,
+                       MergeUpis(sources, merged_name, &filtered));
+
+  main_ = std::move(merged);
+  fractures_.clear();
+  main_and_fracture_tuples_ = main_->num_tuples();
+  deleted_.clear();
+  env_->pool()->FlushAll();
+  return Status::OK();
+}
+
+Status FracturedUpi::MergeOldestFractures(size_t count) {
+  UPI_RETURN_NOT_OK(FlushBuffer());
+  if (count > fractures_.size()) count = fractures_.size();
+  if (count < 2) return Status::OK();
+
+  std::vector<const Upi*> sources;
+  for (size_t i = 0; i < count; ++i) sources.push_back(fractures_[i].get());
+
+  std::string merged_name = name_ + ".partial" + std::to_string(fracture_seq_++);
+  std::set<catalog::TupleId> filtered;
+  UPI_ASSIGN_OR_RETURN(std::unique_ptr<Upi> merged,
+                       MergeUpis(sources, merged_name, &filtered));
+
+  // TupleIds are unique across the table, so a deleted id filtered out here
+  // cannot exist elsewhere: retire it from the delete set and the counters.
+  for (catalog::TupleId id : filtered) deleted_.erase(id);
+  uint64_t merged_sources_tuples = 0;
+  for (size_t i = 0; i < count; ++i) {
+    merged_sources_tuples += fractures_[i]->num_tuples();
+  }
+  main_and_fracture_tuples_ -= merged_sources_tuples;
+  main_and_fracture_tuples_ += merged->num_tuples();
+
+  fractures_.erase(fractures_.begin(), fractures_.begin() + count);
+  fractures_.insert(fractures_.begin(), std::move(merged));
+  env_->pool()->FlushAll();
+  return Status::OK();
+}
+
+}  // namespace upi::core

@@ -1,0 +1,142 @@
+// Fractured UPIs (Section 4).
+//
+// Updates accumulate in a RAM insert buffer plus a delete set; FlushBuffer()
+// writes them out sequentially as a new *fracture* — an independent UPI
+// (heap + cutoff index + secondary indexes) holding only the data inserted
+// since the previous flush, together with a delete-set file listing TupleIDs
+// deleted in the interval. All on-disk files are written once, sequentially,
+// and never updated in place — the LSM-tree idea applied per-UPI, which is
+// what keeps maintenance cost near an append-only heap (Table 7) and
+// eliminates fragmentation (Figure 9).
+//
+// Queries fan out to the buffer, the main fracture and every delta fracture,
+// union the results, and subtract delete sets (Section 4.2). Each fracture
+// costs an extra Costinit + H seeks, the linear-in-Nfrac overhead the
+// Section 6.2 cost model captures and MergeAll() (Section 4.3) repays.
+//
+// Per-fracture tuning: each flush snapshots the current UpiOptions, so the
+// cutoff threshold or pointer limit can differ between fractures (the paper's
+// adaptive-design hook; see core/advisor.h).
+#pragma once
+
+#include <memory>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/advisor.h"
+#include "core/upi.h"
+
+namespace upi::core {
+
+class FracturedUpi {
+ public:
+  /// `secondary_columns` apply to every fracture. TupleIds must be unique
+  /// across the table's lifetime (never reused after deletion).
+  FracturedUpi(storage::DbEnv* env, std::string name, catalog::Schema schema,
+               UpiOptions options, std::vector<int> secondary_columns);
+
+  /// Bulk-builds the main fracture from `tuples`.
+  Status BuildMain(const std::vector<catalog::Tuple>& tuples);
+
+  /// Buffers the tuple in RAM (no I/O).
+  Status Insert(const catalog::Tuple& tuple);
+
+  /// Buffers a deletion (no I/O). Removes the tuple directly if it is still
+  /// in the insert buffer.
+  Status Delete(catalog::TupleId id);
+
+  /// Writes buffered inserts/deletes out as a new fracture (sequential I/O).
+  /// No-op if both buffers are empty. Uses the *current* options(), which the
+  /// advisor may have retuned since the last flush.
+  Status FlushBuffer();
+
+  /// Merges main + all fractures into a fresh main UPI (Section 4.3): a
+  /// parallel sort-merge costing about one sequential read plus one
+  /// sequential write of the whole database (Table 8).
+  Status MergeAll();
+
+  /// Section 4.3's cheaper alternative: "One option is to only merge a few
+  /// fractures at a time." Merges the `count` *oldest delta fractures* into
+  /// one (the main fracture is untouched, so the cost is proportional to the
+  /// merged deltas, not the whole database). No-op if fewer than two deltas.
+  Status MergeOldestFractures(size_t count);
+
+  /// Section 4.2's adaptive design: when set, every FlushBuffer() re-runs the
+  /// cutoff advisor over the given workload profile using the *buffered*
+  /// data's statistics, so each fracture is built with its own tuning
+  /// parameters. Pass an empty workload to disable.
+  void EnableAdaptiveTuning(std::vector<WorkloadQuery> workload,
+                            double storage_budget_bytes);
+
+  /// Algorithm 2 across buffer + every fracture, delete-sets applied.
+  /// Results sorted by descending confidence.
+  Status QueryPtq(std::string_view value, double qt,
+                  std::vector<PtqMatch>* out) const;
+
+  /// Secondary-index query across buffer + every fracture.
+  Status QueryBySecondary(int column, std::string_view value, double qt,
+                          SecondaryAccessMode mode,
+                          std::vector<PtqMatch>* out) const;
+
+  // --- Tuning / introspection ---------------------------------------------
+
+  UpiOptions* mutable_options() { return &options_; }
+  const UpiOptions& options() const { return options_; }
+  /// Number of on-disk fractures including the main one (the cost model's
+  /// Nfrac).
+  size_t num_fractures() const {
+    return (main_ != nullptr ? 1 : 0) + fractures_.size();
+  }
+  size_t buffered_inserts() const { return buffer_.size(); }
+  size_t buffered_deletes() const { return buffer_deletes_.size(); }
+  uint64_t num_live_tuples() const;
+  uint64_t size_bytes() const;
+  /// Aggregated histogram estimate across main + fractures: the fraction of
+  /// all heap entries a PTQ(value, qt) scans — the Section 6.2 Selectivity.
+  double EstimateSelectivity(std::string_view value, double qt) const;
+  Upi* main() const { return main_.get(); }
+  const std::vector<std::unique_ptr<Upi>>& fractures() const { return fractures_; }
+  const catalog::Schema& schema() const { return schema_; }
+
+ private:
+  bool IsDeleted(catalog::TupleId id) const { return deleted_.contains(id); }
+  void RetuneFromBuffer();
+  /// Sort-merges `sources` into a fresh Upi. Entries of deleted tuples are
+  /// dropped; their ids are added to `filtered_ids`.
+  Result<std::unique_ptr<Upi>> MergeUpis(const std::vector<const Upi*>& sources,
+                                         const std::string& merged_name,
+                                         std::set<catalog::TupleId>* filtered_ids);
+  Status QueryBuffer(std::string_view value, double qt,
+                     std::vector<PtqMatch>* out) const;
+  Status QueryBufferSecondary(int column, std::string_view value, double qt,
+                              std::vector<PtqMatch>* out) const;
+  /// Writes `ids` sequentially to a fresh delete-set file (cost accounting).
+  void PersistDeleteSet(const std::string& name,
+                        const std::vector<catalog::TupleId>& ids);
+
+  storage::DbEnv* env_;
+  std::string name_;
+  catalog::Schema schema_;
+  UpiOptions options_;
+  std::vector<int> secondary_columns_;
+
+  std::unique_ptr<Upi> main_;
+  std::vector<std::unique_ptr<Upi>> fractures_;
+  int fracture_seq_ = 0;
+
+  // Adaptive per-fracture tuning (empty workload = disabled).
+  std::vector<WorkloadQuery> tuning_workload_;
+  double tuning_budget_bytes_ = 0.0;
+
+  // RAM state.
+  std::unordered_map<catalog::TupleId, catalog::Tuple> buffer_;
+  std::set<catalog::TupleId> buffer_deletes_;  // deletions not yet flushed
+  // Union of all flushed delete sets (each fracture also persists its own).
+  std::set<catalog::TupleId> deleted_;
+  uint64_t deleted_count_applied_ = 0;
+  uint64_t main_and_fracture_tuples_ = 0;
+};
+
+}  // namespace upi::core

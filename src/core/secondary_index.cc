@@ -1,0 +1,130 @@
+#include "core/secondary_index.h"
+
+namespace upi::core {
+
+SecondaryIndex::SecondaryIndex(storage::DbEnv* env, const std::string& name,
+                               uint32_t page_size, int max_pointers)
+    : file_(env->CreateFile(name, page_size)),
+      tree_(std::make_unique<btree::BTree>(env->MakePager(file_))),
+      max_pointers_(max_pointers) {}
+
+SecondaryIndex::SecondaryIndex(storage::PageFile* file, btree::BTree tree,
+                               int max_pointers)
+    : file_(file),
+      tree_(std::make_unique<btree::BTree>(std::move(tree))),
+      max_pointers_(max_pointers) {}
+
+void SecondaryIndex::EncodePointers(const std::vector<SecondaryPointer>& pointers,
+                                    bool has_cutoff, std::string* out) {
+  out->push_back(has_cutoff ? '\x01' : '\x00');
+  PutVarint32(out, static_cast<uint32_t>(pointers.size()));
+  for (const auto& p : pointers) {
+    PutVarint32(out, static_cast<uint32_t>(p.attr.size()));
+    out->append(p.attr);
+    AppendProbDesc(out, p.prob);
+  }
+}
+
+Status SecondaryIndex::DecodePointers(std::string_view buf,
+                                      std::vector<SecondaryPointer>* pointers,
+                                      bool* has_cutoff) {
+  if (buf.empty()) return Status::Corruption("empty secondary entry");
+  const char* p = buf.data();
+  const char* limit = buf.data() + buf.size();
+  *has_cutoff = *p++ != '\x00';
+  uint32_t n;
+  size_t consumed = GetVarint32(p, limit, &n);
+  if (consumed == 0) return Status::Corruption("bad secondary pointer count");
+  p += consumed;
+  pointers->clear();
+  pointers->reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    uint32_t len;
+    consumed = GetVarint32(p, limit, &len);
+    if (consumed == 0 || p + consumed + len + 4 > limit) {
+      return Status::Corruption("bad secondary pointer");
+    }
+    p += consumed;
+    SecondaryPointer ptr;
+    ptr.attr.assign(p, len);
+    p += len;
+    ptr.prob = DecodeProbDesc(p);
+    p += 4;
+    pointers->push_back(std::move(ptr));
+  }
+  return Status::OK();
+}
+
+std::string SecondaryIndex::ApplyLimitAndEncode(
+    const std::vector<SecondaryPointer>& pointers, bool has_cutoff,
+    int max_pointers) {
+  std::string buf;
+  if (max_pointers >= 0 &&
+      pointers.size() > static_cast<size_t>(max_pointers)) {
+    std::vector<SecondaryPointer> limited(pointers.begin(),
+                                          pointers.begin() + max_pointers);
+    // Truncated alternatives are reachable only via the heap's first entry,
+    // so flag the entry like a cutoff so readers know the list is partial.
+    EncodePointers(limited, true, &buf);
+  } else {
+    EncodePointers(pointers, has_cutoff, &buf);
+  }
+  return buf;
+}
+
+Status SecondaryIndex::Put(std::string_view sec_value, double confidence,
+                           catalog::TupleId id,
+                           const std::vector<SecondaryPointer>& pointers,
+                           bool has_cutoff) {
+  if (pointers.empty()) {
+    return Status::InvalidArgument(
+        "secondary entry needs at least one pointer (the first alternative "
+        "is always heap-resident)");
+  }
+  std::string buf = ApplyLimitAndEncode(pointers, has_cutoff, max_pointers_);
+  return tree_->Put(EncodeUpiKey(sec_value, confidence, id), buf).status();
+}
+
+Status SecondaryIndex::Remove(std::string_view sec_value, double confidence,
+                              catalog::TupleId id) {
+  return tree_->Delete(EncodeUpiKey(sec_value, confidence, id));
+}
+
+Status SecondaryIndex::Collect(std::string_view sec_value, double qt,
+                               std::vector<SecondaryEntry>* out) const {
+  std::string prefix = UpiKeyPrefix(sec_value);
+  for (btree::Cursor c = tree_->Seek(prefix); c.Valid(); c.Next()) {
+    if (c.key().substr(0, prefix.size()) != prefix) break;
+    SecondaryEntry e;
+    UPI_RETURN_NOT_OK(DecodeUpiKey(c.key(), &e.key));
+    if (e.key.prob < qt) break;
+    UPI_RETURN_NOT_OK(DecodePointers(c.value(), &e.pointers, &e.has_cutoff));
+    out->push_back(std::move(e));
+  }
+  return Status::OK();
+}
+
+SecondaryIndex::Builder::Builder(storage::DbEnv* env, const std::string& name,
+                                 uint32_t page_size, int max_pointers)
+    : file_(env->CreateFile(name, page_size)),
+      builder_(env->MakePager(file_)),
+      max_pointers_(max_pointers) {}
+
+Status SecondaryIndex::Builder::Add(std::string_view sec_value, double confidence,
+                                    catalog::TupleId id,
+                                    const std::vector<SecondaryPointer>& pointers,
+                                    bool has_cutoff) {
+  if (pointers.empty()) {
+    return Status::InvalidArgument("secondary entry needs at least one pointer");
+  }
+  std::string buf = ApplyLimitAndEncode(pointers, has_cutoff, max_pointers_);
+  return builder_.Add(EncodeUpiKey(sec_value, confidence, id), buf);
+}
+
+Result<std::unique_ptr<SecondaryIndex>> SecondaryIndex::Builder::Finish() {
+  UPI_ASSIGN_OR_RETURN(btree::BTree tree, builder_.Finish());
+  return std::unique_ptr<SecondaryIndex>(
+      new SecondaryIndex(file_, std::move(tree), max_pointers_));
+}
+
+}  // namespace upi::core

@@ -1,0 +1,105 @@
+// Secondary indexes over UPIs (Section 3.2).
+//
+// Because the UPI heap holds one copy of a tuple per (non-cutoff) alternative
+// of the clustered attribute, a secondary-index entry stores *multiple*
+// pointers — the clustered-attribute alternatives under which the tuple can
+// be found — instead of the single RowID of a conventional secondary index
+// (paper Table 5). Algorithm 3 ("Tailored Secondary Index Access") then picks
+// pointers so that many result tuples are fetched from the same heap region.
+//
+// Entries are keyed (secondary value ASC, confidence DESC, TupleID), like the
+// heap. A pointer-count limit trades storage for tailoring opportunity; a
+// <cutoff> flag records that further alternatives exist only in the cutoff
+// index (Table 5's "<cutoff>" marker).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "btree/btree.h"
+#include "btree/bulk_load.h"
+#include "catalog/tuple.h"
+#include "core/upi_key.h"
+#include "storage/db_env.h"
+
+namespace upi::core {
+
+/// One pointer into the UPI heap: a clustered-attribute alternative of the
+/// tuple (the TupleID comes from the entry key).
+struct SecondaryPointer {
+  std::string attr;
+  double prob = 0.0;  // combined probability, as stored in the heap key
+
+  bool operator==(const SecondaryPointer& o) const {
+    return attr == o.attr && prob == o.prob;
+  }
+};
+
+struct SecondaryEntry {
+  UpiKey key;  // (secondary value, confidence, TupleID)
+  std::vector<SecondaryPointer> pointers;
+  bool has_cutoff = false;
+};
+
+class SecondaryIndex {
+ public:
+  SecondaryIndex(storage::DbEnv* env, const std::string& name,
+                 uint32_t page_size, int max_pointers);
+
+  /// Inserts/replaces the entry for (sec_value, confidence, id). `pointers`
+  /// must be the tuple's heap-resident alternatives in descending
+  /// probability; the limit is applied here.
+  Status Put(std::string_view sec_value, double confidence, catalog::TupleId id,
+             const std::vector<SecondaryPointer>& pointers, bool has_cutoff);
+
+  Status Remove(std::string_view sec_value, double confidence,
+                catalog::TupleId id);
+
+  /// Collects entries for `sec_value` with confidence >= qt (descending).
+  Status Collect(std::string_view sec_value, double qt,
+                 std::vector<SecondaryEntry>* out) const;
+
+  void ChargeOpen() { file_->ChargeOpen(); }
+
+  int max_pointers() const { return max_pointers_; }
+  uint64_t num_entries() const { return tree_->num_entries(); }
+  uint64_t size_bytes() const { return tree_->size_bytes(); }
+  btree::BTree* tree() { return tree_.get(); }
+
+  /// Pointer-list codec (exposed for tests).
+  static void EncodePointers(const std::vector<SecondaryPointer>& pointers,
+                             bool has_cutoff, std::string* out);
+  static Status DecodePointers(std::string_view buf,
+                               std::vector<SecondaryPointer>* pointers,
+                               bool* has_cutoff);
+
+  /// Streaming bulk construction.
+  class Builder {
+   public:
+    Builder(storage::DbEnv* env, const std::string& name, uint32_t page_size,
+            int max_pointers);
+    Status Add(std::string_view sec_value, double confidence,
+               catalog::TupleId id, const std::vector<SecondaryPointer>& pointers,
+               bool has_cutoff);
+    Result<std::unique_ptr<SecondaryIndex>> Finish();
+
+   private:
+    storage::PageFile* file_;
+    btree::BTreeBuilder builder_;
+    int max_pointers_;
+  };
+
+ private:
+  SecondaryIndex(storage::PageFile* file, btree::BTree tree, int max_pointers);
+
+  static std::string ApplyLimitAndEncode(
+      const std::vector<SecondaryPointer>& pointers, bool has_cutoff,
+      int max_pointers);
+
+  storage::PageFile* file_;
+  std::unique_ptr<btree::BTree> tree_;
+  int max_pointers_;
+};
+
+}  // namespace upi::core

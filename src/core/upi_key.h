@@ -1,0 +1,55 @@
+// The UPI composite key (Section 2): the heap B+Tree is "indexed by
+// {Institution (ASC) and probability (DESC)}", with the TupleID appended to
+// make keys unique. Probabilities stored in keys are *combined* confidences
+// (existence * alternative probability), matching Table 2 where Alice's
+// Brown entry carries 80% * 90% = 72%.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "catalog/tuple.h"
+#include "common/coding.h"
+#include "common/status.h"
+
+namespace upi::core {
+
+struct UpiKey {
+  std::string attr;         // attribute value
+  double prob = 0.0;        // combined confidence, sorts descending
+  catalog::TupleId id = 0;  // tie-breaker / identity
+
+  bool operator==(const UpiKey& o) const {
+    return attr == o.attr && prob == o.prob && id == o.id;
+  }
+};
+
+inline std::string EncodeUpiKey(std::string_view attr, double prob,
+                                catalog::TupleId id) {
+  std::string key;
+  AppendOrderedString(&key, attr);
+  AppendProbDesc(&key, prob);
+  PutFixed64BE(&key, id);
+  return key;
+}
+
+/// Prefix covering every entry with the given attribute value; a cursor
+/// seeked here lands on the value's highest-probability entry.
+inline std::string UpiKeyPrefix(std::string_view attr) {
+  std::string key;
+  AppendOrderedString(&key, attr);
+  return key;
+}
+
+inline Status DecodeUpiKey(std::string_view key, UpiKey* out) {
+  const char* p = key.data();
+  const char* limit = key.data() + key.size();
+  out->attr.clear();
+  UPI_RETURN_NOT_OK(DecodeOrderedString(&p, limit, &out->attr));
+  if (p + 12 > limit) return Status::Corruption("truncated UPI key");
+  out->prob = DecodeProbDesc(p);
+  out->id = GetFixed64BE(p + 4);
+  return Status::OK();
+}
+
+}  // namespace upi::core

@@ -1,0 +1,119 @@
+#include "datagen/cartel.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace upi::datagen {
+
+using catalog::Schema;
+using catalog::Tuple;
+using catalog::TupleId;
+using catalog::Value;
+using catalog::ValueType;
+using prob::Alternative;
+using prob::ConstrainedGaussian2D;
+using prob::DiscreteDistribution;
+using prob::Point;
+
+CartelGenerator::CartelGenerator(CartelConfig config)
+    : config_(config), rng_(config.seed) {
+  road_spacing_ = config_.area_size / static_cast<double>(config_.grid_roads);
+  segments_per_road_ = static_cast<uint64_t>(
+      std::ceil(config_.area_size / config_.segment_length));
+}
+
+Schema CartelGenerator::CarObservationSchema() {
+  return Schema({{"Location", ValueType::kGaussian2D},
+                 {"Segment", ValueType::kDiscrete},
+                 {"Speed", ValueType::kDouble},
+                 {"Payload", ValueType::kString}});
+}
+
+std::string CartelGenerator::SegmentName(bool horizontal, uint64_t road,
+                                         uint64_t idx) const {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "seg_%c%03u_%03u", horizontal ? 'h' : 'v',
+                static_cast<unsigned>(road), static_cast<unsigned>(idx));
+  return buf;
+}
+
+CartelGenerator::RoadPos CartelGenerator::RandomRoadPosition(Rng* rng) {
+  RoadPos pos;
+  pos.horizontal = rng->Bernoulli(0.5);
+  pos.road = rng->Uniform(config_.grid_roads);
+  // Traffic is denser toward the center: sample along-position from a
+  // triangular-ish distribution.
+  double along = (rng->NextDouble() + rng->NextDouble()) / 2.0 * config_.area_size;
+  double across = (pos.road + 0.5) * road_spacing_;
+  pos.point = pos.horizontal ? Point{along, across} : Point{across, along};
+  pos.segment_idx = std::min<uint64_t>(
+      segments_per_road_ - 1,
+      static_cast<uint64_t>(along / config_.segment_length));
+  return pos;
+}
+
+prob::DiscreteDistribution CartelGenerator::DeriveSegmentDist(
+    const RoadPos& pos, double sigma, Point mean) {
+  // The true segment gets most of the mass; neighbors along the road get the
+  // rest, with more spill for noisier observations and for means near a
+  // segment border — segment uncertainty derived from location uncertainty.
+  double along_mean = pos.horizontal ? mean.x : mean.y;
+  double seg_start = pos.segment_idx * config_.segment_length;
+  double into = (along_mean - seg_start) / config_.segment_length;  // [0,1]-ish
+  into = std::clamp(into, 0.0, 1.0);
+  double noise = std::clamp(2.0 * sigma / config_.segment_length, 0.05, 0.6);
+
+  double p_prev = noise * (1.0 - into);
+  double p_next = noise * into;
+  double p_true = 1.0 - p_prev - p_next;
+
+  std::vector<Alternative> alts;
+  alts.push_back(
+      Alternative{SegmentName(pos.horizontal, pos.road, pos.segment_idx), p_true});
+  if (pos.segment_idx > 0 && p_prev > 0.005) {
+    alts.push_back(Alternative{
+        SegmentName(pos.horizontal, pos.road, pos.segment_idx - 1), p_prev});
+  }
+  if (pos.segment_idx + 1 < segments_per_road_ && p_next > 0.005) {
+    alts.push_back(Alternative{
+        SegmentName(pos.horizontal, pos.road, pos.segment_idx + 1), p_next});
+  }
+  return DiscreteDistribution::Make(std::move(alts)).ValueOrDie();
+}
+
+Tuple CartelGenerator::MakeObservation(TupleId id) {
+  RoadPos pos = RandomRoadPosition(&rng_);
+  double sigma = rng_.UniformDouble(config_.sigma_min, config_.sigma_max);
+  // The reported GPS fix (distribution mean) is the true position plus noise.
+  Point mean{pos.point.x + rng_.Gaussian(0, sigma / 2),
+             pos.point.y + rng_.Gaussian(0, sigma / 2)};
+  ConstrainedGaussian2D loc(mean, sigma, config_.bound_sigmas * sigma);
+  DiscreteDistribution seg = DeriveSegmentDist(pos, sigma, mean);
+  double speed = rng_.UniformDouble(0.0, 30.0);
+  std::string payload(config_.payload_bytes, 'x');
+  return Tuple(id, 1.0,
+               {Value::Gaussian(loc), Value::Discrete(std::move(seg)),
+                Value::Double(speed), Value::String(std::move(payload))});
+}
+
+std::vector<Tuple> CartelGenerator::GenerateObservations() {
+  std::vector<Tuple> tuples;
+  tuples.reserve(config_.num_observations);
+  for (uint64_t i = 1; i <= config_.num_observations; ++i) {
+    tuples.push_back(MakeObservation(i));
+  }
+  return tuples;
+}
+
+Point CartelGenerator::RandomQueryCenter(Rng* rng) const {
+  double lo = config_.area_size * 0.25;
+  double hi = config_.area_size * 0.75;
+  return Point{rng->UniformDouble(lo, hi), rng->UniformDouble(lo, hi)};
+}
+
+std::string CartelGenerator::MidSegment() const {
+  // A central segment of a central road: popular but not the single hottest.
+  return SegmentName(true, config_.grid_roads / 2, segments_per_road_ / 3);
+}
+
+}  // namespace upi::datagen

@@ -1,0 +1,90 @@
+// Synthetic Cartel-like uncertain GPS data (paper Section 7.1).
+//
+// The paper's second dataset is one year of GPS readings from the MIT Cartel
+// vehicular testbed around Boston, converted to car observations with (a) an
+// uncertain location modeled as a constrained Gaussian (truncated at a
+// boundary, as in the U-Tree paper [16]) and (b) an uncertain road-segment
+// attribute derived from the location. This generator reproduces that
+// structure on a synthetic grid road network: observations sit on road
+// segments, GPS noise gives each a Gaussian location, and the segment
+// attribute's alternatives are the true segment plus its neighbors with
+// probabilities that depend on the noise level — so segment and location are
+// genuinely correlated, the property behind the paper's Figure 8.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "catalog/schema.h"
+#include "catalog/tuple.h"
+#include "common/random.h"
+#include "prob/gaussian2d.h"
+
+namespace upi::datagen {
+
+struct CartelConfig {
+  uint64_t num_observations = 200000;
+  double area_size = 10000.0;      // square city, meters
+  uint64_t grid_roads = 20;        // horizontal + vertical roads each
+  double segment_length = 500.0;   // meters per road segment
+  double sigma_min = 25.0;         // GPS noise stddev range, meters
+  double sigma_max = 80.0;
+  double bound_sigmas = 3.0;       // truncation radius in sigmas
+  size_t payload_bytes = 150;
+  uint64_t seed = 42;
+
+  CartelConfig Scaled(double scale) const {
+    CartelConfig c = *this;
+    c.num_observations = static_cast<uint64_t>(num_observations * scale);
+    return c;
+  }
+};
+
+struct CarObsCols {
+  static constexpr int kLocation = 0;  // GAUSSIAN2D^p
+  static constexpr int kSegment = 1;   // DISCRETE^p
+  static constexpr int kSpeed = 2;     // DOUBLE
+  static constexpr int kPayload = 3;   // STRING
+};
+
+class CartelGenerator {
+ public:
+  explicit CartelGenerator(CartelConfig config);
+
+  static catalog::Schema CarObservationSchema();
+
+  /// Observation TupleIds are 1..num_observations.
+  std::vector<catalog::Tuple> GenerateObservations();
+
+  /// A single observation (for insert workloads).
+  catalog::Tuple MakeObservation(catalog::TupleId id);
+
+  /// Query centers land in the denser central half of the city.
+  prob::Point RandomQueryCenter(Rng* rng) const;
+
+  /// A mid-popularity segment for Query 5.
+  std::string MidSegment() const;
+
+  const CartelConfig& config() const { return config_; }
+
+ private:
+  struct RoadPos {
+    prob::Point point;
+    bool horizontal;
+    uint64_t road;
+    uint64_t segment_idx;
+  };
+
+  RoadPos RandomRoadPosition(Rng* rng);
+  std::string SegmentName(bool horizontal, uint64_t road, uint64_t idx) const;
+  prob::DiscreteDistribution DeriveSegmentDist(const RoadPos& pos, double sigma,
+                                               prob::Point mean);
+
+  CartelConfig config_;
+  Rng rng_;
+  double road_spacing_;
+  uint64_t segments_per_road_;
+};
+
+}  // namespace upi::datagen

@@ -1,0 +1,187 @@
+#include "datagen/dblp.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+
+namespace upi::datagen {
+
+using catalog::Schema;
+using catalog::Tuple;
+using catalog::TupleId;
+using catalog::Value;
+using catalog::ValueType;
+using prob::Alternative;
+using prob::DiscreteDistribution;
+
+DblpConfig DblpConfig::Scaled(double scale) const {
+  DblpConfig c = *this;
+  c.num_authors = static_cast<uint64_t>(num_authors * scale);
+  c.num_publications = static_cast<uint64_t>(num_publications * scale);
+  c.num_institutions =
+      std::max<uint64_t>(50, static_cast<uint64_t>(num_institutions * scale));
+  return c;
+}
+
+DblpGenerator::DblpGenerator(DblpConfig config)
+    : config_(config),
+      num_countries_(config.num_countries),
+      rng_(config.seed),
+      inst_popularity_(config.num_institutions, config.zipf_institutions),
+      journal_popularity_(config.num_journals, 0.8) {}
+
+Schema DblpGenerator::AuthorSchema() {
+  return Schema({{"Name", ValueType::kString},
+                 {"Institution", ValueType::kDiscrete},
+                 {"Country", ValueType::kDiscrete},
+                 {"Payload", ValueType::kString}});
+}
+
+Schema DblpGenerator::PublicationSchema() {
+  return Schema({{"Title", ValueType::kString},
+                 {"Institution", ValueType::kDiscrete},
+                 {"Country", ValueType::kDiscrete},
+                 {"Journal", ValueType::kString},
+                 {"Payload", ValueType::kString}});
+}
+
+std::string DblpGenerator::InstitutionName(uint64_t rank) const {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "inst%05llu",
+                static_cast<unsigned long long>(rank));
+  return buf;
+}
+
+std::string DblpGenerator::CountryName(uint64_t idx) const {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "country%03llu",
+                static_cast<unsigned long long>(idx));
+  return buf;
+}
+
+std::string DblpGenerator::CountryOfInstitution(uint64_t rank) const {
+  // Fixed institution -> country map; the modulo spreads popular
+  // institutions across countries so every country mixes popular and
+  // unpopular institutions (as reality does).
+  return CountryName(rank % num_countries_);
+}
+
+std::string DblpGenerator::JournalName(uint64_t idx) const {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "journal%04llu",
+                static_cast<unsigned long long>(idx));
+  return buf;
+}
+
+DiscreteDistribution DblpGenerator::MakeInstitutionDist(Rng* rng) {
+  // Number of distinct search-result institutions: skewed toward few.
+  double u = rng->NextDouble();
+  int k = 1 + static_cast<int>(u * u * config_.max_alternatives);
+  if (k > config_.max_alternatives) k = config_.max_alternatives;
+
+  // Distinct institutions: the author's "true" one plus popularity-sampled
+  // noise from the search results.
+  std::vector<uint64_t> insts;
+  std::set<uint64_t> seen;
+  while (static_cast<int>(insts.size()) < k) {
+    uint64_t r = inst_popularity_.Sample(rng);
+    if (seen.insert(r).second) insts.push_back(r);
+    if (seen.size() >= config_.num_institutions) break;
+  }
+
+  // Zipfian search-rank weights, normalized ("we used a zipfian distribution
+  // to weigh the search ranking").
+  double norm = 0.0;
+  std::vector<double> w(insts.size());
+  for (size_t r = 0; r < insts.size(); ++r) {
+    w[r] = 1.0 / std::pow(static_cast<double>(r + 1), config_.zipf_ranks);
+    norm += w[r];
+  }
+  std::vector<Alternative> alts;
+  alts.reserve(insts.size());
+  for (size_t r = 0; r < insts.size(); ++r) {
+    alts.push_back(Alternative{InstitutionName(insts[r]), w[r] / norm});
+  }
+  return DiscreteDistribution::Make(std::move(alts)).ValueOrDie();
+}
+
+DiscreteDistribution DblpGenerator::DeriveCountryDist(
+    const DiscreteDistribution& inst) {
+  // Sum alternative probabilities per country ("sum the probabilities if an
+  // institution appears at more than one rank" — same rule, coarser key).
+  std::map<std::string, double> by_country;
+  for (const auto& a : inst.alternatives()) {
+    uint64_t rank = std::strtoull(a.value.c_str() + 4, nullptr, 10);
+    by_country[CountryOfInstitution(rank)] += a.prob;
+  }
+  std::vector<Alternative> alts;
+  for (auto& [c, p] : by_country) alts.push_back(Alternative{c, std::min(p, 1.0)});
+  return DiscreteDistribution::Make(std::move(alts)).ValueOrDie();
+}
+
+Tuple DblpGenerator::MakeAuthor(TupleId id) {
+  DiscreteDistribution inst = MakeInstitutionDist(&rng_);
+  DiscreteDistribution country = DeriveCountryDist(inst);
+  double existence =
+      config_.min_existence + (1.0 - config_.min_existence) * rng_.NextDouble();
+  std::string name = "author" + std::to_string(id);
+  std::string payload(config_.payload_bytes, 'x');
+  return Tuple(id, existence,
+               {Value::String(std::move(name)), Value::Discrete(std::move(inst)),
+                Value::Discrete(std::move(country)),
+                Value::String(std::move(payload))});
+}
+
+std::vector<Tuple> DblpGenerator::GenerateAuthors() {
+  std::vector<Tuple> tuples;
+  tuples.reserve(config_.num_authors);
+  for (uint64_t i = 1; i <= config_.num_authors; ++i) {
+    tuples.push_back(MakeAuthor(i));
+  }
+  return tuples;
+}
+
+std::vector<Tuple> DblpGenerator::GeneratePublications(
+    const std::vector<Tuple>& authors) {
+  std::vector<Tuple> tuples;
+  tuples.reserve(config_.num_publications);
+  for (uint64_t i = 0; i < config_.num_publications; ++i) {
+    const Tuple& author = authors[rng_.Uniform(authors.size())];
+    TupleId id = kPublicationIdBase + i;
+    std::string title = "pub" + std::to_string(i);
+    std::string journal = JournalName(journal_popularity_.Sample(&rng_));
+    std::string payload(config_.payload_bytes, 'x');
+    // "assuming the last author represents the paper's affiliation":
+    // publications inherit the author's uncertain attributes and existence.
+    tuples.push_back(Tuple(
+        id, author.existence(),
+        {Value::String(std::move(title)),
+         Value::Discrete(author.Get(AuthorCols::kInstitution).discrete()),
+         Value::Discrete(author.Get(AuthorCols::kCountry).discrete()),
+         Value::String(std::move(journal)), Value::String(std::move(payload))}));
+  }
+  return tuples;
+}
+
+std::string FindValueWithApproxCount(const std::vector<Tuple>& tuples, int col,
+                                     uint64_t target) {
+  std::map<std::string, uint64_t> counts;
+  for (const Tuple& t : tuples) {
+    const Value& v = t.Get(col);
+    if (v.type() != ValueType::kDiscrete) continue;
+    for (const auto& a : v.discrete().alternatives()) ++counts[a.value];
+  }
+  std::string best;
+  uint64_t best_diff = UINT64_MAX;
+  for (const auto& [value, count] : counts) {
+    uint64_t diff = count > target ? count - target : target - count;
+    if (diff < best_diff) {
+      best_diff = diff;
+      best = value;
+    }
+  }
+  return best;
+}
+
+}  // namespace upi::datagen

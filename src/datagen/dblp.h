@@ -1,0 +1,119 @@
+// Synthetic DBLP-like uncertain data (paper Section 7.1).
+//
+// The paper derived uncertain author affiliations by querying author names
+// through a web search engine and weighting the returned institutions by "a
+// zipfian distribution ... to weigh the search ranking", up to ten per
+// author, plus an existence probability. This generator reproduces those
+// published statistics without the (long-gone) Google API:
+//
+//  * institution popularity is zipfian;
+//  * each author has 1..max_alternatives institution alternatives whose
+//    probabilities follow zipfian rank weights (normalized);
+//  * Country^p is *derived from* Institution^p through a fixed
+//    institution->country map, so the two attributes are genuinely
+//    correlated — the property that drives the paper's Figure 6;
+//  * the Publication table inherits the (assumed last) author's uncertain
+//    affiliation, as the paper did.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "catalog/schema.h"
+#include "catalog/tuple.h"
+#include "common/random.h"
+
+namespace upi::datagen {
+
+struct DblpConfig {
+  uint64_t num_authors = 100000;
+  uint64_t num_publications = 200000;
+  uint64_t num_institutions = 3000;
+  uint64_t num_countries = 50;
+  uint64_t num_journals = 300;
+  int max_alternatives = 10;        // paper: "up to ten per author"
+  // Popularity skew calibrated so the top institution covers ~5% of authors,
+  // matching the paper's MIT (37k of 700k).
+  double zipf_institutions = 0.85;
+  double zipf_ranks = 1.0;         // paper's search-rank weighting
+  double min_existence = 0.7;      // existence drawn uniform [min, 1]
+  size_t payload_bytes = 180;      // stand-in for the non-indexed attributes
+  uint64_t seed = 42;
+
+  /// Scales row counts, keeping distributions fixed. scale=1 is the bench
+  /// default; scale=7 approximates the paper's 700k authors / 1.3M pubs.
+  DblpConfig Scaled(double scale) const;
+};
+
+/// Column indexes of the Author table.
+struct AuthorCols {
+  static constexpr int kName = 0;         // STRING
+  static constexpr int kInstitution = 1;  // DISCRETE^p
+  static constexpr int kCountry = 2;      // DISCRETE^p
+  static constexpr int kPayload = 3;      // STRING
+};
+
+/// Column indexes of the Publication table.
+struct PublicationCols {
+  static constexpr int kTitle = 0;        // STRING
+  static constexpr int kInstitution = 1;  // DISCRETE^p
+  static constexpr int kCountry = 2;      // DISCRETE^p
+  static constexpr int kJournal = 3;      // STRING
+  static constexpr int kPayload = 4;      // STRING
+};
+
+class DblpGenerator {
+ public:
+  explicit DblpGenerator(DblpConfig config);
+
+  static catalog::Schema AuthorSchema();
+  static catalog::Schema PublicationSchema();
+
+  /// Author TupleIds are 1..num_authors.
+  std::vector<catalog::Tuple> GenerateAuthors();
+
+  /// Publication TupleIds start at kPublicationIdBase. `authors` supplies the
+  /// affiliations to inherit.
+  std::vector<catalog::Tuple> GeneratePublications(
+      const std::vector<catalog::Tuple>& authors);
+
+  /// A fresh author tuple with the given id (for insert workloads; ids must
+  /// be beyond those already generated).
+  catalog::Tuple MakeAuthor(catalog::TupleId id);
+
+  std::string InstitutionName(uint64_t rank) const;
+  std::string CountryName(uint64_t idx) const;
+  std::string CountryOfInstitution(uint64_t rank) const;
+  std::string JournalName(uint64_t idx) const;
+
+  /// The most popular institution (the "MIT" of the synthetic data set; the
+  /// paper's non-selective query target).
+  std::string PopularInstitution() const { return InstitutionName(0); }
+
+  /// A country with a mid-sized share (the Query 3 target).
+  std::string MidCountry() const { return CountryName(num_countries_ / 4); }
+
+  const DblpConfig& config() const { return config_; }
+
+  static constexpr catalog::TupleId kPublicationIdBase = 1'000'000'000;
+
+ private:
+  prob::DiscreteDistribution MakeInstitutionDist(Rng* rng);
+  prob::DiscreteDistribution DeriveCountryDist(
+      const prob::DiscreteDistribution& inst);
+
+  DblpConfig config_;
+  uint64_t num_countries_;
+  Rng rng_;
+  ZipfDistribution inst_popularity_;
+  ZipfDistribution journal_popularity_;
+};
+
+/// Scans generated tuples and returns the attribute value of discrete column
+/// `col` whose total entry count is closest to `target` (used to pick the
+/// paper's "selective" query value, ~300 matches).
+std::string FindValueWithApproxCount(const std::vector<catalog::Tuple>& tuples,
+                                     int col, uint64_t target);
+
+}  // namespace upi::datagen

@@ -1,0 +1,18 @@
+#include "exec/aggregate.h"
+
+namespace upi::exec {
+
+std::map<std::string, GroupCount> GroupByCount(
+    const std::vector<core::PtqMatch>& matches, int group_column) {
+  std::map<std::string, GroupCount> groups;
+  for (const auto& m : matches) {
+    const catalog::Value& v = m.tuple.Get(group_column);
+    if (v.type() != catalog::ValueType::kString) continue;
+    GroupCount& g = groups[v.str()];
+    ++g.count;
+    g.expected_count += m.confidence;
+  }
+  return groups;
+}
+
+}  // namespace upi::exec

@@ -1,0 +1,37 @@
+#include "exec/ptq.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace upi::exec {
+
+void SortByConfidenceDesc(std::vector<core::PtqMatch>* matches) {
+  std::sort(matches->begin(), matches->end(),
+            [](const core::PtqMatch& a, const core::PtqMatch& b) {
+              if (a.confidence != b.confidence) return a.confidence > b.confidence;
+              return a.id < b.id;
+            });
+}
+
+void FilterByThreshold(std::vector<core::PtqMatch>* matches, double qt) {
+  matches->erase(std::remove_if(matches->begin(), matches->end(),
+                                [qt](const core::PtqMatch& m) {
+                                  return m.confidence < qt;
+                                }),
+                 matches->end());
+}
+
+std::string Summarize(const std::vector<core::PtqMatch>& matches) {
+  if (matches.empty()) return "0 tuples";
+  double hi = matches.front().confidence, lo = matches.front().confidence;
+  for (const auto& m : matches) {
+    hi = std::max(hi, m.confidence);
+    lo = std::min(lo, m.confidence);
+  }
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "%zu tuples, conf %.3f..%.3f", matches.size(),
+                hi, lo);
+  return buf;
+}
+
+}  // namespace upi::exec

@@ -1,0 +1,20 @@
+// Small result-set utilities shared by the PTQ execution paths.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/upi.h"
+
+namespace upi::exec {
+
+/// Sorts matches by descending confidence (ties by TupleId).
+void SortByConfidenceDesc(std::vector<core::PtqMatch>* matches);
+
+/// Drops matches below the threshold (defensive re-filter for union paths).
+void FilterByThreshold(std::vector<core::PtqMatch>* matches, double qt);
+
+/// One-line human-readable summary ("42 tuples, conf 0.95..0.12").
+std::string Summarize(const std::vector<core::PtqMatch>& matches);
+
+}  // namespace upi::exec

@@ -1,0 +1,21 @@
+// Spatial query strategies over the continuous UPI: probabilistic range
+// (Query 4 is implemented directly on ContinuousUpi) and nearest-neighbor by
+// expanding range — the paper (Section 3.1) notes that top-k and NN queries
+// benefit from the UPI's probability/locality ordering.
+#pragma once
+
+#include <vector>
+
+#include "core/continuous_upi.h"
+
+namespace upi::exec {
+
+/// k nearest (by distribution mean) qualifying observations: expands the
+/// query radius geometrically until k results with confidence >= qt are
+/// found, then trims by distance. `rounds` reports the expansions used.
+Status KnnByExpandingRange(const core::ContinuousUpi& upi, prob::Point center,
+                           size_t k, double qt, double initial_radius,
+                           std::vector<core::PtqMatch>* out,
+                           int* rounds = nullptr);
+
+}  // namespace upi::exec

@@ -1,0 +1,90 @@
+#include "histogram/prob_histogram.h"
+
+#include <algorithm>
+
+namespace upi::histogram {
+
+ProbHistogram::ProbHistogram(int num_buckets) : nb_(num_buckets) {
+  global_.first.assign(nb_, 0.0);
+  global_.rest.assign(nb_, 0.0);
+}
+
+int ProbHistogram::BucketOf(double prob) const {
+  int b = static_cast<int>(prob * nb_);
+  if (b < 0) b = 0;
+  if (b >= nb_) b = nb_ - 1;
+  return b;
+}
+
+void ProbHistogram::Bump(Buckets* b, double prob, bool is_first, double delta) {
+  if (b->first.empty()) {
+    b->first.assign(nb_, 0.0);
+    b->rest.assign(nb_, 0.0);
+  }
+  auto& vec = is_first ? b->first : b->rest;
+  double& cell = vec[BucketOf(prob)];
+  cell += delta;
+  if (cell < 0) cell = 0;
+}
+
+void ProbHistogram::Add(std::string_view value, double prob, bool is_first) {
+  Bump(&global_, prob, is_first, 1.0);
+  Bump(&per_value_[std::string(value)], prob, is_first, 1.0);
+  ++total_;
+  if (is_first) ++total_first_;
+}
+
+void ProbHistogram::Remove(std::string_view value, double prob, bool is_first) {
+  Bump(&global_, prob, is_first, -1.0);
+  auto it = per_value_.find(std::string(value));
+  if (it != per_value_.end()) Bump(&it->second, prob, is_first, -1.0);
+  if (total_ > 0) --total_;
+  if (is_first && total_first_ > 0) --total_first_;
+}
+
+double ProbHistogram::RangeCount(const std::vector<double>& buckets, double lo,
+                                 double hi) const {
+  if (hi <= lo || buckets.empty()) return 0.0;
+  double count = 0.0;
+  double width = 1.0 / nb_;
+  for (int b = 0; b < nb_; ++b) {
+    double b_lo = b * width;
+    double b_hi = b_lo + width;
+    double overlap_lo = std::max(lo, b_lo);
+    double overlap_hi = std::min(hi, b_hi);
+    if (overlap_hi <= overlap_lo) continue;
+    count += buckets[b] * (overlap_hi - overlap_lo) / width;
+  }
+  return count;
+}
+
+double ProbHistogram::CountFirst(std::string_view value, double lo,
+                                 double hi) const {
+  auto it = per_value_.find(std::string(value));
+  return it == per_value_.end() ? 0.0 : RangeCount(it->second.first, lo, hi);
+}
+
+double ProbHistogram::CountRest(std::string_view value, double lo,
+                                double hi) const {
+  auto it = per_value_.find(std::string(value));
+  return it == per_value_.end() ? 0.0 : RangeCount(it->second.rest, lo, hi);
+}
+
+double ProbHistogram::EstimateHeapHits(std::string_view value, double qt,
+                                       double c) const {
+  double hi = 1.0 + 1e-9;
+  return CountFirst(value, qt, hi) + CountRest(value, std::max(qt, c), hi);
+}
+
+double ProbHistogram::EstimateCutoffPointers(std::string_view value, double qt,
+                                             double c) const {
+  if (qt >= c) return 0.0;
+  return CountRest(value, qt, c);
+}
+
+double ProbHistogram::EstimateTotalHeapEntries(double c) const {
+  double hi = 1.0 + 1e-9;
+  return static_cast<double>(total_first_) + RangeCount(global_.rest, c, hi);
+}
+
+}  // namespace upi::histogram

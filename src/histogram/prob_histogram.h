@@ -1,0 +1,71 @@
+// Probability histograms (Section 6.1).
+//
+// "We estimate the selectivity by maintaining a probability histogram in
+// addition to an attribute-value-based histogram." This module keeps, per
+// distinct attribute value and globally, bucketed counts of alternative
+// probabilities — separately for *first* (highest-probability) alternatives
+// and the rest, because Algorithm 1 always keeps first alternatives in the
+// heap regardless of the cutoff threshold. From these the optimizer
+// estimates (a) heap hits vs. cutoff pointers for a (QT, C) pair (validated
+// in Figure 11), and (b) the heap size for a candidate C (the advisor's
+// storage constraint).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace upi::histogram {
+
+class ProbHistogram {
+ public:
+  explicit ProbHistogram(int num_buckets = 20);
+
+  /// Records one alternative: attribute value, combined probability
+  /// (existence * alternative probability), and whether it is the tuple's
+  /// first (highest-probability) alternative.
+  void Add(std::string_view value, double prob, bool is_first);
+  void Remove(std::string_view value, double prob, bool is_first);
+
+  /// Heap entries scanned by a PTQ(value, qt) on a UPI with cutoff c:
+  /// first alternatives with prob >= qt plus others with prob >= max(qt, c).
+  double EstimateHeapHits(std::string_view value, double qt, double c) const;
+
+  /// Pointers read from the cutoff index: non-first alternatives with
+  /// qt <= prob < c (zero when qt >= c). The Figure 11 quantity.
+  double EstimateCutoffPointers(std::string_view value, double qt,
+                                double c) const;
+
+  /// Table-wide heap entries for cutoff threshold c: every first alternative
+  /// plus every other alternative with prob >= c.
+  double EstimateTotalHeapEntries(double c) const;
+
+  /// Raw range counts (tests / diagnostics).
+  double CountFirst(std::string_view value, double lo, double hi) const;
+  double CountRest(std::string_view value, double lo, double hi) const;
+
+  uint64_t total_alternatives() const { return total_; }
+  uint64_t total_first() const { return total_first_; }
+  uint64_t distinct_values() const { return per_value_.size(); }
+  int num_buckets() const { return nb_; }
+
+ private:
+  struct Buckets {
+    std::vector<double> first;
+    std::vector<double> rest;
+  };
+
+  int BucketOf(double prob) const;
+  double RangeCount(const std::vector<double>& b, double lo, double hi) const;
+  void Bump(Buckets* b, double prob, bool is_first, double delta);
+
+  int nb_;
+  Buckets global_;
+  std::unordered_map<std::string, Buckets> per_value_;
+  uint64_t total_ = 0;
+  uint64_t total_first_ = 0;
+};
+
+}  // namespace upi::histogram

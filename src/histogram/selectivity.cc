@@ -1,0 +1,18 @@
+#include "histogram/selectivity.h"
+
+#include <algorithm>
+
+namespace upi::histogram {
+
+PtqEstimate SelectivityEstimator::EstimatePtq(std::string_view value, double qt,
+                                              double c) const {
+  PtqEstimate est;
+  est.heap_entries = hist_->EstimateHeapHits(value, qt, c);
+  est.cutoff_pointers = hist_->EstimateCutoffPointers(value, qt, c);
+  double total_heap = hist_->EstimateTotalHeapEntries(c);
+  est.selectivity = total_heap > 0 ? est.heap_entries / total_heap : 0.0;
+  est.selectivity = std::clamp(est.selectivity, 0.0, 1.0);
+  return est;
+}
+
+}  // namespace upi::histogram

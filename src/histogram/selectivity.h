@@ -1,0 +1,44 @@
+// Selectivity estimation for PTQs (Section 6.1).
+//
+// "Unlike deterministic databases, selectivity in our cost model means the
+// fraction of a table that satisfies not only the given query predicates but
+// also the probability threshold (QT)."
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "histogram/prob_histogram.h"
+
+namespace upi::histogram {
+
+/// Estimate for one PTQ on a UPI with cutoff threshold C.
+struct PtqEstimate {
+  /// Qualifying entries expected in the UPI heap file.
+  double heap_entries = 0.0;
+  /// Pointers expected from the cutoff index (QT <= prob < C); zero when
+  /// QT >= C. This is the quantity validated in Figure 11.
+  double cutoff_pointers = 0.0;
+  /// Fraction of all heap entries that qualify (the cost models' Selectivity).
+  double selectivity = 0.0;
+};
+
+class SelectivityEstimator {
+ public:
+  /// `hist` must outlive the estimator.
+  explicit SelectivityEstimator(const ProbHistogram* hist) : hist_(hist) {}
+
+  /// Estimates heap hits, cutoff pointers, and selectivity for
+  /// SELECT ... WHERE attr = `value` THRESHOLD `qt` on a UPI with cutoff `c`.
+  PtqEstimate EstimatePtq(std::string_view value, double qt, double c) const;
+
+  /// Estimated total heap entries for a candidate cutoff threshold.
+  double EstimateHeapEntries(double c) const {
+    return hist_->EstimateTotalHeapEntries(c);
+  }
+
+ private:
+  const ProbHistogram* hist_;
+};
+
+}  // namespace upi::histogram

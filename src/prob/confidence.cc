@@ -1,0 +1,50 @@
+#include "prob/confidence.h"
+
+namespace upi::prob {
+
+namespace {
+void EnumerateRec(const std::vector<WorldRow>& rows, size_t i, double prob,
+                  std::vector<WorldAssignment>* current,
+                  const std::function<void(double, const std::vector<WorldAssignment>&)>& fn) {
+  if (prob <= 0.0) return;
+  if (i == rows.size()) {
+    fn(prob, *current);
+    return;
+  }
+  const WorldRow& row = rows[i];
+  // World branch: the row does not exist (either existence fails or the
+  // distribution's leftover mass — alternatives may sum to < 1).
+  double absent = 1.0 - row.existence * row.dist.TotalMass();
+  if (absent > 0.0) {
+    EnumerateRec(rows, i + 1, prob * absent, current, fn);
+  }
+  for (const auto& alt : row.dist.alternatives()) {
+    current->push_back(WorldAssignment{row.id, alt.value});
+    EnumerateRec(rows, i + 1, prob * row.existence * alt.prob, current, fn);
+    current->pop_back();
+  }
+}
+}  // namespace
+
+void EnumerateWorlds(
+    const std::vector<WorldRow>& rows,
+    const std::function<void(double, const std::vector<WorldAssignment>&)>& fn) {
+  std::vector<WorldAssignment> current;
+  EnumerateRec(rows, 0, 1.0, &current, fn);
+}
+
+double BruteForceConfidence(const std::vector<WorldRow>& rows, uint64_t id,
+                            const std::string& value) {
+  double conf = 0.0;
+  EnumerateWorlds(rows, [&](double p, const std::vector<WorldAssignment>& world) {
+    for (const auto& a : world) {
+      if (a.id == id && a.value == value) {
+        conf += p;
+        return;
+      }
+    }
+  });
+  return conf;
+}
+
+}  // namespace upi::prob

@@ -1,0 +1,51 @@
+// Possible-world semantics helpers.
+//
+// Under the paper's model (Section 1), a tuple with existence probability e
+// and alternative probability p for value v satisfies "attr = v" in worlds of
+// total probability e * p — that product is the query-result confidence.
+// BruteForceWorlds enumerates all possible worlds of a small database so
+// property tests can verify that every index path computes confidences
+// consistent with the semantics.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "prob/discrete.h"
+
+namespace upi::prob {
+
+/// Confidence that a tuple exists and takes a given alternative.
+inline double Confidence(double existence, double alt_prob) {
+  return existence * alt_prob;
+}
+
+/// One uncertain row for brute-force world enumeration (tests).
+struct WorldRow {
+  uint64_t id = 0;
+  double existence = 1.0;
+  DiscreteDistribution dist;
+};
+
+/// A concrete assignment in one possible world: rows that exist, each with a
+/// single chosen value.
+struct WorldAssignment {
+  uint64_t id;
+  std::string value;
+};
+
+/// Enumerates every possible world of `rows` (exponential; tests only) and
+/// invokes `fn(world_probability, assignments)` for each.
+void EnumerateWorlds(
+    const std::vector<WorldRow>& rows,
+    const std::function<void(double, const std::vector<WorldAssignment>&)>& fn);
+
+/// Brute-force confidence that row `id` exists with attr == `value`, computed
+/// by world enumeration. Equals Confidence(existence, prob(value)) under
+/// independence; used to cross-check the product formula and the indexes.
+double BruteForceConfidence(const std::vector<WorldRow>& rows, uint64_t id,
+                            const std::string& value);
+
+}  // namespace upi::prob

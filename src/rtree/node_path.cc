@@ -1,0 +1,27 @@
+#include "rtree/node_path.h"
+
+namespace upi::rtree {
+
+namespace {
+// Bulk-built leaves are spaced this far apart, leaving ~2^24 split midpoints
+// between any two neighbors before labels could collide.
+constexpr uint64_t kSpacing = uint64_t{1} << 24;
+}  // namespace
+
+uint64_t NodeLocator::AssignInitial(uint64_t i, uint64_t n) {
+  (void)n;
+  uint64_t label = (i + 1) * kSpacing;
+  labels_.insert(label);
+  return label;
+}
+
+uint64_t NodeLocator::AssignAfter(uint64_t after) {
+  auto it = labels_.upper_bound(after);
+  uint64_t next = it == labels_.end() ? after + 2 * kSpacing : *it;
+  uint64_t mid = after + (next - after) / 2;
+  if (mid == after) mid = after + 1;  // label space exhausted locally; degrade
+  labels_.insert(mid);
+  return mid;
+}
+
+}  // namespace upi::rtree

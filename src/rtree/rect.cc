@@ -1,0 +1,80 @@
+#include "rtree/rect.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/coding.h"
+
+namespace upi::rtree {
+
+Rect Rect::Empty() {
+  return Rect{1.0, 1.0, -1.0, -1.0};  // min > max marks emptiness
+}
+
+double Rect::Area() const {
+  if (IsEmpty()) return 0.0;
+  return (max_x - min_x) * (max_y - min_y);
+}
+
+double Rect::Margin() const {
+  if (IsEmpty()) return 0.0;
+  return (max_x - min_x) + (max_y - min_y);
+}
+
+Rect Rect::Union(const Rect& o) const {
+  if (IsEmpty()) return o;
+  if (o.IsEmpty()) return *this;
+  return Rect{std::min(min_x, o.min_x), std::min(min_y, o.min_y),
+              std::max(max_x, o.max_x), std::max(max_y, o.max_y)};
+}
+
+double Rect::Enlargement(const Rect& o) const { return Union(o).Area() - Area(); }
+
+bool Rect::Intersects(const Rect& o) const {
+  if (IsEmpty() || o.IsEmpty()) return false;
+  return min_x <= o.max_x && o.min_x <= max_x && min_y <= o.max_y &&
+         o.min_y <= max_y;
+}
+
+bool Rect::Contains(const Rect& o) const {
+  if (IsEmpty() || o.IsEmpty()) return false;
+  return min_x <= o.min_x && o.max_x <= max_x && min_y <= o.min_y &&
+         o.max_y <= max_y;
+}
+
+bool Rect::ContainsPoint(Point p) const {
+  return !IsEmpty() && p.x >= min_x && p.x <= max_x && p.y >= min_y && p.y <= max_y;
+}
+
+double Rect::MinDist(Point p) const {
+  double dx = std::max({min_x - p.x, 0.0, p.x - max_x});
+  double dy = std::max({min_y - p.y, 0.0, p.y - max_y});
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+double Rect::MaxDist(Point p) const {
+  double dx = std::max(std::abs(p.x - min_x), std::abs(p.x - max_x));
+  double dy = std::max(std::abs(p.y - min_y), std::abs(p.y - max_y));
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+void Rect::Serialize(std::string* out) const {
+  AppendOrderedDouble(out, min_x);
+  AppendOrderedDouble(out, min_y);
+  AppendOrderedDouble(out, max_x);
+  AppendOrderedDouble(out, max_y);
+}
+
+Rect Rect::Deserialize(const char* p) {
+  return Rect{DecodeOrderedDouble(p), DecodeOrderedDouble(p + 8),
+              DecodeOrderedDouble(p + 16), DecodeOrderedDouble(p + 24)};
+}
+
+std::string Rect::ToString() const {
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), "[%.3f,%.3f - %.3f,%.3f]", min_x, min_y,
+                max_x, max_y);
+  return buf;
+}
+
+}  // namespace upi::rtree

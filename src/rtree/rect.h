@@ -1,0 +1,49 @@
+// Axis-aligned rectangles and circle geometry for the R-Tree and the
+// continuous UPI's probabilistic range queries.
+#pragma once
+
+#include <cmath>
+#include <string>
+
+#include "prob/gaussian2d.h"
+
+namespace upi::rtree {
+
+using prob::Point;
+
+struct Rect {
+  double min_x = 0, min_y = 0, max_x = 0, max_y = 0;
+
+  /// An "empty" rect that unions as the identity element.
+  static Rect Empty();
+  static Rect Of(Point p) { return Rect{p.x, p.y, p.x, p.y}; }
+
+  bool IsEmpty() const { return min_x > max_x; }
+  double Area() const;
+  /// Half-perimeter, the R*-tree "margin".
+  double Margin() const;
+  Rect Union(const Rect& o) const;
+  /// Area growth if `o` were added.
+  double Enlargement(const Rect& o) const;
+  bool Intersects(const Rect& o) const;
+  bool Contains(const Rect& o) const;
+  bool ContainsPoint(Point p) const;
+  /// Minimum distance from `p` to this rect (0 if inside).
+  double MinDist(Point p) const;
+  /// Maximum distance from `p` to any point of this rect.
+  double MaxDist(Point p) const;
+  /// Does this rect intersect circle(c, r)?
+  bool IntersectsCircle(Point c, double r) const { return MinDist(c) <= r; }
+
+  void Serialize(std::string* out) const;
+  static Rect Deserialize(const char* p);
+  static constexpr size_t kSerializedSize = 32;
+
+  bool operator==(const Rect& o) const {
+    return min_x == o.min_x && min_y == o.min_y && max_x == o.max_x &&
+           max_y == o.max_y;
+  }
+  std::string ToString() const;
+};
+
+}  // namespace upi::rtree

@@ -1,0 +1,5 @@
+#include "sim/cost_params.h"
+
+// CostParams is a plain aggregate; definitions live in the header. This TU
+// exists so the sim library always has at least one object file.
+namespace upi::sim {}

@@ -1,0 +1,51 @@
+// Cost parameters from Table 6 of the paper. These drive both the simulated
+// disk clock (sim::SimDisk) and the analytic cost models (core/cost_model).
+#pragma once
+
+#include <cstdint>
+
+namespace upi::sim {
+
+/// \brief Device / engine constants (paper Table 6, "Typical Value" column).
+struct CostParams {
+  /// Cost of one random disk seek [ms]: the average over random distances,
+  /// and the charge when the head position is unknown.
+  double seek_ms = 10.0;
+  /// Cost of the shortest possible (track-to-track) seek [ms]. Seek cost
+  /// grows with distance between this floor and ~2.2 * seek_ms; this is what
+  /// makes a sorted sweep that skips a few pages far cheaper than random
+  /// jumps, and is the physical basis of the paper's "saturation" effect
+  /// (Section 6.3): a saturated sorted pointer sweep degenerates toward a
+  /// table scan, not toward #pointers * average-seek.
+  double min_seek_ms = 1.0;
+  /// Cost of sequential read [ms/MB].
+  double read_ms_per_mb = 20.0;
+  /// Cost of sequential write [ms/MB].
+  double write_ms_per_mb = 50.0;
+  /// Cost to open a DB file [ms].
+  double init_ms = 100.0;
+
+  /// Seek time for a head movement of `distance` bytes on a device spanning
+  /// `span` bytes. Linear in distance, floored at min_seek_ms, capped at
+  /// 2.2 * seek_ms; calibrated so a uniformly random jump (mean distance
+  /// span/3) costs about seek_ms.
+  double SeekMs(uint64_t distance, uint64_t span) const {
+    if (distance == 0) return 0.0;
+    if (span == 0) return seek_ms;
+    double frac = static_cast<double>(distance) / static_cast<double>(span);
+    double t = min_seek_ms + (seek_ms - min_seek_ms) * 3.0 * frac;
+    double cap = 2.2 * seek_ms;
+    return t > cap ? cap : t;
+  }
+
+  double ReadMs(uint64_t bytes) const {
+    return read_ms_per_mb * static_cast<double>(bytes) / (1024.0 * 1024.0);
+  }
+  double WriteMs(uint64_t bytes) const {
+    return write_ms_per_mb * static_cast<double>(bytes) / (1024.0 * 1024.0);
+  }
+  /// Cost to fully scan `bytes` of table data [ms] (paper's Costscan).
+  double ScanMs(uint64_t bytes) const { return ReadMs(bytes); }
+};
+
+}  // namespace upi::sim

@@ -1,0 +1,83 @@
+#include "sim/sim_disk.h"
+
+#include <cstdio>
+
+namespace upi::sim {
+
+namespace {
+// Floor for the span used in distance->seek-time conversion, so unit-test
+// sized databases still distinguish short from long seeks sensibly.
+constexpr uint64_t kMinSeekSpan = 64ull << 20;
+}  // namespace
+
+DiskStats DiskStats::operator-(const DiskStats& rhs) const {
+  DiskStats d;
+  d.seeks = seeks - rhs.seeks;
+  d.seek_ms = seek_ms - rhs.seek_ms;
+  d.reads = reads - rhs.reads;
+  d.writes = writes - rhs.writes;
+  d.bytes_read = bytes_read - rhs.bytes_read;
+  d.bytes_written = bytes_written - rhs.bytes_written;
+  d.file_opens = file_opens - rhs.file_opens;
+  return d;
+}
+
+double DiskStats::SimMs(const CostParams& p) const {
+  return seek_ms + p.ReadMs(bytes_read) + p.WriteMs(bytes_written) +
+         static_cast<double>(file_opens) * p.init_ms;
+}
+
+std::string DiskStats::ToString(const CostParams& p) const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "seeks=%llu seek_ms=%.1f reads=%llu writes=%llu MB_read=%.2f "
+                "MB_written=%.2f opens=%llu sim_ms=%.2f",
+                static_cast<unsigned long long>(seeks), seek_ms,
+                static_cast<unsigned long long>(reads),
+                static_cast<unsigned long long>(writes),
+                static_cast<double>(bytes_read) / (1024.0 * 1024.0),
+                static_cast<double>(bytes_written) / (1024.0 * 1024.0),
+                static_cast<unsigned long long>(file_opens), SimMs(p));
+  return buf;
+}
+
+uint64_t SimDisk::Allocate(uint64_t bytes) {
+  uint64_t addr = next_addr_;
+  next_addr_ += bytes;
+  return addr;
+}
+
+uint64_t SimDisk::SeekSpan() const {
+  return next_addr_ > kMinSeekSpan ? next_addr_ : kMinSeekSpan;
+}
+
+void SimDisk::Access(uint64_t addr, uint64_t bytes) {
+  if (head_ != addr) {
+    ++stats_.seeks;
+    if (head_ == UINT64_MAX) {
+      stats_.seek_ms += params_.seek_ms;  // unknown position: average seek
+    } else {
+      uint64_t dist = head_ > addr ? head_ - addr : addr - head_;
+      stats_.seek_ms += params_.SeekMs(dist, SeekSpan());
+    }
+  }
+  head_ = addr + bytes;
+}
+
+void SimDisk::Read(uint64_t addr, uint64_t bytes) {
+  Access(addr, bytes);
+  ++stats_.reads;
+  stats_.bytes_read += bytes;
+}
+
+void SimDisk::Write(uint64_t addr, uint64_t bytes) {
+  Access(addr, bytes);
+  ++stats_.writes;
+  stats_.bytes_written += bytes;
+}
+
+void SimDisk::ChargeFileOpen() { ++stats_.file_opens; }
+
+void SimDisk::ResetHead() { head_ = UINT64_MAX; }
+
+}  // namespace upi::sim

@@ -1,0 +1,123 @@
+#include "storage/buffer_pool.h"
+
+#include <algorithm>
+#include <cassert>
+#include <vector>
+
+namespace upi::storage {
+
+std::string* BufferPool::Fetch(PageFile* file, PageId id, bool create) {
+  Key k{file, id};
+  auto it = frames_.find(k);
+  if (it != frames_.end()) {
+    ++hits_;
+    Touch(k, &it->second);
+    ++it->second.pins;
+    return &it->second.data;
+  }
+  ++misses_;
+  EvictIfNeeded();
+  Frame f;
+  if (create) {
+    f.data.clear();
+    f.dirty = true;  // a new page must eventually reach the device
+  } else {
+    file->Read(id, &f.data);
+  }
+  lru_.push_front(k);
+  f.lru_it = lru_.begin();
+  f.pins = 1;
+  cached_bytes_ += file->page_size();
+  auto [ins, ok] = frames_.emplace(k, std::move(f));
+  (void)ok;
+  return &ins->second.data;
+}
+
+void BufferPool::Unpin(PageFile* file, PageId id) {
+  auto it = frames_.find(Key{file, id});
+  assert(it != frames_.end() && it->second.pins > 0);
+  --it->second.pins;
+}
+
+void BufferPool::MarkDirty(PageFile* file, PageId id) {
+  auto it = frames_.find(Key{file, id});
+  assert(it != frames_.end());
+  it->second.dirty = true;
+}
+
+void BufferPool::Touch(const Key& k, Frame* f) {
+  lru_.erase(f->lru_it);
+  lru_.push_front(k);
+  f->lru_it = lru_.begin();
+}
+
+void BufferPool::WriteBack(const Key& k, Frame* f) {
+  if (f->dirty) {
+    k.file->Write(k.id, f->data);
+    f->dirty = false;
+  }
+}
+
+void BufferPool::EvictIfNeeded() {
+  while (cached_bytes_ >= capacity_ && !lru_.empty()) {
+    // Scan from the LRU end for an unpinned victim.
+    auto rit = lru_.end();
+    bool evicted = false;
+    while (rit != lru_.begin()) {
+      --rit;
+      auto fit = frames_.find(*rit);
+      assert(fit != frames_.end());
+      if (fit->second.pins == 0) {
+        WriteBack(*rit, &fit->second);
+        cached_bytes_ -= rit->file->page_size();
+        frames_.erase(fit);
+        lru_.erase(rit);
+        evicted = true;
+        break;
+      }
+    }
+    if (!evicted) break;  // everything pinned; allow temporary overflow
+  }
+}
+
+void BufferPool::FlushAll() {
+  std::vector<Key> dirty;
+  for (auto& [k, f] : frames_) {
+    if (f.dirty) dirty.push_back(k);
+  }
+  std::sort(dirty.begin(), dirty.end(), [](const Key& a, const Key& b) {
+    if (a.file != b.file) return a.file->name() < b.file->name();
+    return a.id < b.id;
+  });
+  for (const Key& k : dirty) WriteBack(k, &frames_[k]);
+}
+
+void BufferPool::FlushFile(PageFile* file) {
+  std::vector<Key> dirty;
+  for (auto& [k, f] : frames_) {
+    if (k.file == file && f.dirty) dirty.push_back(k);
+  }
+  std::sort(dirty.begin(), dirty.end(),
+            [](const Key& a, const Key& b) { return a.id < b.id; });
+  for (const Key& k : dirty) WriteBack(k, &frames_[k]);
+}
+
+void BufferPool::DropAll() {
+  FlushAll();
+  assert(std::all_of(frames_.begin(), frames_.end(),
+                     [](const auto& kv) { return kv.second.pins == 0; }));
+  frames_.clear();
+  lru_.clear();
+  cached_bytes_ = 0;
+}
+
+void BufferPool::Discard(PageFile* file, PageId id) {
+  auto it = frames_.find(Key{file, id});
+  if (it == frames_.end()) return;
+  assert(it->second.pins == 0);
+  cached_bytes_ -= file->page_size();
+  lru_.erase(it->second.lru_it);
+  frames_.erase(it);
+}
+
+}  // namespace upi::storage

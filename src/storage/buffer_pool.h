@@ -1,0 +1,83 @@
+// LRU buffer pool shared by all files of a database.
+//
+// The paper's experiments distinguish "cold" queries (buffer cache dropped)
+// from steady-state maintenance where the hot index pages stay resident.
+// DropAll() implements the cold protocol; a capacity smaller than the
+// database forces the eviction-driven random writes that make non-fractured
+// UPI maintenance expensive (Table 7).
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <string>
+#include <unordered_map>
+
+#include "storage/page_file.h"
+
+namespace upi::storage {
+
+class BufferPool {
+ public:
+  /// `capacity_bytes` bounds the sum of cached page sizes.
+  explicit BufferPool(uint64_t capacity_bytes) : capacity_(capacity_bytes) {}
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  ~BufferPool() { FlushAll(); }
+
+  /// Returns the cached contents of (file, id), pinned. If `create` is true
+  /// the page is assumed freshly allocated and no disk read is charged.
+  std::string* Fetch(PageFile* file, PageId id, bool create = false);
+
+  void Unpin(PageFile* file, PageId id);
+  void MarkDirty(PageFile* file, PageId id);
+
+  /// Writes back every dirty frame, in (file-name, page-id) order so a batch
+  /// flush of a freshly built file is physically sequential.
+  void FlushAll();
+
+  /// Flushes dirty frames of one file only.
+  void FlushFile(PageFile* file);
+
+  /// Flushes everything, then evicts every frame: the cold-cache protocol.
+  void DropAll();
+
+  /// Drops the frame for a page being freed, discarding dirty data.
+  void Discard(PageFile* file, PageId id);
+
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+  uint64_t cached_bytes() const { return cached_bytes_; }
+
+ private:
+  struct Key {
+    PageFile* file;
+    PageId id;
+    bool operator==(const Key& o) const { return file == o.file && id == o.id; }
+  };
+  struct KeyHash {
+    size_t operator()(const Key& k) const {
+      return std::hash<void*>()(k.file) * 1000003u ^ k.id;
+    }
+  };
+  struct Frame {
+    std::string data;
+    bool dirty = false;
+    int pins = 0;
+    std::list<Key>::iterator lru_it;
+  };
+
+  void Touch(const Key& k, Frame* f);
+  void EvictIfNeeded();
+  void WriteBack(const Key& k, Frame* f);
+
+  uint64_t capacity_;
+  uint64_t cached_bytes_ = 0;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+  std::list<Key> lru_;  // front = most recent
+  std::unordered_map<Key, Frame, KeyHash> frames_;
+};
+
+}  // namespace upi::storage

@@ -1,0 +1,46 @@
+#include "storage/page_file.h"
+
+#include <cassert>
+
+namespace upi::storage {
+
+PageFile::PageFile(sim::SimDisk* disk, std::string name, uint32_t page_size)
+    : disk_(disk), name_(std::move(name)), page_size_(page_size) {
+  assert(page_size_ >= 512);
+}
+
+PageId PageFile::Allocate() {
+  if (!free_list_.empty()) {
+    PageId id = free_list_.back();
+    free_list_.pop_back();
+    pages_[id].in_use = true;
+    data_[id].clear();
+    return id;
+  }
+  PageId id = static_cast<PageId>(pages_.size());
+  pages_.push_back(PageMeta{disk_->Allocate(page_size_), true});
+  data_.emplace_back();
+  return id;
+}
+
+void PageFile::Free(PageId id) {
+  assert(id < pages_.size() && pages_[id].in_use);
+  pages_[id].in_use = false;
+  data_[id].clear();
+  free_list_.push_back(id);
+}
+
+void PageFile::Read(PageId id, std::string* out) {
+  assert(id < pages_.size() && pages_[id].in_use);
+  disk_->Read(pages_[id].addr, page_size_);
+  *out = data_[id];
+}
+
+void PageFile::Write(PageId id, std::string_view data) {
+  assert(id < pages_.size() && pages_[id].in_use);
+  assert(data.size() <= page_size_);
+  disk_->Write(pages_[id].addr, page_size_);
+  data_[id].assign(data.data(), data.size());
+}
+
+}  // namespace upi::storage

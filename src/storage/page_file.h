@@ -1,0 +1,74 @@
+// A page-addressed file on the simulated disk.
+//
+// Page *contents* live in RAM (the SimDisk only does cost accounting); every
+// Read/Write charges the disk for a full page transfer at the page's fixed
+// device address. Pages freed back to the file are reused by later
+// allocations — which is how B+Tree churn produces physical fragmentation,
+// the effect behind the paper's Section 4.1 maintenance problem.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "sim/sim_disk.h"
+
+namespace upi::storage {
+
+using PageId = uint32_t;
+inline constexpr PageId kInvalidPage = UINT32_MAX;
+
+class PageFile {
+ public:
+  PageFile(sim::SimDisk* disk, std::string name, uint32_t page_size);
+
+  PageFile(const PageFile&) = delete;
+  PageFile& operator=(const PageFile&) = delete;
+
+  /// Allocates a page, preferring the free list (physical reuse) and falling
+  /// back to fresh address space at the end of the device.
+  PageId Allocate();
+
+  /// Returns a page to the free list. Contents become undefined.
+  void Free(PageId id);
+
+  /// Reads a full page (charges one page transfer; sequential iff the disk
+  /// head is already at this page's address).
+  void Read(PageId id, std::string* out);
+
+  /// Writes a full page. `data` may be shorter than page_size; the device
+  /// transfer is always a whole page.
+  void Write(PageId id, std::string_view data);
+
+  /// Charges the paper's Costinit for opening this file.
+  void ChargeOpen() { disk_->ChargeFileOpen(); }
+
+  uint32_t page_size() const { return page_size_; }
+  /// Pages currently in use (excludes freed pages).
+  uint64_t num_active_pages() const { return pages_.size() - free_list_.size(); }
+  /// Total address-space footprint including freed-but-not-reclaimed pages —
+  /// this is the "DB size" the paper reports in Table 8.
+  uint64_t size_bytes() const { return pages_.size() * uint64_t{page_size_}; }
+  const std::string& name() const { return name_; }
+  sim::SimDisk* disk() const { return disk_; }
+
+  /// Physical device address of a page (for tests asserting layout).
+  uint64_t AddressOf(PageId id) const { return pages_[id].addr; }
+
+ private:
+  struct PageMeta {
+    uint64_t addr = 0;
+    bool in_use = false;
+  };
+
+  sim::SimDisk* disk_;
+  std::string name_;
+  uint32_t page_size_;
+  std::vector<PageMeta> pages_;
+  std::vector<std::string> data_;  // RAM backing store, index == PageId
+  std::vector<PageId> free_list_;
+};
+
+}  // namespace upi::storage

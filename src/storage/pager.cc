@@ -1,0 +1,4 @@
+#include "storage/pager.h"
+
+// Header-only; this TU anchors the library target.
+namespace upi::storage {}

@@ -1,0 +1,86 @@
+// Per-file facade over (PageFile, BufferPool) with RAII page pinning.
+// All index and heap structures do their page I/O through a Pager.
+#pragma once
+
+#include <string>
+#include <utility>
+
+#include "storage/buffer_pool.h"
+#include "storage/page_file.h"
+
+namespace upi::storage {
+
+class Pager;
+
+/// \brief A pinned reference to one cached page. Unpins on destruction.
+/// Call MarkDirty() after mutating data().
+class PageRef {
+ public:
+  PageRef() = default;
+  PageRef(BufferPool* pool, PageFile* file, PageId id, std::string* data)
+      : pool_(pool), file_(file), id_(id), data_(data) {}
+  PageRef(PageRef&& o) noexcept { *this = std::move(o); }
+  PageRef& operator=(PageRef&& o) noexcept {
+    Release();
+    pool_ = o.pool_;
+    file_ = o.file_;
+    id_ = o.id_;
+    data_ = o.data_;
+    o.pool_ = nullptr;
+    o.data_ = nullptr;
+    return *this;
+  }
+  PageRef(const PageRef&) = delete;
+  PageRef& operator=(const PageRef&) = delete;
+  ~PageRef() { Release(); }
+
+  bool valid() const { return data_ != nullptr; }
+  PageId id() const { return id_; }
+  std::string* data() { return data_; }
+  const std::string* data() const { return data_; }
+  void MarkDirty() { pool_->MarkDirty(file_, id_); }
+
+  void Release() {
+    if (pool_ != nullptr && data_ != nullptr) pool_->Unpin(file_, id_);
+    pool_ = nullptr;
+    data_ = nullptr;
+  }
+
+ private:
+  BufferPool* pool_ = nullptr;
+  PageFile* file_ = nullptr;
+  PageId id_ = kInvalidPage;
+  std::string* data_ = nullptr;
+};
+
+class Pager {
+ public:
+  Pager(BufferPool* pool, PageFile* file) : pool_(pool), file_(file) {}
+
+  /// Pins an existing page.
+  PageRef Get(PageId id) {
+    return PageRef(pool_, file_, id, pool_->Fetch(file_, id, /*create=*/false));
+  }
+
+  /// Allocates and pins a fresh page (no read charged).
+  PageRef New(PageId* id) {
+    *id = file_->Allocate();
+    return PageRef(pool_, file_, *id, pool_->Fetch(file_, *id, /*create=*/true));
+  }
+
+  /// Frees a page; its cached frame is discarded without writeback.
+  void Free(PageId id) {
+    pool_->Discard(file_, id);
+    file_->Free(id);
+  }
+
+  uint32_t page_size() const { return file_->page_size(); }
+  PageFile* file() const { return file_; }
+  BufferPool* pool() const { return pool_; }
+
+ private:
+  BufferPool* pool_;
+  PageFile* file_;
+};
+
+}  // namespace upi::storage

@@ -1,0 +1,105 @@
+#include <gtest/gtest.h>
+
+#include "catalog/schema.h"
+#include "catalog/tuple.h"
+#include "catalog/value.h"
+
+namespace upi::catalog {
+namespace {
+
+prob::DiscreteDistribution Dist(std::vector<prob::Alternative> alts) {
+  return prob::DiscreteDistribution::Make(std::move(alts)).ValueOrDie();
+}
+
+TEST(ValueTest, TypesAndAccessors) {
+  EXPECT_TRUE(Value::Null().is_null());
+  EXPECT_EQ(Value::Int64(-5).int64(), -5);
+  EXPECT_DOUBLE_EQ(Value::Double(2.5).dbl(), 2.5);
+  EXPECT_EQ(Value::String("x").str(), "x");
+  auto d = Value::Discrete(Dist({{"MIT", 0.95}, {"UCB", 0.05}}));
+  EXPECT_EQ(d.type(), ValueType::kDiscrete);
+  EXPECT_EQ(d.discrete().First().value, "MIT");
+}
+
+TEST(ValueTest, SerializeRoundTripAllTypes) {
+  std::vector<Value> vals = {
+      Value::Null(),
+      Value::Int64(1234567890123),
+      Value::Int64(-7),
+      Value::Double(-0.25),
+      Value::String("hello world"),
+      Value::String(""),
+      Value::Discrete(Dist({{"Brown", 0.72}, {"MIT", 0.18}})),
+      Value::Gaussian(prob::ConstrainedGaussian2D({42.0, -71.0}, 0.01, 0.03)),
+  };
+  std::string buf;
+  for (const Value& v : vals) v.Serialize(&buf);
+  const char* p = buf.data();
+  const char* limit = buf.data() + buf.size();
+  for (const Value& expected : vals) {
+    Value out;
+    ASSERT_TRUE(Value::Deserialize(&p, limit, &out).ok());
+    EXPECT_EQ(out.type(), expected.type());
+    if (expected.type() != ValueType::kDiscrete) {
+      EXPECT_TRUE(out == expected);
+    } else {
+      // Probabilities round-trip through fixed-point encoding.
+      EXPECT_EQ(out.discrete().size(), expected.discrete().size());
+      EXPECT_NEAR(out.discrete().First().prob, expected.discrete().First().prob,
+                  1e-8);
+    }
+  }
+  EXPECT_EQ(p, limit);
+}
+
+TEST(ValueTest, DeserializeCorruptFails) {
+  std::string buf;
+  Value::Int64(5).Serialize(&buf);
+  const char* p = buf.data();
+  Value out;
+  EXPECT_FALSE(Value::Deserialize(&p, buf.data() + 4, &out).ok());
+}
+
+TEST(SchemaTest, FindColumn) {
+  Schema s({{"Name", ValueType::kString},
+            {"Institution", ValueType::kDiscrete},
+            {"Country", ValueType::kDiscrete}});
+  EXPECT_EQ(s.num_columns(), 3u);
+  EXPECT_EQ(s.FindColumn("Institution"), 1);
+  EXPECT_EQ(s.FindColumn("missing"), -1);
+  EXPECT_NE(s.ToString().find("Institution DISCRETE^p"), std::string::npos);
+}
+
+TEST(TupleTest, SerializeRoundTrip) {
+  Tuple t(77, 0.9,
+          {Value::String("Alice"),
+           Value::Discrete(Dist({{"Brown", 0.8}, {"MIT", 0.2}})),
+           Value::String(std::string(200, 'p'))});
+  std::string buf;
+  t.Serialize(&buf);
+  Tuple out = Tuple::Deserialize(buf).ValueOrDie();
+  EXPECT_EQ(out.id(), 77u);
+  EXPECT_NEAR(out.existence(), 0.9, 1e-8);
+  ASSERT_EQ(out.values().size(), 3u);
+  EXPECT_EQ(out.Get(0).str(), "Alice");
+  EXPECT_EQ(out.Get(1).discrete().First().value, "Brown");
+  EXPECT_EQ(out.Get(2).str().size(), 200u);
+}
+
+TEST(TupleTest, ConfidenceOfUsesExistence) {
+  // Paper Table 2: Alice's Brown entry has probability 80% * 90% = 72%.
+  Tuple t(1, 0.9, {Value::Discrete(Dist({{"Brown", 0.8}, {"MIT", 0.2}}))});
+  EXPECT_NEAR(t.ConfidenceOf(0, "Brown"), 0.72, 1e-8);
+  EXPECT_NEAR(t.ConfidenceOf(0, "MIT"), 0.18, 1e-8);
+  EXPECT_DOUBLE_EQ(t.ConfidenceOf(0, "UCB"), 0.0);
+}
+
+TEST(TupleTest, DeserializeTruncatedFails) {
+  Tuple t(1, 1.0, {Value::String("x")});
+  std::string buf;
+  t.Serialize(&buf);
+  EXPECT_FALSE(Tuple::Deserialize(std::string_view(buf.data(), 5)).ok());
+}
+
+}  // namespace
+}  // namespace upi::catalog

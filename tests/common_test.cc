@@ -1,0 +1,196 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/coding.h"
+#include "common/random.h"
+#include "common/status.h"
+
+namespace upi {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status st;
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(st.ToString(), "OK");
+}
+
+TEST(StatusTest, CodesAndMessages) {
+  Status st = Status::NotFound("missing key");
+  EXPECT_FALSE(st.ok());
+  EXPECT_TRUE(st.IsNotFound());
+  EXPECT_EQ(st.code(), StatusCode::kNotFound);
+  EXPECT_EQ(st.ToString(), "NotFound: missing key");
+  EXPECT_TRUE(Status::AlreadyExists().IsAlreadyExists());
+  EXPECT_EQ(Status::Corruption("x").code(), StatusCode::kCorruption);
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(std::move(r).ValueOrDie(), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::IOError("disk on fire");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kIOError);
+}
+
+TEST(ResultTest, WorksWithoutDefaultConstructor) {
+  struct NoDefault {
+    explicit NoDefault(int x) : v(x) {}
+    int v;
+  };
+  Result<NoDefault> r = NoDefault(7);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().v, 7);
+}
+
+TEST(CodingTest, Fixed32BERoundTripAndOrder) {
+  std::string a, b;
+  PutFixed32BE(&a, 1);
+  PutFixed32BE(&b, 300);
+  EXPECT_LT(a, b);  // big-endian preserves numeric order
+  EXPECT_EQ(GetFixed32BE(a.data()), 1u);
+  EXPECT_EQ(GetFixed32BE(b.data()), 300u);
+}
+
+TEST(CodingTest, Fixed64BERoundTrip) {
+  std::string s;
+  PutFixed64BE(&s, 0xDEADBEEFCAFEBABEull);
+  EXPECT_EQ(GetFixed64BE(s.data()), 0xDEADBEEFCAFEBABEull);
+}
+
+TEST(CodingTest, VarintRoundTrip) {
+  for (uint32_t v : {0u, 1u, 127u, 128u, 16383u, 16384u, 0xFFFFFFFFu}) {
+    std::string s;
+    PutVarint32(&s, v);
+    uint32_t decoded;
+    size_t n = GetVarint32(s.data(), s.data() + s.size(), &decoded);
+    EXPECT_EQ(n, s.size());
+    EXPECT_EQ(decoded, v);
+  }
+}
+
+TEST(CodingTest, VarintTruncatedReturnsZero) {
+  std::string s;
+  PutVarint32(&s, 1u << 20);
+  uint32_t v;
+  EXPECT_EQ(GetVarint32(s.data(), s.data() + 1, &v), 0u);
+}
+
+TEST(CodingTest, OrderedStringRoundTrip) {
+  for (std::string in : {std::string(""), std::string("abc"),
+                         std::string("a\0b", 3), std::string("\0\0", 2),
+                         std::string("ends with nul\0", 14)}) {
+    std::string enc;
+    AppendOrderedString(&enc, in);
+    const char* p = enc.data();
+    std::string out;
+    ASSERT_TRUE(DecodeOrderedString(&p, enc.data() + enc.size(), &out).ok());
+    EXPECT_EQ(out, in);
+    EXPECT_EQ(p, enc.data() + enc.size());
+  }
+}
+
+TEST(CodingTest, OrderedStringPreservesOrder) {
+  // Encoded order must equal logical string order even with embedded NULs.
+  std::vector<std::string> inputs = {
+      std::string(""), std::string("\0", 1), std::string("\0\0", 2),
+      std::string("\x01"), std::string("a"), std::string("a\0", 2),
+      std::string("a\0b", 3), std::string("a\x01"), std::string("ab"),
+      std::string("b")};
+  for (size_t i = 0; i + 1 < inputs.size(); ++i) {
+    std::string e1, e2;
+    AppendOrderedString(&e1, inputs[i]);
+    AppendOrderedString(&e2, inputs[i + 1]);
+    EXPECT_LT(e1, e2) << "inputs " << i << " and " << i + 1;
+  }
+}
+
+TEST(CodingTest, OrderedStringDecodeStopsAtTerminator) {
+  std::string enc;
+  AppendOrderedString(&enc, "first");
+  AppendOrderedString(&enc, "second");
+  const char* p = enc.data();
+  std::string out;
+  ASSERT_TRUE(DecodeOrderedString(&p, enc.data() + enc.size(), &out).ok());
+  EXPECT_EQ(out, "first");
+  out.clear();
+  ASSERT_TRUE(DecodeOrderedString(&p, enc.data() + enc.size(), &out).ok());
+  EXPECT_EQ(out, "second");
+}
+
+TEST(CodingTest, ProbDescSortsDescending) {
+  std::string p90, p50, p10;
+  AppendProbDesc(&p90, 0.9);
+  AppendProbDesc(&p50, 0.5);
+  AppendProbDesc(&p10, 0.1);
+  EXPECT_LT(p90, p50);
+  EXPECT_LT(p50, p10);
+  EXPECT_NEAR(DecodeProbDesc(p90.data()), 0.9, 1e-8);
+  EXPECT_NEAR(DecodeProbDesc(p10.data()), 0.1, 1e-8);
+}
+
+TEST(CodingTest, ProbDescClampsOutOfRange) {
+  std::string lo, hi;
+  AppendProbDesc(&lo, -0.5);
+  AppendProbDesc(&hi, 1.5);
+  EXPECT_NEAR(DecodeProbDesc(lo.data()), 0.0, 1e-9);
+  EXPECT_NEAR(DecodeProbDesc(hi.data()), 1.0, 1e-9);
+}
+
+TEST(CodingTest, OrderedDoubleOrderAndRoundTrip) {
+  std::vector<double> vals = {-1e300, -5.5, -0.0, 0.0, 1e-300, 2.5, 7e88};
+  std::vector<std::string> encs;
+  for (double v : vals) {
+    std::string e;
+    AppendOrderedDouble(&e, v);
+    EXPECT_DOUBLE_EQ(DecodeOrderedDouble(e.data()), v);
+    encs.push_back(e);
+  }
+  for (size_t i = 0; i + 1 < encs.size(); ++i) {
+    EXPECT_LE(encs[i], encs[i + 1]);
+  }
+}
+
+TEST(RandomTest, Deterministic) {
+  Rng a(7), b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.NextU64(), b.NextU64());
+}
+
+TEST(RandomTest, UniformInRange) {
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.Uniform(10), 10u);
+}
+
+TEST(ZipfTest, PmfSumsToOne) {
+  ZipfDistribution z(100, 1.0);
+  double sum = 0.0;
+  for (size_t k = 0; k < 100; ++k) sum += z.Pmf(k);
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(ZipfTest, RankZeroMostLikely) {
+  ZipfDistribution z(1000, 1.0);
+  EXPECT_GT(z.Pmf(0), z.Pmf(1));
+  EXPECT_GT(z.Pmf(1), z.Pmf(999));
+}
+
+TEST(ZipfTest, EmpiricalMatchesPmf) {
+  ZipfDistribution z(50, 1.0);
+  Rng rng(3);
+  std::vector<int> counts(50, 0);
+  const int kSamples = 200000;
+  for (int i = 0; i < kSamples; ++i) ++counts[z.Sample(&rng)];
+  for (size_t k : {size_t{0}, size_t{1}, size_t{5}, size_t{20}}) {
+    double expected = z.Pmf(k) * kSamples;
+    EXPECT_NEAR(counts[k], expected, 5 * std::sqrt(expected) + 10);
+  }
+}
+
+}  // namespace
+}  // namespace upi

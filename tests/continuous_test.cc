@@ -1,0 +1,264 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "baseline/secondary_utree.h"
+#include "baseline/unclustered_table.h"
+#include "core/continuous_upi.h"
+#include "datagen/cartel.h"
+#include "storage/db_env.h"
+
+namespace upi::core {
+namespace {
+
+using catalog::Tuple;
+using catalog::TupleId;
+using datagen::CarObsCols;
+using prob::Point;
+
+struct Fx {
+  datagen::CartelConfig cfg;
+  std::unique_ptr<datagen::CartelGenerator> gen;
+  std::vector<Tuple> tuples;
+  storage::DbEnv env;
+  std::unique_ptr<ContinuousUpi> upi;
+
+  explicit Fx(uint64_t n = 2000, uint64_t seed = 31) {
+    cfg.num_observations = n;
+    cfg.area_size = 4000.0;
+    cfg.grid_roads = 8;
+    cfg.seed = seed;
+    gen = std::make_unique<datagen::CartelGenerator>(cfg);
+    tuples = gen->GenerateObservations();
+    ContinuousUpiOptions opt;
+    opt.location_column = CarObsCols::kLocation;
+    opt.charge_open_per_query = false;
+    auto built = ContinuousUpi::Build(
+        &env, "cars", datagen::CartelGenerator::CarObservationSchema(), opt,
+        {CarObsCols::kSegment}, tuples);
+    EXPECT_TRUE(built.ok()) << built.status().ToString();
+    upi = std::move(built).ValueOrDie();
+  }
+
+  std::map<TupleId, double> RangeOracle(Point c, double r, double qt) {
+    std::map<TupleId, double> oracle;
+    for (const Tuple& t : tuples) {
+      const auto& g = t.Get(CarObsCols::kLocation).gaussian();
+      double p = g.ProbInCircle(c, r);
+      if (p >= qt) oracle[t.id()] = p;
+    }
+    return oracle;
+  }
+};
+
+TEST(CartelGeneratorTest, GeneratesValidObservations) {
+  datagen::CartelConfig cfg;
+  cfg.num_observations = 500;
+  datagen::CartelGenerator gen(cfg);
+  auto obs = gen.GenerateObservations();
+  ASSERT_EQ(obs.size(), 500u);
+  for (const Tuple& t : obs) {
+    const auto& g = t.Get(CarObsCols::kLocation).gaussian();
+    EXPECT_GT(g.sigma(), 0.0);
+    EXPECT_GE(g.bound_radius(), g.sigma());
+    const auto& seg = t.Get(CarObsCols::kSegment).discrete();
+    ASSERT_GE(seg.size(), 1u);
+    ASSERT_LE(seg.size(), 3u);
+    EXPECT_GT(seg.First().prob, 0.5);  // true segment dominates
+    EXPECT_LE(seg.TotalMass(), 1.0 + 1e-9);
+  }
+}
+
+TEST(CartelGeneratorTest, SegmentCorrelatesWithLocation) {
+  datagen::CartelConfig cfg;
+  cfg.num_observations = 300;
+  datagen::CartelGenerator gen(cfg);
+  // Observations sharing a most-likely segment must be spatially close.
+  std::map<std::string, std::vector<Point>> by_seg;
+  for (const Tuple& t : gen.GenerateObservations()) {
+    by_seg[t.Get(CarObsCols::kSegment).discrete().First().value].push_back(
+        t.Get(CarObsCols::kLocation).gaussian().mean());
+  }
+  for (const auto& [seg, pts] : by_seg) {
+    if (pts.size() < 2) continue;
+    for (size_t i = 1; i < pts.size(); ++i) {
+      EXPECT_LT(prob::DistanceBetween(pts[0], pts[i]),
+                cfg.segment_length * 2.5)
+          << seg;
+    }
+  }
+}
+
+TEST(ContinuousUpiTest, BuildBasics) {
+  Fx fx;
+  EXPECT_EQ(fx.upi->num_tuples(), fx.tuples.size());
+  EXPECT_GT(fx.upi->size_bytes(), 0u);
+  ASSERT_TRUE(fx.upi->rtree()->ValidateInvariants().ok());
+  ASSERT_TRUE(fx.upi->heap_tree()->ValidateInvariants().ok());
+}
+
+TEST(ContinuousUpiTest, RangeQueryMatchesOracle) {
+  Fx fx;
+  Rng rng(3);
+  for (int trial = 0; trial < 8; ++trial) {
+    Point c = fx.gen->RandomQueryCenter(&rng);
+    double r = rng.UniformDouble(100, 600);
+    for (double qt : {0.3, 0.7}) {
+      auto oracle = fx.RangeOracle(c, r, qt);
+      std::vector<PtqMatch> out;
+      ASSERT_TRUE(fx.upi->QueryRange(c, r, qt, &out).ok());
+      std::map<TupleId, double> got;
+      for (const auto& m : out) got[m.id] = m.confidence;
+      ASSERT_EQ(got.size(), oracle.size()) << "r=" << r << " qt=" << qt;
+      for (const auto& [id, p] : oracle) {
+        ASSERT_TRUE(got.contains(id));
+        EXPECT_NEAR(got[id], p, 1e-6);
+      }
+    }
+  }
+}
+
+TEST(ContinuousUpiTest, SecondaryQueryMatchesOracle) {
+  Fx fx;
+  // Collect all segments, test a handful.
+  std::set<std::string> segments;
+  for (const Tuple& t : fx.tuples) {
+    for (const auto& a : t.Get(CarObsCols::kSegment).discrete().alternatives()) {
+      segments.insert(a.value);
+      if (segments.size() >= 5) break;
+    }
+    if (segments.size() >= 5) break;
+  }
+  for (const std::string& seg : segments) {
+    for (double qt : {0.1, 0.6}) {
+      std::map<TupleId, double> oracle;
+      for (const Tuple& t : fx.tuples) {
+        double conf = t.ConfidenceOf(CarObsCols::kSegment, seg);
+        if (conf >= qt && conf > 0) oracle[t.id()] = conf;
+      }
+      std::vector<PtqMatch> out;
+      ASSERT_TRUE(
+          fx.upi->QueryBySecondary(CarObsCols::kSegment, seg, qt, &out).ok());
+      std::map<TupleId, double> got;
+      for (const auto& m : out) got[m.id] = m.confidence;
+      ASSERT_EQ(got.size(), oracle.size()) << seg << " qt=" << qt;
+      for (const auto& [id, conf] : oracle) {
+        ASSERT_TRUE(got.contains(id));
+        EXPECT_NEAR(got[id], conf, 1e-6);
+      }
+    }
+  }
+}
+
+TEST(ContinuousUpiTest, InsertThenQuery) {
+  Fx fx(800);
+  // Insert 400 more observations one by one (exercises leaf splits + heap
+  // moves + secondary repointing).
+  std::vector<Tuple> extra;
+  for (TupleId id = 10000; id < 10400; ++id) {
+    extra.push_back(fx.gen->MakeObservation(id));
+    ASSERT_TRUE(fx.upi->Insert(extra.back()).ok());
+  }
+  ASSERT_TRUE(fx.upi->rtree()->ValidateInvariants().ok())
+      << fx.upi->rtree()->ValidateInvariants().ToString();
+  ASSERT_TRUE(fx.upi->heap_tree()->ValidateInvariants().ok());
+  EXPECT_EQ(fx.upi->num_tuples(), 1200u);
+
+  auto all = fx.tuples;
+  all.insert(all.end(), extra.begin(), extra.end());
+  Rng rng(9);
+  Point c = fx.gen->RandomQueryCenter(&rng);
+  double r = 500, qt = 0.4;
+  std::map<TupleId, double> oracle;
+  for (const Tuple& t : all) {
+    double p = t.Get(CarObsCols::kLocation).gaussian().ProbInCircle(c, r);
+    if (p >= qt) oracle[t.id()] = p;
+  }
+  std::vector<PtqMatch> out;
+  ASSERT_TRUE(fx.upi->QueryRange(c, r, qt, &out).ok());
+  ASSERT_EQ(out.size(), oracle.size());
+  for (const auto& m : out) {
+    ASSERT_TRUE(oracle.contains(m.id));
+    EXPECT_NEAR(oracle[m.id], m.confidence, 1e-6);
+  }
+
+  // Secondary pointers must have followed heap moves: query a segment of an
+  // inserted tuple.
+  const std::string seg =
+      extra[0].Get(CarObsCols::kSegment).discrete().First().value;
+  std::vector<PtqMatch> sec_out;
+  ASSERT_TRUE(
+      fx.upi->QueryBySecondary(CarObsCols::kSegment, seg, 0.05, &sec_out).ok());
+  bool found = false;
+  for (const auto& m : sec_out) found |= m.id == extra[0].id();
+  EXPECT_TRUE(found);
+}
+
+TEST(SecondaryUtreeTest, RangeQueryMatchesContinuousUpi) {
+  Fx fx;
+  // Build the baseline over the same tuples.
+  auto table = baseline::UnclusteredTable::Build(
+                   &fx.env, "cars_heap",
+                   datagen::CartelGenerator::CarObservationSchema(),
+                   {CarObsCols::kSegment}, fx.tuples)
+                   .ValueOrDie();
+  table->charge_open_per_query = false;
+  auto utree = baseline::SecondaryUtree::Build(&fx.env, "cars_ut", *table,
+                                               CarObsCols::kLocation, fx.tuples)
+                   .ValueOrDie();
+  utree->charge_open_per_query = false;
+  Rng rng(17);
+  for (int trial = 0; trial < 5; ++trial) {
+    Point c = fx.gen->RandomQueryCenter(&rng);
+    double r = rng.UniformDouble(150, 500);
+    double qt = 0.5;
+    std::vector<PtqMatch> via_upi, via_ut;
+    ASSERT_TRUE(fx.upi->QueryRange(c, r, qt, &via_upi).ok());
+    ASSERT_TRUE(utree->QueryRange(*table, c, r, qt, &via_ut).ok());
+    std::set<TupleId> a, b;
+    for (const auto& m : via_upi) a.insert(m.id);
+    for (const auto& m : via_ut) b.insert(m.id);
+    EXPECT_EQ(a, b);
+  }
+}
+
+TEST(ContinuousUpiTest, ClusteredFetchCheaperThanUtree) {
+  // The Figure 7 effect in miniature: same answers, far less simulated I/O.
+  // Uses enough observations and a small-enough radius that the unclustered
+  // heap fetch cannot degenerate into a (cheap) sequential sweep.
+  Fx fx(12000, 41);
+  auto table = baseline::UnclusteredTable::Build(
+                   &fx.env, "cars_heap2",
+                   datagen::CartelGenerator::CarObservationSchema(), {},
+                   fx.tuples)
+                   .ValueOrDie();
+  table->charge_open_per_query = false;
+  auto utree = baseline::SecondaryUtree::Build(&fx.env, "cars_ut2", *table,
+                                               CarObsCols::kLocation, fx.tuples)
+                   .ValueOrDie();
+  utree->charge_open_per_query = false;
+
+  Rng rng(23);
+  Point c = fx.gen->RandomQueryCenter(&rng);
+  double r = 300, qt = 0.5;
+
+  fx.env.ColdCache();
+  sim::StatsWindow w1(fx.env.disk());
+  std::vector<PtqMatch> out1;
+  ASSERT_TRUE(fx.upi->QueryRange(c, r, qt, &out1).ok());
+  double upi_ms = w1.ElapsedMs();
+
+  fx.env.ColdCache();
+  sim::StatsWindow w2(fx.env.disk());
+  std::vector<PtqMatch> out2;
+  ASSERT_TRUE(utree->QueryRange(*table, c, r, qt, &out2).ok());
+  double ut_ms = w2.ElapsedMs();
+
+  ASSERT_GT(out1.size(), 20u) << "query should be non-selective";
+  EXPECT_EQ(out1.size(), out2.size());
+  EXPECT_LT(upi_ms * 3, ut_ms) << "UPI=" << upi_ms << "ms UT=" << ut_ms << "ms";
+}
+
+}  // namespace
+}  // namespace upi::core

@@ -1,0 +1,156 @@
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "datagen/dblp.h"
+
+namespace upi::datagen {
+namespace {
+
+using catalog::Tuple;
+using catalog::ValueType;
+
+TEST(DblpGeneratorTest, GeneratesRequestedCounts) {
+  DblpConfig cfg;
+  cfg.num_authors = 500;
+  cfg.num_publications = 800;
+  DblpGenerator gen(cfg);
+  auto authors = gen.GenerateAuthors();
+  EXPECT_EQ(authors.size(), 500u);
+  auto pubs = gen.GeneratePublications(authors);
+  EXPECT_EQ(pubs.size(), 800u);
+  // IDs unique and in documented ranges.
+  EXPECT_EQ(authors.front().id(), 1u);
+  EXPECT_EQ(authors.back().id(), 500u);
+  EXPECT_GE(pubs.front().id(), DblpGenerator::kPublicationIdBase);
+}
+
+TEST(DblpGeneratorTest, SchemasMatchColumns) {
+  auto a = DblpGenerator::AuthorSchema();
+  EXPECT_EQ(a.FindColumn("Institution"), AuthorCols::kInstitution);
+  EXPECT_EQ(a.column(AuthorCols::kInstitution).type, ValueType::kDiscrete);
+  EXPECT_EQ(a.FindColumn("Country"), AuthorCols::kCountry);
+  auto p = DblpGenerator::PublicationSchema();
+  EXPECT_EQ(p.FindColumn("Journal"), PublicationCols::kJournal);
+}
+
+TEST(DblpGeneratorTest, AlternativesRespectConfig) {
+  DblpConfig cfg;
+  cfg.num_authors = 2000;
+  cfg.max_alternatives = 10;
+  DblpGenerator gen(cfg);
+  auto authors = gen.GenerateAuthors();
+  size_t multi = 0;
+  for (const Tuple& t : authors) {
+    const auto& dist = t.Get(AuthorCols::kInstitution).discrete();
+    ASSERT_GE(dist.size(), 1u);
+    ASSERT_LE(dist.size(), 10u);
+    if (dist.size() > 1) ++multi;
+    EXPECT_NEAR(dist.TotalMass(), 1.0, 1e-9);
+    EXPECT_GE(t.existence(), cfg.min_existence);
+    EXPECT_LE(t.existence(), 1.0);
+  }
+  // A healthy mix of certain and uncertain affiliations.
+  EXPECT_GT(multi, authors.size() / 3);
+  EXPECT_LT(multi, authors.size());
+}
+
+TEST(DblpGeneratorTest, InstitutionPopularityIsSkewed) {
+  DblpConfig cfg;
+  cfg.num_authors = 5000;
+  cfg.num_institutions = 200;
+  DblpGenerator gen(cfg);
+  auto authors = gen.GenerateAuthors();
+  std::map<std::string, int> counts;
+  for (const Tuple& t : authors) {
+    const auto& dist = t.Get(AuthorCols::kInstitution).discrete();
+    for (const auto& a : dist.alternatives()) ++counts[a.value];
+  }
+  int popular = counts[gen.PopularInstitution()];
+  int tail = counts[gen.InstitutionName(150)];
+  EXPECT_GT(popular, 10 * std::max(tail, 1));
+}
+
+TEST(DblpGeneratorTest, CountryDerivedFromInstitutions) {
+  // The correlation property: a tuple's country distribution must equal its
+  // institution distribution aggregated through the institution->country map.
+  DblpConfig cfg;
+  cfg.num_authors = 300;
+  DblpGenerator gen(cfg);
+  for (const Tuple& t : gen.GenerateAuthors()) {
+    const auto& inst = t.Get(AuthorCols::kInstitution).discrete();
+    const auto& country = t.Get(AuthorCols::kCountry).discrete();
+    std::map<std::string, double> expected;
+    for (const auto& a : inst.alternatives()) {
+      uint64_t rank = std::strtoull(a.value.c_str() + 4, nullptr, 10);
+      expected[gen.CountryOfInstitution(rank)] += a.prob;
+    }
+    ASSERT_EQ(country.size(), expected.size());
+    for (const auto& a : country.alternatives()) {
+      ASSERT_TRUE(expected.contains(a.value));
+      EXPECT_NEAR(a.prob, expected[a.value], 1e-9);
+    }
+  }
+}
+
+TEST(DblpGeneratorTest, PublicationsInheritAffiliation) {
+  DblpConfig cfg;
+  cfg.num_authors = 100;
+  cfg.num_publications = 200;
+  DblpGenerator gen(cfg);
+  auto authors = gen.GenerateAuthors();
+  std::map<uint64_t, const Tuple*> by_existence;  // crude author lookup
+  auto pubs = gen.GeneratePublications(authors);
+  for (const Tuple& p : pubs) {
+    // Every publication's institution distribution must match some author's.
+    bool found = false;
+    for (const Tuple& a : authors) {
+      if (p.Get(PublicationCols::kInstitution).discrete() ==
+          a.Get(AuthorCols::kInstitution).discrete()) {
+        found = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(found);
+    if (!found) break;
+  }
+}
+
+TEST(DblpGeneratorTest, DeterministicForSameSeed) {
+  DblpConfig cfg;
+  cfg.num_authors = 100;
+  auto a1 = DblpGenerator(cfg).GenerateAuthors();
+  auto a2 = DblpGenerator(cfg).GenerateAuthors();
+  ASSERT_EQ(a1.size(), a2.size());
+  for (size_t i = 0; i < a1.size(); ++i) EXPECT_TRUE(a1[i] == a2[i]);
+}
+
+TEST(DblpGeneratorTest, ScaledConfig) {
+  DblpConfig cfg;
+  DblpConfig big = cfg.Scaled(7.0);
+  EXPECT_EQ(big.num_authors, 700000u);
+  EXPECT_EQ(big.num_publications, 1400000u);
+  DblpConfig tiny = cfg.Scaled(0.001);
+  EXPECT_GE(tiny.num_institutions, 50u);
+}
+
+TEST(FindValueTest, PicksClosestCount) {
+  DblpConfig cfg;
+  cfg.num_authors = 3000;
+  DblpGenerator gen(cfg);
+  auto authors = gen.GenerateAuthors();
+  std::string v =
+      FindValueWithApproxCount(authors, AuthorCols::kInstitution, 50);
+  std::map<std::string, uint64_t> counts;
+  for (const Tuple& t : authors) {
+    for (const auto& a :
+         t.Get(AuthorCols::kInstitution).discrete().alternatives()) {
+      ++counts[a.value];
+    }
+  }
+  EXPECT_GE(counts[v], 20u);
+  EXPECT_LE(counts[v], 120u);
+}
+
+}  // namespace
+}  // namespace upi::datagen

@@ -1,0 +1,169 @@
+#include <gtest/gtest.h>
+
+#include "datagen/dblp.h"
+#include "histogram/prob_histogram.h"
+#include "histogram/selectivity.h"
+
+namespace upi::histogram {
+namespace {
+
+TEST(ProbHistogramTest, ExactCountsOnBucketBoundaries) {
+  ProbHistogram h(10);  // buckets of width 0.1
+  h.Add("MIT", 0.95, true);
+  h.Add("MIT", 0.55, false);
+  h.Add("MIT", 0.15, false);
+  h.Add("UCB", 0.05, false);
+  EXPECT_EQ(h.total_alternatives(), 4u);
+  EXPECT_EQ(h.total_first(), 1u);
+  EXPECT_EQ(h.distinct_values(), 2u);
+  EXPECT_NEAR(h.CountFirst("MIT", 0.9, 1.01), 1.0, 1e-9);
+  EXPECT_NEAR(h.CountRest("MIT", 0.1, 0.2), 1.0, 1e-9);
+  EXPECT_NEAR(h.CountRest("MIT", 0.0, 1.01), 2.0, 1e-9);
+  EXPECT_NEAR(h.CountRest("UCB", 0.0, 0.1), 1.0, 1e-9);
+  EXPECT_NEAR(h.CountFirst("none", 0.0, 1.01), 0.0, 1e-9);
+}
+
+TEST(ProbHistogramTest, InterpolatesWithinBucket) {
+  ProbHistogram h(10);
+  for (int i = 0; i < 100; ++i) h.Add("X", 0.55, false);  // bucket [0.5, 0.6)
+  EXPECT_NEAR(h.CountRest("X", 0.5, 0.55), 50.0, 1e-6);
+  EXPECT_NEAR(h.CountRest("X", 0.55, 0.6), 50.0, 1e-6);
+}
+
+TEST(ProbHistogramTest, RemoveUndoesAdd) {
+  ProbHistogram h(20);
+  h.Add("A", 0.42, true);
+  h.Add("A", 0.42, true);
+  h.Remove("A", 0.42, true);
+  EXPECT_NEAR(h.CountFirst("A", 0.4, 0.45), 1.0, 1e-9);
+  EXPECT_EQ(h.total_alternatives(), 1u);
+  EXPECT_EQ(h.total_first(), 1u);
+}
+
+TEST(ProbHistogramTest, HeapHitsSplitAtCutoff) {
+  ProbHistogram h(20);
+  // One tuple: first alt 0.85, others 0.30 and 0.05 — all on value "v".
+  h.Add("v", 0.85, true);
+  h.Add("v", 0.30, false);
+  h.Add("v", 0.05, false);
+  // qt=0.02, C=0.1: heap holds first (0.85) + the 0.30 entry; cutoff holds
+  // the 0.05 alternative.
+  EXPECT_NEAR(h.EstimateHeapHits("v", 0.02, 0.1), 2.0, 1e-6);
+  EXPECT_NEAR(h.EstimateCutoffPointers("v", 0.02, 0.1), 1.0, 1e-6);
+  // qt=0.2 >= C: no cutoff pointers, heap hits are entries >= 0.2.
+  EXPECT_NEAR(h.EstimateCutoffPointers("v", 0.2, 0.1), 0.0, 1e-9);
+  EXPECT_NEAR(h.EstimateHeapHits("v", 0.2, 0.1), 2.0, 1e-6);
+  // A first alternative below C still counts as a heap hit.
+  ProbHistogram h2(20);
+  h2.Add("w", 0.08, true);
+  EXPECT_NEAR(h2.EstimateHeapHits("w", 0.02, 0.3), 1.0, 1e-6);
+  EXPECT_NEAR(h2.EstimateCutoffPointers("w", 0.02, 0.3), 0.0, 1e-9);
+}
+
+TEST(ProbHistogramTest, TotalHeapEntriesShrinkWithCutoff) {
+  ProbHistogram h(20);
+  // 10 tuples, each with one strong and three weak alternatives.
+  for (int i = 0; i < 10; ++i) {
+    h.Add("v", 0.85, true);
+    h.Add("v", 0.06, false);
+    h.Add("v", 0.05, false);
+    h.Add("v", 0.04, false);
+  }
+  EXPECT_NEAR(h.EstimateTotalHeapEntries(0.0), 40.0, 1e-9);
+  EXPECT_NEAR(h.EstimateTotalHeapEntries(0.1), 10.0, 1e-6);
+  EXPECT_NEAR(h.EstimateTotalHeapEntries(0.05), 10.0 + 20.0, 2.0);
+}
+
+TEST(SelectivityEstimatorTest, CutoffPointerEstimateTracksTruth) {
+  // The Figure 11 property: estimated #cutoff-pointers ~= truth.
+  datagen::DblpConfig cfg;
+  cfg.num_authors = 5000;
+  cfg.num_institutions = 100;
+  cfg.seed = 21;
+  datagen::DblpGenerator gen(cfg);
+  auto tuples = gen.GenerateAuthors();
+
+  ProbHistogram hist(20);
+  for (const auto& t : tuples) {
+    const auto& dist = t.Get(datagen::AuthorCols::kInstitution).discrete();
+    bool first = true;
+    for (const auto& a : dist.alternatives()) {
+      hist.Add(a.value, t.existence() * a.prob, first);
+      first = false;
+    }
+  }
+  SelectivityEstimator est(&hist);
+  std::string value = gen.PopularInstitution();
+
+  for (double qt : {0.05, 0.15, 0.25}) {
+    for (double c : {0.3, 0.5}) {
+      // Ground truth: alternatives with qt <= conf < c, not first-of-tuple.
+      double truth = 0;
+      for (const auto& t : tuples) {
+        const auto& dist = t.Get(datagen::AuthorCols::kInstitution).discrete();
+        bool first = true;
+        for (const auto& a : dist.alternatives()) {
+          double conf = t.existence() * a.prob;
+          if (!first && a.value == value && conf >= qt && conf < c) ++truth;
+          first = false;
+        }
+      }
+      double estimated = est.EstimatePtq(value, qt, c).cutoff_pointers;
+      EXPECT_NEAR(estimated, truth, truth * 0.15 + 20)
+          << "qt=" << qt << " C=" << c;
+    }
+  }
+}
+
+TEST(SelectivityEstimatorTest, HeapHitEstimateTracksTruth) {
+  datagen::DblpConfig cfg;
+  cfg.num_authors = 5000;
+  cfg.num_institutions = 100;
+  cfg.seed = 22;
+  datagen::DblpGenerator gen(cfg);
+  auto tuples = gen.GenerateAuthors();
+  ProbHistogram hist(20);
+  for (const auto& t : tuples) {
+    const auto& dist = t.Get(datagen::AuthorCols::kInstitution).discrete();
+    bool first = true;
+    for (const auto& a : dist.alternatives()) {
+      hist.Add(a.value, t.existence() * a.prob, first);
+      first = false;
+    }
+  }
+  SelectivityEstimator est(&hist);
+  std::string value = gen.PopularInstitution();
+  double c = 0.1;
+  for (double qt : {0.05, 0.2, 0.5}) {
+    double truth = 0;
+    for (const auto& t : tuples) {
+      const auto& dist = t.Get(datagen::AuthorCols::kInstitution).discrete();
+      bool first = true;
+      for (const auto& a : dist.alternatives()) {
+        double conf = t.existence() * a.prob;
+        bool in_heap = first || conf >= c;
+        if (in_heap && a.value == value && conf >= qt) ++truth;
+        first = false;
+      }
+    }
+    double estimated = est.EstimatePtq(value, qt, c).heap_entries;
+    EXPECT_NEAR(estimated, truth, truth * 0.15 + 20) << "qt=" << qt;
+  }
+}
+
+TEST(SelectivityEstimatorTest, SelectivityBetweenZeroAndOne) {
+  ProbHistogram h(20);
+  for (int i = 0; i < 100; ++i) {
+    h.Add("big", 0.9, true);
+    h.Add("small", 0.02, false);
+  }
+  SelectivityEstimator est(&h);
+  auto e = est.EstimatePtq("big", 0.5, 0.1);
+  EXPECT_GT(e.selectivity, 0.0);
+  EXPECT_LE(e.selectivity, 1.0);
+  EXPECT_NEAR(e.heap_entries, 100.0, 1e-6);
+  EXPECT_EQ(e.cutoff_pointers, 0.0);  // qt >= C
+}
+
+}  // namespace
+}  // namespace upi::histogram

@@ -1,0 +1,213 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.h"
+#include "prob/confidence.h"
+#include "prob/discrete.h"
+#include "prob/gaussian2d.h"
+
+namespace upi::prob {
+namespace {
+
+DiscreteDistribution Dist(std::vector<Alternative> alts) {
+  return DiscreteDistribution::Make(std::move(alts)).ValueOrDie();
+}
+
+TEST(DiscreteTest, SortsByDescendingProbability) {
+  auto d = Dist({{"MIT", 0.2}, {"Brown", 0.8}});
+  ASSERT_EQ(d.size(), 2u);
+  EXPECT_EQ(d.First().value, "Brown");
+  EXPECT_NEAR(d.First().prob, 0.8, 1e-8);
+  EXPECT_EQ(d.alternatives()[1].value, "MIT");
+}
+
+TEST(DiscreteTest, TieBrokenByValue) {
+  auto d = Dist({{"b", 0.5}, {"a", 0.5}});
+  EXPECT_EQ(d.First().value, "a");
+}
+
+TEST(DiscreteTest, ProbabilityOf) {
+  auto d = Dist({{"Brown", 0.6}, {"U.Tokyo", 0.4}});
+  EXPECT_NEAR(d.ProbabilityOf("Brown"), 0.6, 1e-8);
+  EXPECT_NEAR(d.ProbabilityOf("U.Tokyo"), 0.4, 1e-8);
+  EXPECT_DOUBLE_EQ(d.ProbabilityOf("MIT"), 0.0);
+  EXPECT_NEAR(d.TotalMass(), 1.0, 1e-8);
+}
+
+TEST(DiscreteTest, RejectsInvalid) {
+  EXPECT_FALSE(DiscreteDistribution::Make({{"a", 0.0}}).ok());
+  EXPECT_FALSE(DiscreteDistribution::Make({{"a", 1.5}}).ok());
+  EXPECT_FALSE(DiscreteDistribution::Make({{"a", -0.1}}).ok());
+  EXPECT_FALSE(DiscreteDistribution::Make({{"a", 0.7}, {"b", 0.7}}).ok());
+  EXPECT_FALSE(DiscreteDistribution::Make({{"a", 0.5}, {"a", 0.3}}).ok());
+  EXPECT_TRUE(DiscreteDistribution::Make({}).ok());
+  EXPECT_TRUE(DiscreteDistribution::Make({{"a", 0.3}, {"b", 0.3}}).ok());
+}
+
+TEST(DiscreteTest, SerializeRoundTrip) {
+  auto d = Dist({{"MIT", 0.95}, {"UCB", 0.05}});
+  std::string buf;
+  d.Serialize(&buf);
+  const char* p = buf.data();
+  DiscreteDistribution out;
+  ASSERT_TRUE(
+      DiscreteDistribution::Deserialize(&p, buf.data() + buf.size(), &out).ok());
+  EXPECT_EQ(out.size(), 2u);
+  EXPECT_EQ(out.First().value, "MIT");
+  EXPECT_NEAR(out.ProbabilityOf("UCB"), 0.05, 1e-8);
+  EXPECT_EQ(p, buf.data() + buf.size());
+}
+
+TEST(ConfidenceTest, PaperRunningExample) {
+  // Alice: exists 90%, MIT 20% -> confidence 18% (paper Section 1).
+  EXPECT_NEAR(Confidence(0.9, 0.2), 0.18, 1e-12);
+  // Bob: exists 100%, MIT 95%.
+  EXPECT_NEAR(Confidence(1.0, 0.95), 0.95, 1e-12);
+}
+
+TEST(WorldEnumerationTest, ProbabilitiesSumToOne) {
+  std::vector<WorldRow> rows = {
+      {1, 0.9, Dist({{"Brown", 0.8}, {"MIT", 0.2}})},
+      {2, 1.0, Dist({{"MIT", 0.95}, {"UCB", 0.05}})},
+      {3, 0.8, Dist({{"Brown", 0.6}, {"U.Tokyo", 0.4}})},
+  };
+  double total = 0.0;
+  int worlds = 0;
+  EnumerateWorlds(rows, [&](double p, const std::vector<WorldAssignment>&) {
+    total += p;
+    ++worlds;
+  });
+  EXPECT_NEAR(total, 1.0, 1e-12);
+  // (absent + 2 alts) per row, except Bob whose absent-branch has zero
+  // probability (existence 1.0, alternatives sum to 1) and is skipped.
+  EXPECT_EQ(worlds, 3 * 2 * 3);
+}
+
+TEST(WorldEnumerationTest, PaperWorldProbability) {
+  // Paper Section 1: world where Alice@Brown, Bob@MIT, Carol absent has
+  // probability 90% * 80% * 95% * 20% ~= 13.7%.
+  std::vector<WorldRow> rows = {
+      {1, 0.9, Dist({{"Brown", 0.8}, {"MIT", 0.2}})},
+      {2, 1.0, Dist({{"MIT", 0.95}, {"UCB", 0.05}})},
+      {3, 0.8, Dist({{"Brown", 0.6}, {"U.Tokyo", 0.4}})},
+  };
+  double found = -1.0;
+  EnumerateWorlds(rows, [&](double p, const std::vector<WorldAssignment>& w) {
+    bool alice_brown = false, bob_mit = false, carol_present = false;
+    for (const auto& a : w) {
+      if (a.id == 1 && a.value == "Brown") alice_brown = true;
+      if (a.id == 2 && a.value == "MIT") bob_mit = true;
+      if (a.id == 3) carol_present = true;
+    }
+    if (alice_brown && bob_mit && !carol_present && w.size() == 2) found = p;
+  });
+  EXPECT_NEAR(found, 0.9 * 0.8 * 0.95 * 0.2, 1e-8);
+}
+
+TEST(WorldEnumerationTest, BruteForceMatchesProductFormula) {
+  std::vector<WorldRow> rows = {
+      {1, 0.9, Dist({{"Brown", 0.8}, {"MIT", 0.2}})},
+      {2, 1.0, Dist({{"MIT", 0.95}, {"UCB", 0.05}})},
+      {3, 0.8, Dist({{"Brown", 0.6}, {"U.Tokyo", 0.4}})},
+  };
+  // Query 1 answers from the paper: (Alice, 18%), (Bob, 95%).
+  EXPECT_NEAR(BruteForceConfidence(rows, 1, "MIT"), 0.18, 1e-8);
+  EXPECT_NEAR(BruteForceConfidence(rows, 2, "MIT"), 0.95, 1e-8);
+  EXPECT_NEAR(BruteForceConfidence(rows, 3, "U.Tokyo"), 0.32, 1e-8);
+  EXPECT_NEAR(BruteForceConfidence(rows, 3, "MIT"), 0.0, 1e-8);
+}
+
+// ---------------- Gaussian ----------------
+
+TEST(Gaussian2DTest, RadialCdfMonotoneAndBounded) {
+  ConstrainedGaussian2D g({0, 0}, 30.0, 100.0);
+  EXPECT_DOUBLE_EQ(g.RadialCdf(0), 0.0);
+  EXPECT_DOUBLE_EQ(g.RadialCdf(100), 1.0);
+  EXPECT_DOUBLE_EQ(g.RadialCdf(200), 1.0);
+  double prev = 0.0;
+  for (int t = 10; t <= 100; t += 10) {
+    double c = g.RadialCdf(t);
+    EXPECT_GE(c, prev);
+    prev = c;
+  }
+}
+
+TEST(Gaussian2DTest, ProbInCircleExtremes) {
+  ConstrainedGaussian2D g({50, 50}, 20.0, 100.0);
+  // Query circle covering the whole support.
+  EXPECT_NEAR(g.ProbInCircle({50, 50}, 200.0), 1.0, 1e-9);
+  // Disjoint query circle.
+  EXPECT_NEAR(g.ProbInCircle({500, 500}, 50.0), 0.0, 1e-9);
+}
+
+TEST(Gaussian2DTest, CenteredCircleMatchesRadialCdf) {
+  ConstrainedGaussian2D g({0, 0}, 25.0, 80.0);
+  for (double r : {10.0, 30.0, 60.0}) {
+    EXPECT_NEAR(g.ProbInCircle({0, 0}, r), g.RadialCdf(r), 1e-6);
+  }
+}
+
+TEST(Gaussian2DTest, BoundsBracketTruth) {
+  ConstrainedGaussian2D g({0, 0}, 25.0, 80.0);
+  for (double dx : {0.0, 20.0, 50.0, 90.0, 130.0}) {
+    for (double r : {20.0, 50.0, 100.0}) {
+      Point c{dx, 0};
+      double lo = g.LowerBoundInCircle(c, r);
+      double hi = g.UpperBoundInCircle(c, r);
+      double p = g.ProbInCircle(c, r);
+      EXPECT_LE(lo, p + 1e-9) << "dx=" << dx << " r=" << r;
+      EXPECT_GE(hi, p - 1e-9) << "dx=" << dx << " r=" << r;
+    }
+  }
+}
+
+TEST(Gaussian2DTest, MonteCarloAgreesWithIntegration) {
+  ConstrainedGaussian2D g({10, -5}, 15.0, 60.0);
+  Rng rng(17);
+  Point qc{25, 0};
+  double qr = 30.0;
+  const int kSamples = 200000;
+  int inside = 0;
+  for (int i = 0; i < kSamples; ++i) {
+    Point s = g.Sample(&rng);
+    if (DistanceBetween(s, qc) <= qr) ++inside;
+  }
+  double mc = static_cast<double>(inside) / kSamples;
+  double integ = g.ProbInCircle(qc, qr);
+  EXPECT_NEAR(integ, mc, 0.01);
+}
+
+TEST(Gaussian2DTest, SamplesRespectBoundary) {
+  ConstrainedGaussian2D g({0, 0}, 50.0, 40.0);  // wide sigma, tight bound
+  Rng rng(5);
+  for (int i = 0; i < 2000; ++i) {
+    Point s = g.Sample(&rng);
+    EXPECT_LE(DistanceBetween(s, {0, 0}), 40.0 + 1e-9);
+  }
+}
+
+TEST(Gaussian2DTest, MbrCoversSupport) {
+  ConstrainedGaussian2D g({10, 20}, 5.0, 30.0);
+  double x0, y0, x1, y1;
+  g.Mbr(&x0, &y0, &x1, &y1);
+  EXPECT_DOUBLE_EQ(x0, -20.0);
+  EXPECT_DOUBLE_EQ(y0, -10.0);
+  EXPECT_DOUBLE_EQ(x1, 40.0);
+  EXPECT_DOUBLE_EQ(y1, 50.0);
+}
+
+TEST(Gaussian2DTest, SerializeRoundTrip) {
+  ConstrainedGaussian2D g({42.5, -71.1}, 0.001, 0.005);
+  std::string buf;
+  g.Serialize(&buf);
+  const char* p = buf.data();
+  ConstrainedGaussian2D out;
+  ASSERT_TRUE(
+      ConstrainedGaussian2D::Deserialize(&p, buf.data() + buf.size(), &out).ok());
+  EXPECT_EQ(out, g);
+  EXPECT_NEAR(out.RadialCdf(0.003), g.RadialCdf(0.003), 1e-12);
+}
+
+}  // namespace
+}  // namespace upi::prob

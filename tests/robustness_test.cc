@@ -1,0 +1,156 @@
+// Robustness / failure-injection tests: corrupted pages and truncated
+// records must surface as Status errors, never as crashes or silent wrong
+// answers; codecs must reject malformed input at every truncation point.
+#include <gtest/gtest.h>
+
+#include "btree/node.h"
+#include "catalog/tuple.h"
+#include "common/coding.h"
+#include "common/random.h"
+#include "core/secondary_index.h"
+#include "core/upi_key.h"
+#include "prob/discrete.h"
+
+namespace upi {
+namespace {
+
+TEST(NodeCodecTest, RoundTripLeafAndInternal) {
+  btree::Node leaf;
+  leaf.is_leaf = true;
+  leaf.right_sibling = 42;
+  leaf.entries.push_back({"alpha", "1"});
+  leaf.entries.push_back({std::string("k\0key", 5), std::string(300, 'v')});
+  std::string page;
+  leaf.Serialize(&page);
+  btree::Node out;
+  ASSERT_TRUE(btree::Node::Deserialize(page, &out).ok());
+  EXPECT_TRUE(out.is_leaf);
+  EXPECT_EQ(out.right_sibling, 42u);
+  ASSERT_EQ(out.entries.size(), 2u);
+  EXPECT_EQ(out.entries[1].key, leaf.entries[1].key);
+  EXPECT_EQ(out.SerializedSize(), page.size());
+
+  btree::Node inner;
+  inner.is_leaf = false;
+  inner.children.push_back({"", 7});
+  inner.children.push_back({"m", 9});
+  page.clear();
+  inner.Serialize(&page);
+  ASSERT_TRUE(btree::Node::Deserialize(page, &out).ok());
+  EXPECT_FALSE(out.is_leaf);
+  ASSERT_EQ(out.children.size(), 2u);
+  EXPECT_EQ(out.children[1].child, 9u);
+}
+
+TEST(NodeCodecTest, EveryTruncationPointFailsCleanly) {
+  btree::Node leaf;
+  leaf.is_leaf = true;
+  for (int i = 0; i < 8; ++i) {
+    leaf.entries.push_back({"key" + std::to_string(i), std::string(20, 'v')});
+  }
+  std::string page;
+  leaf.Serialize(&page);
+  btree::Node out;
+  for (size_t cut = 0; cut < page.size(); ++cut) {
+    Status st = btree::Node::Deserialize(std::string_view(page.data(), cut), &out);
+    EXPECT_FALSE(st.ok()) << "truncation at " << cut << " must be rejected";
+  }
+  ASSERT_TRUE(btree::Node::Deserialize(page, &out).ok());
+}
+
+TEST(NodeCodecTest, RandomGarbageNeverCrashes) {
+  Rng rng(99);
+  btree::Node out;
+  for (int trial = 0; trial < 2000; ++trial) {
+    std::string garbage(rng.Uniform(200), '\0');
+    for (char& c : garbage) c = static_cast<char>(rng.Uniform(256));
+    // Either parses (harmlessly) or errors; must not crash or hang.
+    (void)btree::Node::Deserialize(garbage, &out);
+  }
+}
+
+TEST(TupleCodecTest, EveryTruncationPointFailsCleanly) {
+  auto dist = prob::DiscreteDistribution::Make({{"Brown", 0.8}, {"MIT", 0.2}})
+                  .ValueOrDie();
+  catalog::Tuple t(7, 0.9,
+                   {catalog::Value::String("Alice"),
+                    catalog::Value::Discrete(dist),
+                    catalog::Value::Gaussian(
+                        prob::ConstrainedGaussian2D({1, 2}, 3, 9)),
+                    catalog::Value::Int64(-5), catalog::Value::Double(2.5),
+                    catalog::Value::Null()});
+  std::string buf;
+  t.Serialize(&buf);
+  for (size_t cut = 0; cut < buf.size(); ++cut) {
+    auto r = catalog::Tuple::Deserialize(std::string_view(buf.data(), cut));
+    EXPECT_FALSE(r.ok()) << "truncation at " << cut;
+  }
+  EXPECT_TRUE(catalog::Tuple::Deserialize(buf).ok());
+}
+
+TEST(UpiKeyCodecTest, TruncationRejected) {
+  std::string key = core::EncodeUpiKey("MIT", 0.5, 12);
+  core::UpiKey out;
+  for (size_t cut = 0; cut < key.size(); ++cut) {
+    EXPECT_FALSE(core::DecodeUpiKey(std::string_view(key.data(), cut), &out).ok());
+  }
+  EXPECT_TRUE(core::DecodeUpiKey(key, &out).ok());
+}
+
+TEST(SecondaryPointerCodecTest, TruncationRejected) {
+  std::vector<core::SecondaryPointer> ptrs = {{"Brown", 0.72}, {"MIT", 0.18}};
+  std::string buf;
+  core::SecondaryIndex::EncodePointers(ptrs, true, &buf);
+  std::vector<core::SecondaryPointer> out;
+  bool has_cutoff;
+  for (size_t cut = 0; cut < buf.size(); ++cut) {
+    EXPECT_FALSE(core::SecondaryIndex::DecodePointers(
+                     std::string_view(buf.data(), cut), &out, &has_cutoff)
+                     .ok())
+        << "truncation at " << cut;
+  }
+  EXPECT_TRUE(
+      core::SecondaryIndex::DecodePointers(buf, &out, &has_cutoff).ok());
+}
+
+TEST(OrderedStringCodecTest, RandomRoundTripProperty) {
+  Rng rng(7);
+  for (int trial = 0; trial < 3000; ++trial) {
+    std::string in(rng.Uniform(40), '\0');
+    for (char& c : in) c = static_cast<char>(rng.Uniform(256));
+    std::string enc;
+    AppendOrderedString(&enc, in);
+    const char* p = enc.data();
+    std::string out;
+    ASSERT_TRUE(DecodeOrderedString(&p, enc.data() + enc.size(), &out).ok());
+    EXPECT_EQ(out, in);
+    // Order preservation against a second random string.
+    std::string in2(rng.Uniform(40), '\0');
+    for (char& c : in2) c = static_cast<char>(rng.Uniform(256));
+    std::string enc2;
+    AppendOrderedString(&enc2, in2);
+    EXPECT_EQ(in < in2, enc < enc2) << "ordering violated";
+  }
+}
+
+TEST(QuantizeProbTest, IdempotentAndMonotone) {
+  Rng rng(11);
+  double prev_q = -1.0;
+  for (double p = 0.0; p <= 1.0; p += 0.001) {
+    double q = QuantizeProb(p);
+    EXPECT_GE(q, prev_q);          // monotone
+    EXPECT_NEAR(q, p, 1e-9);       // close to input
+    EXPECT_DOUBLE_EQ(QuantizeProb(q), q);  // idempotent
+    prev_q = q;
+  }
+  for (int i = 0; i < 1000; ++i) {
+    double p = rng.NextDouble();
+    std::string enc;
+    AppendProbDesc(&enc, QuantizeProb(p));
+    EXPECT_DOUBLE_EQ(DecodeProbDesc(enc.data()), QuantizeProb(p))
+        << "quantized probabilities must round-trip exactly";
+  }
+}
+
+}  // namespace
+}  // namespace upi

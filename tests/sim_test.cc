@@ -1,0 +1,140 @@
+#include <gtest/gtest.h>
+
+#include "sim/sim_disk.h"
+
+namespace upi::sim {
+namespace {
+
+constexpr uint64_t kMB = 1024 * 1024;
+
+TEST(CostParamsTest, PaperTable6Defaults) {
+  CostParams p;
+  EXPECT_DOUBLE_EQ(p.seek_ms, 10.0);
+  EXPECT_DOUBLE_EQ(p.read_ms_per_mb, 20.0);
+  EXPECT_DOUBLE_EQ(p.write_ms_per_mb, 50.0);
+  EXPECT_DOUBLE_EQ(p.init_ms, 100.0);
+  EXPECT_DOUBLE_EQ(p.ReadMs(kMB), 20.0);
+  EXPECT_DOUBLE_EQ(p.WriteMs(2 * kMB), 100.0);
+}
+
+TEST(SimDiskTest, SequentialReadAfterSeek) {
+  SimDisk disk;
+  uint64_t a = disk.Allocate(4096);
+  uint64_t b = disk.Allocate(4096);
+  EXPECT_EQ(b, a + 4096);
+  disk.Read(a, 4096);   // head unknown -> one seek
+  disk.Read(b, 4096);   // contiguous -> no seek
+  EXPECT_EQ(disk.stats().seeks, 1u);
+  EXPECT_EQ(disk.stats().bytes_read, 8192u);
+}
+
+TEST(SimDiskTest, NonContiguousReadSeeks) {
+  SimDisk disk;
+  uint64_t a = disk.Allocate(4096);
+  disk.Allocate(4096);
+  uint64_t c = disk.Allocate(4096);
+  disk.Read(a, 4096);
+  disk.Read(c, 4096);  // skipped a page -> seek
+  EXPECT_EQ(disk.stats().seeks, 2u);
+}
+
+TEST(SimDiskTest, BackwardReadSeeks) {
+  SimDisk disk;
+  uint64_t a = disk.Allocate(4096);
+  uint64_t b = disk.Allocate(4096);
+  disk.Read(b, 4096);
+  disk.Read(a, 4096);
+  EXPECT_EQ(disk.stats().seeks, 2u);
+}
+
+TEST(SimDiskTest, WriteThenContiguousWriteIsSequential) {
+  SimDisk disk;
+  uint64_t a = disk.Allocate(8192);
+  disk.Write(a, 4096);
+  disk.Write(a + 4096, 4096);
+  EXPECT_EQ(disk.stats().seeks, 1u);
+  EXPECT_EQ(disk.stats().bytes_written, 8192u);
+}
+
+TEST(SimDiskTest, ReadAfterWriteAtSamePositionIsSequential) {
+  SimDisk disk;
+  uint64_t a = disk.Allocate(8192);
+  disk.Write(a, 4096);
+  disk.Read(a + 4096, 4096);  // head is right there
+  EXPECT_EQ(disk.stats().seeks, 1u);
+}
+
+TEST(SimDiskTest, ResetHeadForcesSeek) {
+  SimDisk disk;
+  uint64_t a = disk.Allocate(8192);
+  disk.Read(a, 4096);
+  disk.ResetHead();
+  disk.Read(a + 4096, 4096);  // would have been sequential
+  EXPECT_EQ(disk.stats().seeks, 2u);
+}
+
+TEST(SimDiskTest, SimTimeMatchesTable6Arithmetic) {
+  SimDisk disk;
+  uint64_t a = disk.Allocate(2 * kMB);
+  disk.Read(a, kMB);        // 1 seek + 20ms
+  disk.Write(a + kMB, kMB); // contiguous write: 50ms
+  disk.ChargeFileOpen();    // 100ms
+  // 10 + 20 + 50 + 100
+  EXPECT_NEAR(disk.TotalMs(), 180.0, 1e-9);
+}
+
+TEST(SimDiskTest, StatsWindowDeltas) {
+  SimDisk disk;
+  uint64_t a = disk.Allocate(kMB);
+  disk.Read(a, kMB / 2);
+  StatsWindow w(&disk);
+  disk.Read(a + kMB / 2, kMB / 2);  // sequential continuation
+  DiskStats d = w.Delta();
+  EXPECT_EQ(d.seeks, 0u);
+  EXPECT_EQ(d.bytes_read, kMB / 2);
+  EXPECT_NEAR(w.ElapsedMs(), 10.0, 1e-9);
+}
+
+TEST(DiskStatsTest, ToStringMentionsSeeks) {
+  SimDisk disk;
+  uint64_t a = disk.Allocate(4096);
+  disk.Read(a, 4096);
+  EXPECT_NE(disk.stats().ToString(disk.params()).find("seeks=1"), std::string::npos);
+}
+
+
+TEST(SimDiskTest, ShortSeekCheaperThanLongSeek) {
+  SimDisk disk;
+  uint64_t base = disk.Allocate(512ull << 20);  // half-GB span
+  disk.Read(base, 4096);
+  disk.Read(base + 8192, 4096);  // skip one page: near track-to-track cost
+  double short_ms = disk.stats().seek_ms - disk.params().seek_ms;
+  DiskStats before = disk.stats();
+  disk.Read(base + (400ull << 20), 4096);  // far jump
+  double long_ms = disk.stats().seek_ms - before.seek_ms;
+  EXPECT_LT(short_ms, 1.5);
+  EXPECT_GT(long_ms, 5.0);
+  EXPECT_GT(long_ms, 4 * short_ms);
+}
+
+TEST(SimDiskTest, SeekTimeCappedForHugeJumps) {
+  CostParams p;
+  EXPECT_LE(p.SeekMs(UINT64_MAX / 2, 1ull << 30), 2.2 * p.seek_ms + 1e-9);
+  EXPECT_DOUBLE_EQ(p.SeekMs(0, 1ull << 30), 0.0);
+}
+
+TEST(SimDiskTest, AverageRandomSeekNearNominal) {
+  // Uniform random jumps across the device should average near seek_ms.
+  CostParams p;
+  uint64_t span = 1ull << 30;
+  double total = 0;
+  int n = 0;
+  for (uint64_t d = span / 100; d < span; d += span / 50) {
+    total += p.SeekMs(d, span);
+    ++n;
+  }
+  EXPECT_NEAR(total / n, p.seek_ms, 0.5 * p.seek_ms);
+}
+
+}  // namespace
+}  // namespace upi::sim

@@ -1,0 +1,244 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "storage/buffer_pool.h"
+#include "storage/heap_file.h"
+#include "storage/page_file.h"
+#include "storage/pager.h"
+
+namespace upi::storage {
+namespace {
+
+TEST(PageFileTest, AllocateSequentialAddresses) {
+  sim::SimDisk disk;
+  PageFile f(&disk, "t", 4096);
+  PageId a = f.Allocate();
+  PageId b = f.Allocate();
+  EXPECT_EQ(f.AddressOf(b), f.AddressOf(a) + 4096);
+  EXPECT_EQ(f.num_active_pages(), 2u);
+  EXPECT_EQ(f.size_bytes(), 8192u);
+}
+
+TEST(PageFileTest, ReadWriteRoundTrip) {
+  sim::SimDisk disk;
+  PageFile f(&disk, "t", 4096);
+  PageId a = f.Allocate();
+  f.Write(a, "hello page");
+  std::string out;
+  f.Read(a, &out);
+  EXPECT_EQ(out, "hello page");
+}
+
+TEST(PageFileTest, FreeListReuse) {
+  sim::SimDisk disk;
+  PageFile f(&disk, "t", 4096);
+  PageId a = f.Allocate();
+  f.Allocate();
+  uint64_t addr_a = f.AddressOf(a);
+  f.Free(a);
+  PageId c = f.Allocate();
+  EXPECT_EQ(c, a);  // reuses the freed slot...
+  EXPECT_EQ(f.AddressOf(c), addr_a);  // ...at the same physical address
+  EXPECT_EQ(f.size_bytes(), 8192u);   // footprint unchanged
+}
+
+TEST(PageFileTest, InterleavedFilesShareDiskAddressSpace) {
+  sim::SimDisk disk;
+  PageFile f1(&disk, "a", 4096);
+  PageFile f2(&disk, "b", 4096);
+  PageId p1 = f1.Allocate();
+  PageId p2 = f2.Allocate();
+  PageId p3 = f1.Allocate();
+  // f1's two pages are NOT contiguous because f2 allocated in between.
+  EXPECT_EQ(f2.AddressOf(p2), f1.AddressOf(p1) + 4096);
+  EXPECT_EQ(f1.AddressOf(p3), f1.AddressOf(p1) + 8192);
+}
+
+TEST(BufferPoolTest, HitAvoidsDiskRead) {
+  sim::SimDisk disk;
+  PageFile f(&disk, "t", 4096);
+  BufferPool pool(1 << 20);
+  PageId a = f.Allocate();
+  f.Write(a, "x");
+  uint64_t reads_before = disk.stats().reads;
+  pool.Fetch(&f, a);
+  pool.Unpin(&f, a);
+  pool.Fetch(&f, a);  // hit
+  pool.Unpin(&f, a);
+  EXPECT_EQ(disk.stats().reads - reads_before, 1u);
+  EXPECT_EQ(pool.hits(), 1u);
+  EXPECT_EQ(pool.misses(), 1u);
+}
+
+TEST(BufferPoolTest, CreateSkipsRead) {
+  sim::SimDisk disk;
+  PageFile f(&disk, "t", 4096);
+  BufferPool pool(1 << 20);
+  PageId a = f.Allocate();
+  uint64_t reads_before = disk.stats().reads;
+  std::string* data = pool.Fetch(&f, a, /*create=*/true);
+  *data = "fresh";
+  pool.Unpin(&f, a);
+  EXPECT_EQ(disk.stats().reads, reads_before);
+  pool.FlushAll();
+  std::string out;
+  f.Read(a, &out);
+  EXPECT_EQ(out, "fresh");
+}
+
+TEST(BufferPoolTest, DirtyPageWrittenBackOnEviction) {
+  sim::SimDisk disk;
+  PageFile f(&disk, "t", 4096);
+  BufferPool pool(2 * 4096);  // room for ~2 pages
+  std::vector<PageId> ids;
+  for (int i = 0; i < 4; ++i) {
+    PageId id = f.Allocate();
+    std::string* data = pool.Fetch(&f, id, true);
+    *data = "page" + std::to_string(i);
+    pool.MarkDirty(&f, id);
+    pool.Unpin(&f, id);
+    ids.push_back(id);
+  }
+  pool.FlushAll();
+  for (int i = 0; i < 4; ++i) {
+    std::string out;
+    f.Read(ids[i], &out);
+    EXPECT_EQ(out, "page" + std::to_string(i));
+  }
+}
+
+TEST(BufferPoolTest, DropAllGivesColdCache) {
+  sim::SimDisk disk;
+  PageFile f(&disk, "t", 4096);
+  BufferPool pool(1 << 20);
+  PageId a = f.Allocate();
+  f.Write(a, "z");
+  pool.Fetch(&f, a);
+  pool.Unpin(&f, a);
+  pool.DropAll();
+  uint64_t reads_before = disk.stats().reads;
+  pool.Fetch(&f, a);  // must hit the disk again
+  pool.Unpin(&f, a);
+  EXPECT_EQ(disk.stats().reads - reads_before, 1u);
+}
+
+TEST(BufferPoolTest, DiscardDropsDirtyData) {
+  sim::SimDisk disk;
+  PageFile f(&disk, "t", 4096);
+  BufferPool pool(1 << 20);
+  PageId a = f.Allocate();
+  f.Write(a, "original");
+  std::string* data = pool.Fetch(&f, a);
+  *data = "mutated";
+  pool.MarkDirty(&f, a);
+  pool.Unpin(&f, a);
+  pool.Discard(&f, a);
+  std::string out;
+  f.Read(a, &out);
+  EXPECT_EQ(out, "original");
+}
+
+TEST(PagerTest, PageRefUnpinsOnDestruction) {
+  sim::SimDisk disk;
+  PageFile f(&disk, "t", 4096);
+  BufferPool pool(1 << 20);
+  Pager pager(&pool, &f);
+  PageId id;
+  {
+    PageRef ref = pager.New(&id);
+    *ref.data() = "abc";
+    ref.MarkDirty();
+  }
+  pool.DropAll();  // asserts nothing pinned
+  {
+    PageRef ref = pager.Get(id);
+    EXPECT_EQ(*ref.data(), "abc");
+  }
+}
+
+TEST(HeapFileTest, InsertReadRoundTrip) {
+  sim::SimDisk disk;
+  PageFile f(&disk, "heap", 8192);
+  BufferPool pool(1 << 20);
+  HeapFile heap(Pager(&pool, &f));
+  Rid rid = heap.Insert("tuple-data").ValueOrDie();
+  std::string out;
+  ASSERT_TRUE(heap.Read(rid, &out).ok());
+  EXPECT_EQ(out, "tuple-data");
+  EXPECT_EQ(heap.live_records(), 1u);
+}
+
+TEST(HeapFileTest, DeleteLeavesHole) {
+  sim::SimDisk disk;
+  PageFile f(&disk, "heap", 8192);
+  BufferPool pool(1 << 20);
+  HeapFile heap(Pager(&pool, &f));
+  Rid a = heap.Insert("a").ValueOrDie();
+  Rid b = heap.Insert("b").ValueOrDie();
+  ASSERT_TRUE(heap.Delete(a).ok());
+  std::string out;
+  EXPECT_TRUE(heap.Read(a, &out).IsNotFound());
+  ASSERT_TRUE(heap.Read(b, &out).ok());
+  EXPECT_EQ(out, "b");
+  EXPECT_EQ(heap.live_records(), 1u);
+  // Double delete reports NotFound.
+  EXPECT_TRUE(heap.Delete(a).IsNotFound());
+}
+
+TEST(HeapFileTest, SpillsToNewPages) {
+  sim::SimDisk disk;
+  PageFile f(&disk, "heap", 4096);
+  BufferPool pool(1 << 20);
+  HeapFile heap(Pager(&pool, &f));
+  std::string record(1000, 'x');
+  for (int i = 0; i < 20; ++i) heap.Insert(record).ValueOrDie();
+  EXPECT_GT(heap.num_pages(), 4u);
+  EXPECT_EQ(heap.live_records(), 20u);
+}
+
+TEST(HeapFileTest, ScanVisitsLiveRecordsInOrder) {
+  sim::SimDisk disk;
+  PageFile f(&disk, "heap", 4096);
+  BufferPool pool(1 << 20);
+  HeapFile heap(Pager(&pool, &f));
+  std::vector<Rid> rids;
+  for (int i = 0; i < 50; ++i) {
+    rids.push_back(heap.Insert("rec" + std::to_string(i)).ValueOrDie());
+  }
+  ASSERT_TRUE(heap.Delete(rids[10]).ok());
+  ASSERT_TRUE(heap.Delete(rids[20]).ok());
+  std::set<std::string> seen;
+  heap.Scan([&](Rid, std::string_view rec) {
+    seen.insert(std::string(rec));
+    return true;
+  });
+  EXPECT_EQ(seen.size(), 48u);
+  EXPECT_FALSE(seen.contains("rec10"));
+  EXPECT_TRUE(seen.contains("rec11"));
+}
+
+TEST(HeapFileTest, ScanEarlyStop) {
+  sim::SimDisk disk;
+  PageFile f(&disk, "heap", 4096);
+  BufferPool pool(1 << 20);
+  HeapFile heap(Pager(&pool, &f));
+  for (int i = 0; i < 10; ++i) heap.Insert("r").ValueOrDie();
+  int count = 0;
+  heap.Scan([&](Rid, std::string_view) { return ++count < 3; });
+  EXPECT_EQ(count, 3);
+}
+
+TEST(HeapFileTest, RejectsOversizedRecord) {
+  sim::SimDisk disk;
+  PageFile f(&disk, "heap", 4096);
+  BufferPool pool(1 << 20);
+  HeapFile heap(Pager(&pool, &f));
+  std::string record(5000, 'x');
+  EXPECT_FALSE(heap.Insert(record).ok());
+}
+
+}  // namespace
+}  // namespace upi::storage

@@ -1,0 +1,488 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "catalog/tuple.h"
+#include "core/upi.h"
+#include "core/upi_key.h"
+#include "datagen/dblp.h"
+#include "prob/confidence.h"
+#include "storage/db_env.h"
+
+namespace upi::core {
+namespace {
+
+using catalog::Schema;
+using catalog::Tuple;
+using catalog::TupleId;
+using catalog::Value;
+using catalog::ValueType;
+using prob::Alternative;
+using prob::DiscreteDistribution;
+
+DiscreteDistribution Dist(std::vector<Alternative> alts) {
+  return DiscreteDistribution::Make(std::move(alts)).ValueOrDie();
+}
+
+Schema PaperSchema() {
+  return Schema({{"Name", ValueType::kString},
+                 {"Institution", ValueType::kDiscrete},
+                 {"Country", ValueType::kDiscrete}});
+}
+
+// The paper's running example (Tables 1 and 4).
+std::vector<Tuple> PaperTuples() {
+  std::vector<Tuple> tuples;
+  tuples.push_back(Tuple(1, 0.9,
+                         {Value::String("Alice"),
+                          Value::Discrete(Dist({{"Brown", 0.8}, {"MIT", 0.2}})),
+                          Value::Discrete(Dist({{"US", 1.0}}))}));
+  tuples.push_back(Tuple(2, 1.0,
+                         {Value::String("Bob"),
+                          Value::Discrete(Dist({{"MIT", 0.95}, {"UCB", 0.05}})),
+                          Value::Discrete(Dist({{"US", 1.0}}))}));
+  tuples.push_back(
+      Tuple(3, 0.8,
+            {Value::String("Carol"),
+             Value::Discrete(Dist({{"Brown", 0.6}, {"U.Tokyo", 0.4}})),
+             Value::Discrete(Dist({{"US", 0.6}, {"Japan", 0.4}}))}));
+  return tuples;
+}
+
+UpiOptions PaperOptions() {
+  UpiOptions opt;
+  opt.cluster_column = 1;
+  opt.cutoff = 0.10;  // Table 3 uses C = 10%
+  opt.charge_open_per_query = false;
+  return opt;
+}
+
+TEST(UpiKeyTest, RoundTripAndOrder) {
+  std::string k1 = EncodeUpiKey("MIT", 0.95, 2);
+  std::string k2 = EncodeUpiKey("MIT", 0.18, 1);
+  std::string k3 = EncodeUpiKey("UCB", 0.05, 2);
+  EXPECT_LT(k1, k2);  // same value, higher probability first
+  EXPECT_LT(k2, k3);  // value ascending
+  UpiKey decoded;
+  ASSERT_TRUE(DecodeUpiKey(k1, &decoded).ok());
+  EXPECT_EQ(decoded.attr, "MIT");
+  EXPECT_NEAR(decoded.prob, 0.95, 1e-8);
+  EXPECT_EQ(decoded.id, 2u);
+}
+
+TEST(UpiKeyTest, PrefixCoversValueOnly) {
+  std::string prefix = UpiKeyPrefix("MIT");
+  EXPECT_EQ(EncodeUpiKey("MIT", 0.95, 2).substr(0, prefix.size()), prefix);
+  EXPECT_NE(EncodeUpiKey("MITx", 0.95, 2).substr(0, prefix.size()), prefix);
+}
+
+TEST(UpiTest, PaperTable2HeapLayout) {
+  // A naive UPI (C=0) duplicates every alternative in heap order:
+  // Brown(72%) Alice, Brown(48%) Carol, MIT(95%) Bob, MIT(18%) Alice,
+  // UCB(5%) Bob, U.Tokyo(32%) Carol.
+  storage::DbEnv env;
+  UpiOptions opt = PaperOptions();
+  opt.cutoff = 0.0;
+  auto upi =
+      Upi::Build(&env, "author", PaperSchema(), opt, {}, PaperTuples()).ValueOrDie();
+  std::vector<std::pair<std::string, TupleId>> order;
+  upi->ScanHeap([&](std::string_view key, std::string_view) {
+    UpiKey k;
+    ASSERT_TRUE(DecodeUpiKey(key, &k).ok());
+    order.push_back({k.attr, k.id});
+  });
+  std::vector<std::pair<std::string, TupleId>> expected = {
+      {"Brown", 1}, {"Brown", 3}, {"MIT", 2},
+      {"MIT", 1},   {"U.Tokyo", 3}, {"UCB", 2}};
+  EXPECT_EQ(order, expected);
+  EXPECT_EQ(upi->cutoff_index()->num_entries(), 0u);
+}
+
+TEST(UpiTest, PaperTable3CutoffPlacement) {
+  // With C=10%, only Bob's UCB (5%) entry moves to the cutoff index;
+  // U.Tokyo (32%) and MIT(18%) stay (Table 3).
+  storage::DbEnv env;
+  auto upi = Upi::Build(&env, "author", PaperSchema(), PaperOptions(), {},
+                        PaperTuples())
+                 .ValueOrDie();
+  EXPECT_EQ(upi->heap_entries(), 5u);
+  EXPECT_EQ(upi->cutoff_index()->num_entries(), 1u);
+  std::vector<CutoffIndex::PointerEntry> ptrs;
+  ASSERT_TRUE(upi->cutoff_index()->CollectPointers("UCB", 0.0, &ptrs).ok());
+  ASSERT_EQ(ptrs.size(), 1u);
+  EXPECT_EQ(ptrs[0].entry.id, 2u);
+  // The pointer names Bob's first alternative: MIT at 95%.
+  UpiKey target;
+  ASSERT_TRUE(DecodeUpiKey(ptrs[0].heap_key, &target).ok());
+  EXPECT_EQ(target.attr, "MIT");
+  EXPECT_NEAR(target.prob, 0.95, 1e-8);
+}
+
+TEST(UpiTest, FirstAlternativeStaysInHeapEvenBelowCutoff) {
+  // Algorithm 1: "If a value has probability lower than C, but is the first
+  // possible value, we leave the tuple in the UPI."
+  storage::DbEnv env;
+  UpiOptions opt = PaperOptions();
+  opt.cutoff = 0.5;
+  std::vector<Tuple> tuples;
+  tuples.push_back(Tuple(7, 1.0,
+                         {Value::String("Dave"),
+                          Value::Discrete(Dist({{"X", 0.3}, {"Y", 0.25}})),
+                          Value::Discrete(Dist({{"US", 1.0}}))}));
+  auto upi =
+      Upi::Build(&env, "author", PaperSchema(), opt, {}, tuples).ValueOrDie();
+  EXPECT_EQ(upi->heap_entries(), 1u);   // X stays although 0.3 < 0.5
+  EXPECT_EQ(upi->cutoff_index()->num_entries(), 1u);  // Y goes to cutoff
+  std::vector<PtqMatch> out;
+  ASSERT_TRUE(upi->QueryPtq("X", 0.1, &out).ok());
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].id, 7u);
+}
+
+TEST(UpiTest, Query1FromThePaper) {
+  // SELECT * WHERE Institution=MIT: {(Alice, 18%), (Bob, 95%)}.
+  storage::DbEnv env;
+  auto upi = Upi::Build(&env, "author", PaperSchema(), PaperOptions(), {},
+                        PaperTuples())
+                 .ValueOrDie();
+  std::vector<PtqMatch> out;
+  ASSERT_TRUE(upi->QueryPtq("MIT", 0.10, &out).ok());
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].id, 2u);
+  EXPECT_NEAR(out[0].confidence, 0.95, 1e-8);
+  EXPECT_EQ(out[1].id, 1u);
+  EXPECT_NEAR(out[1].confidence, 0.18, 1e-8);
+  EXPECT_EQ(out[0].tuple.Get(0).str(), "Bob");
+
+  out.clear();
+  ASSERT_TRUE(upi->QueryPtq("MIT", 0.5, &out).ok());
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].id, 2u);
+}
+
+TEST(UpiTest, QueryBelowCutoffFollowsPointers) {
+  storage::DbEnv env;
+  auto upi = Upi::Build(&env, "author", PaperSchema(), PaperOptions(), {},
+                        PaperTuples())
+                 .ValueOrDie();
+  // UCB@5% lives only in the cutoff index; QT=1% < C=10% must find it.
+  std::vector<PtqMatch> out;
+  ASSERT_TRUE(upi->QueryPtq("UCB", 0.01, &out).ok());
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].id, 2u);
+  EXPECT_NEAR(out[0].confidence, 0.05, 1e-8);
+  EXPECT_EQ(out[0].tuple.Get(0).str(), "Bob");
+  // ... while QT=10% >= C skips the cutoff index and finds nothing.
+  out.clear();
+  ASSERT_TRUE(upi->QueryPtq("UCB", 0.10, &out).ok());
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(UpiTest, InsertMatchesBulkBuild) {
+  storage::DbEnv env1, env2;
+  auto built = Upi::Build(&env1, "a", PaperSchema(), PaperOptions(), {},
+                          PaperTuples())
+                   .ValueOrDie();
+  Upi incremental(&env2, "b", PaperSchema(), PaperOptions());
+  for (const Tuple& t : PaperTuples()) ASSERT_TRUE(incremental.Insert(t).ok());
+  EXPECT_EQ(built->heap_entries(), incremental.heap_entries());
+  EXPECT_EQ(built->cutoff_index()->num_entries(),
+            incremental.cutoff_index()->num_entries());
+  for (const char* v : {"MIT", "Brown", "UCB", "U.Tokyo"}) {
+    std::vector<PtqMatch> r1, r2;
+    ASSERT_TRUE(built->QueryPtq(v, 0.01, &r1).ok());
+    ASSERT_TRUE(incremental.QueryPtq(v, 0.01, &r2).ok());
+    ASSERT_EQ(r1.size(), r2.size()) << v;
+    for (size_t i = 0; i < r1.size(); ++i) {
+      EXPECT_EQ(r1[i].id, r2[i].id);
+      EXPECT_NEAR(r1[i].confidence, r2[i].confidence, 1e-8);
+    }
+  }
+}
+
+TEST(UpiTest, DeleteRemovesAllTraces) {
+  storage::DbEnv env;
+  Upi upi(&env, "a", PaperSchema(), PaperOptions());
+  auto tuples = PaperTuples();
+  for (const Tuple& t : tuples) ASSERT_TRUE(upi.Insert(t).ok());
+  ASSERT_TRUE(upi.Delete(tuples[1]).ok());  // Bob
+  EXPECT_EQ(upi.num_tuples(), 2u);
+  EXPECT_EQ(upi.cutoff_index()->num_entries(), 0u);  // UCB pointer gone
+  std::vector<PtqMatch> out;
+  ASSERT_TRUE(upi.QueryPtq("MIT", 0.01, &out).ok());
+  ASSERT_EQ(out.size(), 1u);  // only Alice remains
+  EXPECT_EQ(out[0].id, 1u);
+}
+
+TEST(UpiTest, TopKTerminatesEarly) {
+  storage::DbEnv env;
+  auto upi = Upi::Build(&env, "a", PaperSchema(), PaperOptions(), {},
+                        PaperTuples())
+                 .ValueOrDie();
+  std::vector<PtqMatch> out;
+  ASSERT_TRUE(upi->QueryTopK("MIT", 1, &out).ok());
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].id, 2u);  // Bob, the highest confidence
+  out.clear();
+  ASSERT_TRUE(upi->QueryTopK("MIT", 10, &out).ok());
+  EXPECT_EQ(out.size(), 2u);  // only two MIT tuples exist
+}
+
+TEST(UpiTest, SecondaryIndexPaperTable5) {
+  // Secondary on Country; Carol's Japan entry has confidence 40%*80%=32%
+  // and carries pointers to both Brown and U.Tokyo copies.
+  storage::DbEnv env;
+  auto upi = Upi::Build(&env, "a", PaperSchema(), PaperOptions(), {2},
+                        PaperTuples())
+                 .ValueOrDie();
+  SecondaryIndex* sec = upi->secondary(2);
+  ASSERT_NE(sec, nullptr);
+  std::vector<SecondaryEntry> entries;
+  ASSERT_TRUE(sec->Collect("Japan", 0.0, &entries).ok());
+  ASSERT_EQ(entries.size(), 1u);
+  EXPECT_EQ(entries[0].key.id, 3u);
+  EXPECT_NEAR(entries[0].key.prob, 0.32, 1e-8);
+  ASSERT_EQ(entries[0].pointers.size(), 2u);
+  EXPECT_EQ(entries[0].pointers[0].attr, "Brown");
+  EXPECT_EQ(entries[0].pointers[1].attr, "U.Tokyo");
+  // Bob's US entry: MIT pointer plus <cutoff> flag (UCB was cut off).
+  entries.clear();
+  ASSERT_TRUE(sec->Collect("US", 0.91, &entries).ok());
+  ASSERT_EQ(entries.size(), 1u);  // only Bob has US above 91%
+  EXPECT_EQ(entries[0].key.id, 2u);
+  ASSERT_EQ(entries[0].pointers.size(), 1u);
+  EXPECT_EQ(entries[0].pointers[0].attr, "MIT");
+  EXPECT_TRUE(entries[0].has_cutoff);
+}
+
+TEST(UpiTest, SecondaryQueryPaperExample) {
+  // SELECT * WHERE Country=US, QT=80% -> Bob (100%) and Alice (90%).
+  storage::DbEnv env;
+  auto upi = Upi::Build(&env, "a", PaperSchema(), PaperOptions(), {2},
+                        PaperTuples())
+                 .ValueOrDie();
+  for (SecondaryAccessMode mode :
+       {SecondaryAccessMode::kTailored, SecondaryAccessMode::kFirstPointer}) {
+    std::vector<PtqMatch> out;
+    ASSERT_TRUE(upi->QueryBySecondary(2, "US", 0.8, mode, &out).ok());
+    std::set<TupleId> ids;
+    for (const auto& m : out) ids.insert(m.id);
+    EXPECT_EQ(ids, (std::set<TupleId>{1, 2}));
+    for (const auto& m : out) {
+      if (m.id == 1) {
+        EXPECT_NEAR(m.confidence, 0.9, 1e-8);
+      }
+      if (m.id == 2) {
+        EXPECT_NEAR(m.confidence, 1.0, 1e-8);
+      }
+    }
+  }
+}
+
+TEST(UpiTest, TailoredAccessPrefersSharedRegions) {
+  // Alice's tailored fetch should come from the MIT region because Bob (a
+  // single-pointer entry) pins MIT — the Section 3.2 walkthrough.
+  storage::DbEnv env;
+  UpiOptions opt = PaperOptions();
+  opt.max_secondary_pointers = 10;
+  auto upi =
+      Upi::Build(&env, "a", PaperSchema(), opt, {2}, PaperTuples()).ValueOrDie();
+
+  // Count distinct clustered-attribute regions fetched under each mode by
+  // instrumenting through the returned tuples' institutions is not possible
+  // (tuples are identical); instead verify via seek accounting on a cold
+  // cache: tailored access must not do more I/O than first-pointer access.
+  env.ColdCache();
+  sim::StatsWindow w1(env.disk());
+  std::vector<PtqMatch> out1;
+  ASSERT_TRUE(upi->QueryBySecondary(2, "US", 0.8,
+                                    SecondaryAccessMode::kTailored, &out1)
+                  .ok());
+  double tailored_ms = w1.ElapsedMs();
+
+  env.ColdCache();
+  sim::StatsWindow w2(env.disk());
+  std::vector<PtqMatch> out2;
+  ASSERT_TRUE(upi->QueryBySecondary(2, "US", 0.8,
+                                    SecondaryAccessMode::kFirstPointer, &out2)
+                  .ok());
+  double first_ms = w2.ElapsedMs();
+  EXPECT_EQ(out1.size(), out2.size());
+  EXPECT_LE(tailored_ms, first_ms + 1e-9);
+}
+
+// --- Property test: UPI answers == possible-world brute force. -------------
+
+class UpiOracleTest : public ::testing::TestWithParam<std::tuple<double, uint64_t>> {};
+
+TEST_P(UpiOracleTest, MatchesBruteForce) {
+  auto [cutoff, seed] = GetParam();
+  datagen::DblpConfig cfg;
+  cfg.num_authors = 400;
+  cfg.num_institutions = 60;
+  cfg.seed = seed;
+  datagen::DblpGenerator gen(cfg);
+  auto tuples = gen.GenerateAuthors();
+
+  storage::DbEnv env;
+  UpiOptions opt;
+  opt.cluster_column = datagen::AuthorCols::kInstitution;
+  opt.cutoff = cutoff;
+  opt.charge_open_per_query = false;
+  auto upi = Upi::Build(&env, "a", datagen::DblpGenerator::AuthorSchema(), opt,
+                        {datagen::AuthorCols::kCountry}, tuples)
+                 .ValueOrDie();
+
+  Rng rng(seed * 7 + 1);
+  for (int trial = 0; trial < 30; ++trial) {
+    std::string value = gen.InstitutionName(rng.Uniform(cfg.num_institutions));
+    double qt = rng.NextDouble() * 0.6 + 0.01;
+
+    std::map<TupleId, double> oracle;
+    for (const Tuple& t : tuples) {
+      double conf = t.ConfidenceOf(datagen::AuthorCols::kInstitution, value);
+      if (conf >= qt && conf > 0) oracle[t.id()] = conf;
+    }
+    std::vector<PtqMatch> out;
+    ASSERT_TRUE(upi->QueryPtq(value, qt, &out).ok());
+    std::map<TupleId, double> got;
+    for (const auto& m : out) got[m.id] = m.confidence;
+    ASSERT_EQ(got.size(), oracle.size())
+        << "value=" << value << " qt=" << qt << " C=" << cutoff;
+    for (const auto& [id, conf] : oracle) {
+      ASSERT_TRUE(got.contains(id));
+      EXPECT_NEAR(got[id], conf, 1e-6);
+    }
+  }
+
+  // Secondary queries against the country oracle.
+  for (int trial = 0; trial < 15; ++trial) {
+    std::string value = gen.CountryName(rng.Uniform(cfg.num_countries));
+    double qt = rng.NextDouble() * 0.6 + 0.01;
+    std::map<TupleId, double> oracle;
+    for (const Tuple& t : tuples) {
+      double conf = t.ConfidenceOf(datagen::AuthorCols::kCountry, value);
+      if (conf >= qt && conf > 0) oracle[t.id()] = conf;
+    }
+    std::vector<PtqMatch> out;
+    ASSERT_TRUE(upi->QueryBySecondary(datagen::AuthorCols::kCountry, value, qt,
+                                      SecondaryAccessMode::kTailored, &out)
+                    .ok());
+    std::map<TupleId, double> got;
+    for (const auto& m : out) got[m.id] = m.confidence;
+    ASSERT_EQ(got.size(), oracle.size()) << "country=" << value << " qt=" << qt;
+    for (const auto& [id, conf] : oracle) {
+      ASSERT_TRUE(got.contains(id));
+      EXPECT_NEAR(got[id], conf, 1e-6);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    CutoffsAndSeeds, UpiOracleTest,
+    ::testing::Combine(::testing::Values(0.0, 0.1, 0.3),
+                       ::testing::Values(uint64_t{1}, uint64_t{2})));
+
+TEST(SecondaryIndexTest, PointerCodecRoundTrip) {
+  std::vector<SecondaryPointer> ptrs = {{"Brown", 0.72}, {"MIT", 0.18}};
+  std::string buf;
+  SecondaryIndex::EncodePointers(ptrs, true, &buf);
+  std::vector<SecondaryPointer> out;
+  bool has_cutoff;
+  ASSERT_TRUE(SecondaryIndex::DecodePointers(buf, &out, &has_cutoff).ok());
+  EXPECT_TRUE(has_cutoff);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].attr, "Brown");
+  EXPECT_NEAR(out[0].prob, 0.72, 1e-8);
+  EXPECT_EQ(out[1].attr, "MIT");
+}
+
+TEST(SecondaryIndexTest, PointerLimitTruncatesAndFlags) {
+  storage::DbEnv env;
+  SecondaryIndex sec(&env, "s", 8192, /*max_pointers=*/2);
+  std::vector<SecondaryPointer> ptrs = {
+      {"A", 0.5}, {"B", 0.3}, {"C", 0.1}, {"D", 0.05}};
+  ASSERT_TRUE(sec.Put("US", 0.9, 1, ptrs, false).ok());
+  std::vector<SecondaryEntry> entries;
+  ASSERT_TRUE(sec.Collect("US", 0.0, &entries).ok());
+  ASSERT_EQ(entries.size(), 1u);
+  EXPECT_EQ(entries[0].pointers.size(), 2u);
+  EXPECT_EQ(entries[0].pointers[0].attr, "A");
+  EXPECT_TRUE(entries[0].has_cutoff);  // truncation is flagged
+}
+
+
+TEST(UpiTest, TopKSpansIntoCutoffIndex) {
+  // k larger than the heap-resident entries for the value: the tail must be
+  // served through the cutoff index, in descending-confidence order.
+  storage::DbEnv env;
+  UpiOptions opt = PaperOptions();
+  opt.cutoff = 0.4;
+  std::vector<Tuple> tuples;
+  for (TupleId id = 1; id <= 6; ++id) {
+    double strong = 0.55 + 0.05 * static_cast<double>(id);
+    tuples.push_back(
+        Tuple(id, 1.0,
+              {Value::String("t" + std::to_string(id)),
+               Value::Discrete(Dist({{"X", strong}, {"Y", 1.0 - strong}})),
+               Value::Discrete(Dist({{"US", 1.0}}))}));
+  }
+  auto upi =
+      Upi::Build(&env, "a", PaperSchema(), opt, {}, tuples).ValueOrDie();
+  // Y-alternatives (prob 0.15..0.4) are all below C=0.4 -> cutoff.
+  std::vector<PtqMatch> out;
+  ASSERT_TRUE(upi->QueryTopK("Y", 4, &out).ok());
+  ASSERT_EQ(out.size(), 4u);
+  for (size_t i = 1; i < out.size(); ++i) {
+    EXPECT_GE(out[i - 1].confidence, out[i].confidence);
+  }
+  EXPECT_EQ(out[0].id, 1u);  // weakest strong alt => strongest Y alt
+}
+
+TEST(UpiTest, AddSecondaryColumnValidation) {
+  storage::DbEnv env;
+  Upi upi(&env, "a", PaperSchema(), PaperOptions());
+  EXPECT_FALSE(upi.AddSecondaryColumn(-1).ok());
+  EXPECT_FALSE(upi.AddSecondaryColumn(99).ok());
+  EXPECT_FALSE(upi.AddSecondaryColumn(0).ok());  // Name is a plain string
+  EXPECT_TRUE(upi.AddSecondaryColumn(2).ok());
+  EXPECT_TRUE(upi.AddSecondaryColumn(2).IsAlreadyExists());
+  EXPECT_EQ(upi.secondary(1), nullptr);
+  EXPECT_NE(upi.secondary(2), nullptr);
+}
+
+TEST(UpiTest, InsertRejectsBadClusterColumn) {
+  storage::DbEnv env;
+  UpiOptions opt = PaperOptions();
+  opt.cluster_column = 0;  // Name: not discrete
+  Upi upi(&env, "a", PaperSchema(), opt);
+  EXPECT_FALSE(upi.Insert(PaperTuples()[0]).ok());
+}
+
+TEST(UpiTest, EstimatePtqTracksTruthAfterInserts) {
+  storage::DbEnv env;
+  Upi upi(&env, "a", PaperSchema(), PaperOptions());
+  for (const Tuple& t : PaperTuples()) ASSERT_TRUE(upi.Insert(t).ok());
+  auto est = upi.EstimatePtq("MIT", 0.1);
+  EXPECT_NEAR(est.heap_entries, 2.0, 0.75);  // Bob 0.95, Alice 0.18
+  EXPECT_GT(est.selectivity, 0.0);
+  // Deleting Bob shifts the estimate down.
+  ASSERT_TRUE(upi.Delete(PaperTuples()[1]).ok());
+  auto est2 = upi.EstimatePtq("MIT", 0.1);
+  EXPECT_LT(est2.heap_entries, est.heap_entries);
+}
+
+TEST(UpiTest, SizeBytesCoversAllFiles) {
+  storage::DbEnv env;
+  auto upi = Upi::Build(&env, "a", PaperSchema(), PaperOptions(), {2},
+                        PaperTuples())
+                 .ValueOrDie();
+  EXPECT_GE(upi->size_bytes(), upi->heap_tree()->size_bytes() +
+                                   upi->cutoff_index()->size_bytes() +
+                                   upi->secondary(2)->size_bytes());
+}
+
+}  // namespace
+}  // namespace upi::core
