@@ -4,31 +4,30 @@
 // speedup.")
 //
 // Accumulates 8 delta fractures, then compares: no merge, partial merge of
-// the 4 oldest deltas, and a full merge — reporting merge cost and the
-// resulting Q1 runtime.
+// the 4 oldest deltas, a full merge, and the MaintenanceManager's cost-model
+// policy deciding for itself (synchronous mode; it may chain several partial
+// merges until the predicted fracture tax drops below its threshold) —
+// reporting merge cost and the resulting Q1 runtime.
 #include "bench_util.h"
+#include "maintenance/manager.h"
 
 using namespace upi;
 using namespace upi::bench;
 
 namespace {
 
-core::FracturedUpi BuildWithDeltas(storage::DbEnv* env, const DblpData& d,
-                                   int deltas) {
-  core::FracturedUpi fractured(env, "author",
-                               datagen::DblpGenerator::AuthorSchema(),
-                               AuthorUpiOptions(0.1), {});
-  CheckOk(fractured.BuildMain(d.authors));
+void BuildWithDeltas(core::FracturedUpi* fractured, const DblpData& d,
+                     int deltas) {
+  CheckOk(fractured->BuildMain(d.authors));
   datagen::DblpGenerator gen(d.cfg);  // same seed: identical deltas every run
   (void)gen.GenerateAuthors();        // advance past the base tuples
   catalog::TupleId next_id = d.cfg.num_authors + 1;
   for (int b = 0; b < deltas; ++b) {
     for (size_t i = 0; i < d.authors.size() / 20; ++i) {
-      CheckOk(fractured.Insert(gen.MakeAuthor(next_id++)));
+      CheckOk(fractured->Insert(gen.MakeAuthor(next_id++)));
     }
-    CheckOk(fractured.FlushBuffer());
+    CheckOk(fractured->FlushBuffer());
   }
-  return fractured;
 }
 
 }  // namespace
@@ -42,9 +41,12 @@ int main(int argc, char** argv) {
   std::printf("%-14s %12s %9s %12s\n", "strategy", "merge[s]", "Nfrac",
               "Q1[s]");
 
-  for (const char* strategy : {"none", "partial4", "full"}) {
+  for (const char* strategy : {"none", "partial4", "full", "policy"}) {
     storage::DbEnv env;
-    core::FracturedUpi fractured = BuildWithDeltas(&env, d, 8);
+    core::FracturedUpi fractured(&env, "author",
+                                 datagen::DblpGenerator::AuthorSchema(),
+                                 AuthorUpiOptions(0.1), {});
+    BuildWithDeltas(&fractured, d, 8);
     QueryCost merge_cost{};
     if (std::string(strategy) == "partial4") {
       merge_cost = RunMaintenance(&env, [&]() -> size_t {
@@ -56,6 +58,20 @@ int main(int argc, char** argv) {
         CheckOk(fractured.MergeAll());
         return 1;
       });
+    } else if (std::string(strategy) == "policy") {
+      maintenance::MaintenanceManagerOptions mopt;
+      mopt.num_workers = 0;
+      mopt.policy.reference_value = d.popular_institution;
+      mopt.policy.reference_qt = qt;
+      maintenance::MaintenanceManager mgr(&env, mopt);
+      mgr.Register(&fractured);
+      merge_cost = RunMaintenance(&env, [&]() -> size_t {
+        // An (empty) forced flush kicks the policy re-check; follow-up
+        // merges chain until the model is satisfied.
+        mgr.ScheduleFlush(&fractured);
+        return mgr.RunPending();
+      });
+      CheckOk(mgr.last_error());
     }
     QueryCost q = RunCold(&env, [&]() -> size_t {
       std::vector<core::PtqMatch> out;

@@ -51,6 +51,7 @@ FracturedUpi::FracturedUpi(storage::DbEnv* env, std::string name,
       secondary_columns_(std::move(secondary_columns)) {}
 
 Status FracturedUpi::BuildMain(const std::vector<Tuple>& tuples) {
+  std::unique_lock lock(mu_);
   if (main_ != nullptr) return Status::Internal("main fracture already built");
   UPI_ASSIGN_OR_RETURN(main_, Upi::Build(env_, name_ + ".main", schema_,
                                          options_, secondary_columns_, tuples));
@@ -59,17 +60,24 @@ Status FracturedUpi::BuildMain(const std::vector<Tuple>& tuples) {
 }
 
 Status FracturedUpi::Insert(const Tuple& tuple) {
+  std::unique_lock lock(mu_);
   if (deleted_.contains(tuple.id()) || buffer_deletes_.contains(tuple.id())) {
     return Status::InvalidArgument("TupleId reuse after deletion is not allowed");
   }
-  auto [it, inserted] = buffer_.emplace(tuple.id(), tuple);
+  std::string buf;
+  tuple.Serialize(&buf);
+  auto [it, inserted] =
+      buffer_.emplace(tuple.id(), BufferedTuple{tuple, buf.size()});
   if (!inserted) return Status::AlreadyExists("TupleId already buffered");
+  buffer_bytes_ += it->second.bytes;
   return Status::OK();
 }
 
 Status FracturedUpi::Delete(TupleId id) {
+  std::unique_lock lock(mu_);
   auto it = buffer_.find(id);
   if (it != buffer_.end()) {
+    buffer_bytes_ -= it->second.bytes;
     buffer_.erase(it);  // never reached disk; no delete-set entry needed
     return Status::OK();
   }
@@ -95,6 +103,7 @@ void FracturedUpi::PersistDeleteSet(const std::string& name,
 
 void FracturedUpi::EnableAdaptiveTuning(std::vector<WorkloadQuery> workload,
                                         double storage_budget_bytes) {
+  std::unique_lock lock(mu_);
   tuning_workload_ = std::move(workload);
   tuning_budget_bytes_ = storage_budget_bytes;
 }
@@ -104,21 +113,18 @@ void FracturedUpi::RetuneFromBuffer() {
   // Build statistics of the data about to be flushed and re-run the
   // Section 6.3 procedure: the new fracture gets its own cutoff threshold.
   histogram::ProbHistogram hist(20);
-  double total_bytes = 0.0;
-  std::string buf;
-  for (const auto& [id, t] : buffer_) {
-    buf.clear();
-    t.Serialize(&buf);
-    total_bytes += static_cast<double>(buf.size());
-    const Value& cv = t.Get(options_.cluster_column);
+  for (const auto& [id, bt] : buffer_) {
+    const Value& cv = bt.tuple.Get(options_.cluster_column);
     if (cv.type() != ValueType::kDiscrete) continue;
     bool first = true;
     for (const auto& a : cv.discrete().alternatives()) {
-      hist.Add(a.value, t.existence() * a.prob, first);
+      hist.Add(a.value, bt.tuple.existence() * a.prob, first);
       first = false;
     }
   }
-  double avg_entry = total_bytes / static_cast<double>(buffer_.size()) + 24.0;
+  double avg_entry = static_cast<double>(buffer_bytes_) /
+                         static_cast<double>(buffer_.size()) +
+                     24.0;
   histogram::SelectivityEstimator estimator(&hist);
   Advisor advisor(env_->params(), &estimator, avg_entry, options_.page_size);
   CutoffRecommendation rec = advisor.RecommendCutoff(
@@ -128,13 +134,18 @@ void FracturedUpi::RetuneFromBuffer() {
 }
 
 Status FracturedUpi::FlushBuffer() {
+  std::unique_lock lock(mu_);
+  return FlushBufferLocked();
+}
+
+Status FracturedUpi::FlushBufferLocked() {
   if (buffer_.empty() && buffer_deletes_.empty()) return Status::OK();
   RetuneFromBuffer();
   std::string frac_name = name_ + ".frac" + std::to_string(fracture_seq_++);
   if (!buffer_.empty()) {
     std::vector<Tuple> tuples;
     tuples.reserve(buffer_.size());
-    for (auto& [id, t] : buffer_) tuples.push_back(t);
+    for (auto& [id, bt] : buffer_) tuples.push_back(bt.tuple);
     // Each fracture is an independent UPI built with the *current* tuning
     // parameters (Section 4.2: per-fracture parameters).
     UPI_ASSIGN_OR_RETURN(std::unique_ptr<Upi> frac,
@@ -149,18 +160,21 @@ Status FracturedUpi::FlushBuffer() {
     deleted_.insert(buffer_deletes_.begin(), buffer_deletes_.end());
   }
   buffer_.clear();
+  buffer_bytes_ = 0;
   buffer_deletes_.clear();
   env_->pool()->FlushAll();
   return Status::OK();
 }
 
 uint64_t FracturedUpi::num_live_tuples() const {
+  std::shared_lock lock(mu_);
   return main_and_fracture_tuples_ + buffer_.size() - deleted_.size() -
          buffer_deletes_.size();
 }
 
 double FracturedUpi::EstimateSelectivity(std::string_view value,
                                          double qt) const {
+  std::shared_lock lock(mu_);
   double hits = 0.0, total = 0.0;
   auto add = [&](const Upi& u) {
     const auto& h = u.prob_histogram();
@@ -175,6 +189,7 @@ double FracturedUpi::EstimateSelectivity(std::string_view value,
 }
 
 uint64_t FracturedUpi::size_bytes() const {
+  std::shared_lock lock(mu_);
   uint64_t total = main_ != nullptr ? main_->size_bytes() : 0;
   for (const auto& f : fractures_) total += f->size_bytes();
   return total;
@@ -186,12 +201,12 @@ uint64_t FracturedUpi::size_bytes() const {
 
 Status FracturedUpi::QueryBuffer(std::string_view value, double qt,
                                  std::vector<PtqMatch>* out) const {
-  for (const auto& [id, t] : buffer_) {
-    const Value& cv = t.Get(options_.cluster_column);
+  for (const auto& [id, bt] : buffer_) {
+    const Value& cv = bt.tuple.Get(options_.cluster_column);
     if (cv.type() != ValueType::kDiscrete) continue;
-    double p = cv.discrete().ProbabilityOf(value) * t.existence();
+    double p = cv.discrete().ProbabilityOf(value) * bt.tuple.existence();
     if (p >= qt && p > 0.0) {
-      out->push_back(PtqMatch{id, p, t});
+      out->push_back(PtqMatch{id, p, bt.tuple});
     }
   }
   return Status::OK();
@@ -200,12 +215,12 @@ Status FracturedUpi::QueryBuffer(std::string_view value, double qt,
 Status FracturedUpi::QueryBufferSecondary(int column, std::string_view value,
                                           double qt,
                                           std::vector<PtqMatch>* out) const {
-  for (const auto& [id, t] : buffer_) {
-    const Value& sv = t.Get(column);
+  for (const auto& [id, bt] : buffer_) {
+    const Value& sv = bt.tuple.Get(column);
     if (sv.type() != ValueType::kDiscrete) continue;
-    double p = sv.discrete().ProbabilityOf(value) * t.existence();
+    double p = sv.discrete().ProbabilityOf(value) * bt.tuple.existence();
     if (p >= qt && p > 0.0) {
-      out->push_back(PtqMatch{id, p, t});
+      out->push_back(PtqMatch{id, p, bt.tuple});
     }
   }
   return Status::OK();
@@ -213,6 +228,10 @@ Status FracturedUpi::QueryBufferSecondary(int column, std::string_view value,
 
 Status FracturedUpi::QueryPtq(std::string_view value, double qt,
                               std::vector<PtqMatch>* out) const {
+  // Shared lock for the whole fan-out: a concurrent merge builds without the
+  // lock and blocks only on the final list swap, so queries never see a
+  // half-installed fracture list.
+  std::shared_lock lock(mu_);
   std::vector<PtqMatch> all;
   UPI_RETURN_NOT_OK(QueryBuffer(value, qt, &all));
   auto query_one = [&](const Upi& upi) -> Status {
@@ -244,6 +263,7 @@ Status FracturedUpi::QueryPtq(std::string_view value, double qt,
 Status FracturedUpi::QueryBySecondary(int column, std::string_view value,
                                       double qt, SecondaryAccessMode mode,
                                       std::vector<PtqMatch>* out) const {
+  std::shared_lock lock(mu_);
   std::vector<PtqMatch> all;
   UPI_RETURN_NOT_OK(QueryBufferSecondary(column, value, qt, &all));
   auto query_one = [&](const Upi& upi) -> Status {
@@ -274,6 +294,7 @@ Status FracturedUpi::QueryBySecondary(int column, std::string_view value,
 
 Result<std::unique_ptr<Upi>> FracturedUpi::MergeUpis(
     const std::vector<const Upi*>& sources, const std::string& merged_name,
+    const std::set<catalog::TupleId>& deleted,
     std::set<catalog::TupleId>* filtered_ids) {
   // The merged UPI is repartitioned under a single cutoff threshold. Sources
   // may have been built with different per-fracture thresholds (Section 4.2),
@@ -296,7 +317,7 @@ Result<std::unique_ptr<Upi>> FracturedUpi::MergeUpis(
     *keep = false;
     UpiKey k;
     UPI_RETURN_NOT_OK(DecodeUpiKey(key, &k));
-    *keep = !deleted_.contains(k.id);
+    *keep = !deleted.contains(k.id);
     if (!*keep) filtered_ids->insert(k.id);
     return Status::OK();
   };
@@ -457,51 +478,94 @@ Result<std::unique_ptr<Upi>> FracturedUpi::MergeUpis(
 }
 
 Status FracturedUpi::MergeAll() {
-  UPI_RETURN_NOT_OK(FlushBuffer());
-  if (main_ == nullptr && fractures_.empty()) return Status::OK();
-
+  // Phase 1 (exclusive): flush pending buffers and snapshot the sources plus
+  // the delete set, so the build can run without the lock.
   std::vector<const Upi*> sources;
-  if (main_ != nullptr) sources.push_back(main_.get());
-  for (const auto& f : fractures_) sources.push_back(f.get());
+  std::string merged_name;
+  std::set<catalog::TupleId> deleted_snapshot;
+  size_t delta_count = 0;
+  {
+    std::unique_lock lock(mu_);
+    UPI_RETURN_NOT_OK(FlushBufferLocked());
+    if (main_ == nullptr && fractures_.empty()) return Status::OK();
+    if (main_ != nullptr) sources.push_back(main_.get());
+    for (const auto& f : fractures_) sources.push_back(f.get());
+    delta_count = fractures_.size();
+    deleted_snapshot = deleted_;
+    merged_name = name_ + ".merged" + std::to_string(fracture_seq_++);
+  }
 
-  std::string merged_name = name_ + ".merged" + std::to_string(fracture_seq_++);
+  // Phase 2 (no lock): the expensive sort-merge. Concurrent queries keep
+  // fanning out over the unchanged source fractures.
   std::set<catalog::TupleId> filtered;
   UPI_ASSIGN_OR_RETURN(std::unique_ptr<Upi> merged,
-                       MergeUpis(sources, merged_name, &filtered));
+                       MergeUpis(sources, merged_name, deleted_snapshot,
+                                 &filtered));
 
-  main_ = std::move(merged);
-  fractures_.clear();
-  main_and_fracture_tuples_ = main_->num_tuples();
-  deleted_.clear();
+  // Phase 3 (exclusive): atomic install. Fractures flushed *during* the
+  // build (possible only via a direct caller; the manager serializes
+  // maintenance) sit past delta_count and survive the swap.
+  {
+    std::unique_lock lock(mu_);
+    main_ = std::move(merged);
+    fractures_.erase(fractures_.begin(), fractures_.begin() + delta_count);
+    main_and_fracture_tuples_ = main_->num_tuples();
+    for (const auto& f : fractures_) main_and_fracture_tuples_ += f->num_tuples();
+    // TupleIds are never reused, so a filtered id cannot exist elsewhere.
+    // Ids deleted after the snapshot stay until the next merge.
+    for (catalog::TupleId id : filtered) deleted_.erase(id);
+    // Phantom deletes (ids that never matched any entry) are retired too when
+    // nothing remains that could contain them.
+    if (fractures_.empty()) {
+      for (auto it = deleted_.begin(); it != deleted_.end();) {
+        if (deleted_snapshot.contains(*it)) {
+          it = deleted_.erase(it);
+        } else {
+          ++it;
+        }
+      }
+    }
+  }
   env_->pool()->FlushAll();
   return Status::OK();
 }
 
 Status FracturedUpi::MergeOldestFractures(size_t count) {
-  UPI_RETURN_NOT_OK(FlushBuffer());
-  if (count > fractures_.size()) count = fractures_.size();
-  if (count < 2) return Status::OK();
-
+  // Same three-phase structure as MergeAll; only the `count` oldest delta
+  // fractures are touched, so the build cost is proportional to the deltas.
   std::vector<const Upi*> sources;
-  for (size_t i = 0; i < count; ++i) sources.push_back(fractures_[i].get());
+  std::string merged_name;
+  std::set<catalog::TupleId> deleted_snapshot;
+  {
+    std::unique_lock lock(mu_);
+    UPI_RETURN_NOT_OK(FlushBufferLocked());
+    if (count > fractures_.size()) count = fractures_.size();
+    if (count < 2) return Status::OK();
+    for (size_t i = 0; i < count; ++i) sources.push_back(fractures_[i].get());
+    deleted_snapshot = deleted_;
+    merged_name = name_ + ".partial" + std::to_string(fracture_seq_++);
+  }
 
-  std::string merged_name = name_ + ".partial" + std::to_string(fracture_seq_++);
   std::set<catalog::TupleId> filtered;
   UPI_ASSIGN_OR_RETURN(std::unique_ptr<Upi> merged,
-                       MergeUpis(sources, merged_name, &filtered));
+                       MergeUpis(sources, merged_name, deleted_snapshot,
+                                 &filtered));
 
-  // TupleIds are unique across the table, so a deleted id filtered out here
-  // cannot exist elsewhere: retire it from the delete set and the counters.
-  for (catalog::TupleId id : filtered) deleted_.erase(id);
-  uint64_t merged_sources_tuples = 0;
-  for (size_t i = 0; i < count; ++i) {
-    merged_sources_tuples += fractures_[i]->num_tuples();
+  {
+    std::unique_lock lock(mu_);
+    // TupleIds are unique across the table, so a deleted id filtered out here
+    // cannot exist elsewhere: retire it from the delete set and the counters.
+    for (catalog::TupleId id : filtered) deleted_.erase(id);
+    uint64_t merged_sources_tuples = 0;
+    for (size_t i = 0; i < count; ++i) {
+      merged_sources_tuples += fractures_[i]->num_tuples();
+    }
+    main_and_fracture_tuples_ -= merged_sources_tuples;
+    main_and_fracture_tuples_ += merged->num_tuples();
+
+    fractures_.erase(fractures_.begin(), fractures_.begin() + count);
+    fractures_.insert(fractures_.begin(), std::move(merged));
   }
-  main_and_fracture_tuples_ -= merged_sources_tuples;
-  main_and_fracture_tuples_ += merged->num_tuples();
-
-  fractures_.erase(fractures_.begin(), fractures_.begin() + count);
-  fractures_.insert(fractures_.begin(), std::move(merged));
   env_->pool()->FlushAll();
   return Status::OK();
 }

@@ -17,10 +17,22 @@
 // Per-fracture tuning: each flush snapshots the current UpiOptions, so the
 // cutoff threshold or pointer limit can differ between fractures (the paper's
 // adaptive-design hook; see core/advisor.h).
+//
+// Concurrency contract (for the background maintenance subsystem in
+// src/maintenance/): a shared_mutex guards the fracture list and RAM buffers.
+// Queries and Insert/Delete may run from any number of threads. Merges do
+// their expensive build phase *without* the lock — concurrent queries keep
+// fanning out over the old fracture list — and take the exclusive lock only
+// to swap the new list in atomically. At most ONE maintenance operation
+// (FlushBuffer / MergeAll / MergeOldestFractures) may be in flight at a time;
+// MaintenanceManager serializes them per table. Flushes hold the exclusive
+// lock end-to-end (they are sequential appends, cheap next to merges), which
+// keeps the buffered tuples visible to every query.
 #pragma once
 
 #include <memory>
 #include <set>
+#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -87,15 +99,43 @@ class FracturedUpi {
   /// Number of on-disk fractures including the main one (the cost model's
   /// Nfrac).
   size_t num_fractures() const {
+    std::shared_lock lock(mu_);
     return (main_ != nullptr ? 1 : 0) + fractures_.size();
   }
-  size_t buffered_inserts() const { return buffer_.size(); }
-  size_t buffered_deletes() const { return buffer_deletes_.size(); }
+  size_t buffered_inserts() const {
+    std::shared_lock lock(mu_);
+    return buffer_.size();
+  }
+  size_t buffered_deletes() const {
+    std::shared_lock lock(mu_);
+    return buffer_deletes_.size();
+  }
+  /// Serialized footprint of the RAM insert buffer (the byte watermark the
+  /// maintenance flush policy checks).
+  uint64_t buffered_bytes() const {
+    std::shared_lock lock(mu_);
+    return buffer_bytes_;
+  }
+  /// All three flush-watermark counters in one locked snapshot (the
+  /// maintenance policy checks them on every write; one lock acquisition,
+  /// not three).
+  struct BufferWatermarks {
+    size_t inserts = 0;
+    uint64_t bytes = 0;
+    size_t deletes = 0;
+  };
+  BufferWatermarks buffer_watermarks() const {
+    std::shared_lock lock(mu_);
+    return {buffer_.size(), buffer_bytes_, buffer_deletes_.size()};
+  }
   uint64_t num_live_tuples() const;
   uint64_t size_bytes() const;
   /// Aggregated histogram estimate across main + fractures: the fraction of
   /// all heap entries a PTQ(value, qt) scans — the Section 6.2 Selectivity.
   double EstimateSelectivity(std::string_view value, double qt) const;
+  /// Unsynchronized structural accessors: only safe while no maintenance
+  /// operation is in flight (single-threaded benches/tests, or between
+  /// MaintenanceManager tasks).
   Upi* main() const { return main_.get(); }
   const std::vector<std::unique_ptr<Upi>>& fractures() const { return fractures_; }
   const catalog::Schema& schema() const { return schema_; }
@@ -103,10 +143,14 @@ class FracturedUpi {
  private:
   bool IsDeleted(catalog::TupleId id) const { return deleted_.contains(id); }
   void RetuneFromBuffer();
-  /// Sort-merges `sources` into a fresh Upi. Entries of deleted tuples are
-  /// dropped; their ids are added to `filtered_ids`.
+  /// FlushBuffer body; caller holds the exclusive lock.
+  Status FlushBufferLocked();
+  /// Sort-merges `sources` into a fresh Upi, filtering ids in `deleted` (a
+  /// snapshot taken under the lock, so the build can run lock-free). Dropped
+  /// ids are added to `filtered_ids`.
   Result<std::unique_ptr<Upi>> MergeUpis(const std::vector<const Upi*>& sources,
                                          const std::string& merged_name,
+                                         const std::set<catalog::TupleId>& deleted,
                                          std::set<catalog::TupleId>* filtered_ids);
   Status QueryBuffer(std::string_view value, double qt,
                      std::vector<PtqMatch>* out) const;
@@ -122,6 +166,11 @@ class FracturedUpi {
   UpiOptions options_;
   std::vector<int> secondary_columns_;
 
+  /// Guards fracture list, buffers, delete sets, and counters. Shared:
+  /// queries/introspection. Exclusive: Insert/Delete (cheap RAM mutation),
+  /// flush, and merge installation.
+  mutable std::shared_mutex mu_;
+
   std::unique_ptr<Upi> main_;
   std::vector<std::unique_ptr<Upi>> fractures_;
   int fracture_seq_ = 0;
@@ -130,8 +179,14 @@ class FracturedUpi {
   std::vector<WorkloadQuery> tuning_workload_;
   double tuning_budget_bytes_ = 0.0;
 
-  // RAM state.
-  std::unordered_map<catalog::TupleId, catalog::Tuple> buffer_;
+  // RAM state. The serialized size rides along with each buffered tuple so
+  // the byte watermark never re-serializes on the write path.
+  struct BufferedTuple {
+    catalog::Tuple tuple;
+    uint64_t bytes = 0;
+  };
+  std::unordered_map<catalog::TupleId, BufferedTuple> buffer_;
+  uint64_t buffer_bytes_ = 0;  // serialized footprint of buffer_
   std::set<catalog::TupleId> buffer_deletes_;  // deletions not yet flushed
   // Union of all flushed delete sets (each fracture also persists its own).
   std::set<catalog::TupleId> deleted_;

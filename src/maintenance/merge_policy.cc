@@ -1,0 +1,75 @@
+#include "maintenance/merge_policy.h"
+
+#include <algorithm>
+
+#include "core/cost_model.h"
+#include "core/fractured_upi.h"
+
+namespace upi::maintenance {
+
+Decision MergePolicy::DecideFlush(const core::FracturedUpi& table) const {
+  Decision d;
+  core::FracturedUpi::BufferWatermarks w = table.buffer_watermarks();
+  if (w.inserts >= options_.flush_max_buffered_tuples) {
+    d.action = ActionKind::kFlush;
+    d.reason = "buffered-tuple watermark";
+  } else if (w.bytes >= options_.flush_max_buffered_bytes) {
+    d.action = ActionKind::kFlush;
+    d.reason = "buffered-byte watermark";
+  } else if (w.deletes >= options_.flush_max_buffered_deletes) {
+    d.action = ActionKind::kFlush;
+    d.reason = "buffered-delete watermark";
+  }
+  return d;
+}
+
+double MergePolicy::Selectivity(const core::FracturedUpi& table) const {
+  if (options_.reference_value.empty()) return options_.reference_selectivity;
+  return table.EstimateSelectivity(options_.reference_value,
+                                   options_.reference_qt);
+}
+
+double MergePolicy::PredictQueryMs(const core::FracturedUpi& table) const {
+  core::CostModel model(params_, core::TableStats::Of(table));
+  return model.FracturedQueryMs(Selectivity(table));
+}
+
+Decision MergePolicy::DecideMerge(const core::FracturedUpi& table) const {
+  Decision d;
+  core::TableStats stats = core::TableStats::Of(table);
+  core::CostModel model(params_, stats);
+  double sel = Selectivity(table);
+  d.predicted_query_ms = model.FracturedQueryMs(sel);
+  d.overhead_ms = stats.num_fractures * model.LookupOverheadMs();
+  core::TableStats merged_stats = stats;
+  merged_stats.num_fractures = 1;
+  d.merged_query_ms =
+      core::CostModel(params_, merged_stats).FracturedQueryMs(sel);
+  if (!options_.merges_enabled) return d;
+
+  const size_t deltas =
+      table.num_fractures() - (table.main() != nullptr ? 1 : 0);
+  if (deltas < 1) return d;  // nothing to repay
+
+  // Full merge past the deterioration knee: the query is paying several times
+  // what it would on a clean layout; partial repayments can't close that gap
+  // (the main fracture dominates and partial merges never touch it).
+  if (d.predicted_query_ms >
+      options_.full_merge_deterioration * d.merged_query_ms) {
+    d.action = ActionKind::kMergeAll;
+    d.reason = "deterioration threshold";
+    return d;
+  }
+
+  // Partial merge when the fracture tax dominates the predicted cost. Needs
+  // at least two deltas to fold.
+  if (deltas >= 2 && d.overhead_ms > options_.partial_merge_overhead_fraction *
+                                         d.predicted_query_ms) {
+    d.action = ActionKind::kMergePartial;
+    d.merge_count = std::min(options_.partial_merge_fanin, deltas);
+    d.reason = "fracture-overhead fraction";
+  }
+  return d;
+}
+
+}  // namespace upi::maintenance

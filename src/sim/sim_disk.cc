@@ -42,13 +42,19 @@ std::string DiskStats::ToString(const CostParams& p) const {
 }
 
 uint64_t SimDisk::Allocate(uint64_t bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
   uint64_t addr = next_addr_;
   next_addr_ += bytes;
   return addr;
 }
 
-uint64_t SimDisk::SeekSpan() const {
+uint64_t SimDisk::SeekSpanLocked() const {
   return next_addr_ > kMinSeekSpan ? next_addr_ : kMinSeekSpan;
+}
+
+uint64_t SimDisk::SeekSpan() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return SeekSpanLocked();
 }
 
 void SimDisk::Access(uint64_t addr, uint64_t bytes) {
@@ -58,26 +64,34 @@ void SimDisk::Access(uint64_t addr, uint64_t bytes) {
       stats_.seek_ms += params_.seek_ms;  // unknown position: average seek
     } else {
       uint64_t dist = head_ > addr ? head_ - addr : addr - head_;
-      stats_.seek_ms += params_.SeekMs(dist, SeekSpan());
+      stats_.seek_ms += params_.SeekMs(dist, SeekSpanLocked());
     }
   }
   head_ = addr + bytes;
 }
 
 void SimDisk::Read(uint64_t addr, uint64_t bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
   Access(addr, bytes);
   ++stats_.reads;
   stats_.bytes_read += bytes;
 }
 
 void SimDisk::Write(uint64_t addr, uint64_t bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
   Access(addr, bytes);
   ++stats_.writes;
   stats_.bytes_written += bytes;
 }
 
-void SimDisk::ChargeFileOpen() { ++stats_.file_opens; }
+void SimDisk::ChargeFileOpen() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.file_opens;
+}
 
-void SimDisk::ResetHead() { head_ = UINT64_MAX; }
+void SimDisk::ResetHead() {
+  std::lock_guard<std::mutex> lock(mu_);
+  head_ = UINT64_MAX;
+}
 
 }  // namespace upi::sim

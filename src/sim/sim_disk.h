@@ -16,6 +16,7 @@
 #pragma once
 
 #include <cstdint>
+#include <mutex>
 #include <string>
 
 #include "sim/cost_params.h"
@@ -41,6 +42,12 @@ struct DiskStats {
 /// \brief The simulated device. One instance per "machine"; every PageFile of
 /// a database allocates its extents from the same SimDisk so that cross-file
 /// interleaving shows up as seeks, as it would on the paper's single spindle.
+///
+/// Thread-safe: the maintenance subsystem's background workers do their build
+/// I/O on the same spindle as foreground queries, so head position, address
+/// allocation, and the stats counters are guarded by a mutex. (Interleaved
+/// accounting is also physically right — two threads sharing one disk *do*
+/// perturb each other's head position.)
 class SimDisk {
  public:
   explicit SimDisk(CostParams params = CostParams{}) : params_(params) {}
@@ -59,21 +66,30 @@ class SimDisk {
   /// full-cost seek. Benches call this as part of the cold-cache protocol.
   void ResetHead();
 
-  const DiskStats& stats() const { return stats_; }
+  /// Snapshot of the counters (consistent even while workers run).
+  DiskStats stats() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return stats_;
+  }
   const CostParams& params() const { return params_; }
-  uint64_t size_bytes() const { return next_addr_; }
+  uint64_t size_bytes() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return next_addr_;
+  }
 
   /// Span used for distance->time conversion (floored so tiny test databases
   /// don't make every seek look track-to-track).
   uint64_t SeekSpan() const;
 
   /// Simulated total time since construction.
-  double TotalMs() const { return stats_.SimMs(params_); }
+  double TotalMs() const { return stats().SimMs(params_); }
 
  private:
   void Access(uint64_t addr, uint64_t bytes);
+  uint64_t SeekSpanLocked() const;
 
   CostParams params_;
+  mutable std::mutex mu_;
   DiskStats stats_;
   uint64_t next_addr_ = 0;
   uint64_t head_ = UINT64_MAX;  // UINT64_MAX = unknown position

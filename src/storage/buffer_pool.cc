@@ -7,6 +7,7 @@
 namespace upi::storage {
 
 std::string* BufferPool::Fetch(PageFile* file, PageId id, bool create) {
+  std::lock_guard<std::mutex> lock(mu_);
   Key k{file, id};
   auto it = frames_.find(k);
   if (it != frames_.end()) {
@@ -34,12 +35,14 @@ std::string* BufferPool::Fetch(PageFile* file, PageId id, bool create) {
 }
 
 void BufferPool::Unpin(PageFile* file, PageId id) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = frames_.find(Key{file, id});
   assert(it != frames_.end() && it->second.pins > 0);
   --it->second.pins;
 }
 
 void BufferPool::MarkDirty(PageFile* file, PageId id) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = frames_.find(Key{file, id});
   assert(it != frames_.end());
   it->second.dirty = true;
@@ -81,6 +84,11 @@ void BufferPool::EvictIfNeeded() {
 }
 
 void BufferPool::FlushAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  FlushAllLocked();
+}
+
+void BufferPool::FlushAllLocked() {
   std::vector<Key> dirty;
   for (auto& [k, f] : frames_) {
     if (f.dirty) dirty.push_back(k);
@@ -93,6 +101,7 @@ void BufferPool::FlushAll() {
 }
 
 void BufferPool::FlushFile(PageFile* file) {
+  std::lock_guard<std::mutex> lock(mu_);
   std::vector<Key> dirty;
   for (auto& [k, f] : frames_) {
     if (k.file == file && f.dirty) dirty.push_back(k);
@@ -103,7 +112,8 @@ void BufferPool::FlushFile(PageFile* file) {
 }
 
 void BufferPool::DropAll() {
-  FlushAll();
+  std::lock_guard<std::mutex> lock(mu_);
+  FlushAllLocked();
   assert(std::all_of(frames_.begin(), frames_.end(),
                      [](const auto& kv) { return kv.second.pins == 0; }));
   frames_.clear();
@@ -112,6 +122,7 @@ void BufferPool::DropAll() {
 }
 
 void BufferPool::Discard(PageFile* file, PageId id) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = frames_.find(Key{file, id});
   if (it == frames_.end()) return;
   assert(it->second.pins == 0);

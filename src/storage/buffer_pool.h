@@ -5,10 +5,19 @@
 // DropAll() implements the cold protocol; a capacity smaller than the
 // database forces the eviction-driven random writes that make non-fractured
 // UPI maintenance expensive (Table 7).
+//
+// Thread-safe: the page table, LRU list, and counters are guarded by a mutex
+// so background maintenance workers can read/build files while foreground
+// queries run. Returned page pointers stay valid while pinned (frames are
+// node-stable and pinned frames are never evicted); concurrent *readers* of a
+// pinned page are safe, and writers are serialized above this layer (a page
+// is only written by the single thread building its file, or under the
+// table's exclusive lock).
 #pragma once
 
 #include <cstdint>
 #include <list>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 
@@ -46,9 +55,18 @@ class BufferPool {
   /// Drops the frame for a page being freed, discarding dirty data.
   void Discard(PageFile* file, PageId id);
 
-  uint64_t hits() const { return hits_; }
-  uint64_t misses() const { return misses_; }
-  uint64_t cached_bytes() const { return cached_bytes_; }
+  uint64_t hits() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return hits_;
+  }
+  uint64_t misses() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return misses_;
+  }
+  uint64_t cached_bytes() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return cached_bytes_;
+  }
 
  private:
   struct Key {
@@ -71,7 +89,9 @@ class BufferPool {
   void Touch(const Key& k, Frame* f);
   void EvictIfNeeded();
   void WriteBack(const Key& k, Frame* f);
+  void FlushAllLocked();
 
+  mutable std::mutex mu_;
   uint64_t capacity_;
   uint64_t cached_bytes_ = 0;
   uint64_t hits_ = 0;

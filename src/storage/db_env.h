@@ -4,6 +4,7 @@
 #pragma once
 
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -24,8 +25,11 @@ class DbEnv {
                  sim::CostParams params = sim::CostParams{})
       : disk_(params), pool_(pool_bytes) {}
 
-  /// Creates a new page file on this environment's disk.
+  /// Creates a new page file on this environment's disk. Thread-safe:
+  /// background maintenance workers create fracture files while other
+  /// threads query.
   PageFile* CreateFile(const std::string& name, uint32_t page_size) {
+    std::lock_guard<std::mutex> lock(files_mu_);
     files_.push_back(std::make_unique<PageFile>(&disk_, name, page_size));
     return files_.back().get();
   }
@@ -47,6 +51,7 @@ class DbEnv {
 
   /// Total footprint of all files (the paper's "DB size").
   uint64_t TotalFileBytes() const {
+    std::lock_guard<std::mutex> lock(files_mu_);
     uint64_t total = 0;
     for (const auto& f : files_) total += f->size_bytes();
     return total;
@@ -56,6 +61,7 @@ class DbEnv {
   sim::SimDisk disk_;
   // Declared before pool_ so the pool (whose destructor flushes dirty pages
   // back to these files) is destroyed first.
+  mutable std::mutex files_mu_;
   std::vector<std::unique_ptr<PageFile>> files_;
   BufferPool pool_;
 };
