@@ -3,7 +3,12 @@
 // Expected shape: both get faster as QT rises (less data); the UPI is
 // 20-100x faster because it answers with one seek plus a sequential scan
 // while PII random-seeks the heap per qualifying tuple.
+//
+// Both tables are built and queried through the engine's Database facade
+// (separate databases so each side keeps its own cold cache, as the paper's
+// per-design measurements do).
 #include "bench_util.h"
+#include "engine/database.h"
 
 using namespace upi;
 using namespace upi::bench;
@@ -12,16 +17,20 @@ int main(int argc, char** argv) {
   flags::Parse(argc, argv);
   DblpData d = MakeDblp(false);
 
-  storage::DbEnv pii_env;
-  auto table = baseline::UnclusteredTable::Build(
-                   &pii_env, "author", datagen::DblpGenerator::AuthorSchema(),
-                   {datagen::AuthorCols::kInstitution}, d.authors)
-                   .ValueOrDie();
-  storage::DbEnv upi_env;
-  auto upi = core::Upi::Build(&upi_env, "author",
-                              datagen::DblpGenerator::AuthorSchema(),
-                              AuthorUpiOptions(0.1), {}, d.authors)
-                 .ValueOrDie();
+  engine::Database pii_db;
+  engine::Table* table =
+      pii_db
+          .CreateUnclusteredTable("author",
+                                  datagen::DblpGenerator::AuthorSchema(),
+                                  datagen::AuthorCols::kInstitution,
+                                  {datagen::AuthorCols::kInstitution}, d.authors)
+          .ValueOrDie();
+  engine::Database upi_db;
+  engine::Table* upi =
+      upi_db
+          .CreateUpiTable("author", datagen::DblpGenerator::AuthorSchema(),
+                          AuthorUpiOptions(0.1), {}, d.authors)
+          .ValueOrDie();
 
   PrintTitle("Figure 4: Query 1 runtime (simulated seconds), C=0.1");
   std::printf("# authors=%zu  value=%s\n", d.authors.size(),
@@ -29,15 +38,14 @@ int main(int argc, char** argv) {
   std::printf("%-6s %12s %12s %9s %6s %12s\n", "QT", "PII[s]", "UPI[s]",
               "speedup", "rows", "wall(UPI)ms");
   for (double qt = 0.1; qt <= 0.91; qt += 0.1) {
-    QueryCost pii = RunCold(&pii_env, [&]() -> size_t {
+    QueryCost pii = RunCold(pii_db.env(), [&]() -> size_t {
       std::vector<core::PtqMatch> out;
-      CheckOk(table->QueryPii(datagen::AuthorCols::kInstitution,
-                              d.popular_institution, qt, &out));
+      CheckOk(table->path()->QueryPtq(d.popular_institution, qt, &out));
       return out.size();
     });
-    QueryCost upic = RunCold(&upi_env, [&]() -> size_t {
+    QueryCost upic = RunCold(upi_db.env(), [&]() -> size_t {
       std::vector<core::PtqMatch> out;
-      CheckOk(upi->QueryPtq(d.popular_institution, qt, &out));
+      CheckOk(upi->path()->QueryPtq(d.popular_institution, qt, &out));
       return out.size();
     });
     std::printf("%-6.1f %12.3f %12.3f %8.1fx %6zu %12.1f\n", qt,

@@ -6,7 +6,11 @@
 // access (Algorithm 3). Expected shape: tailored access wins by up to ~7x
 // over non-tailored and ~8x over PII; non-tailored can even lose to the
 // unclustered baseline because it ignores pointer overlap.
+//
+// Tables are built and queried through the engine's Database facade;
+// --json=<path> captures the rows for perf tracking.
 #include "bench_util.h"
+#include "engine/database.h"
 
 using namespace upi;
 using namespace upi::bench;
@@ -14,19 +18,24 @@ using namespace upi::bench;
 int main(int argc, char** argv) {
   flags::Parse(argc, argv);
   DblpData d = MakeDblp(/*with_publications=*/true);
+  JsonWriter json("fig06_query3");
 
-  storage::DbEnv pii_env;
-  auto table = baseline::UnclusteredTable::Build(
-                   &pii_env, "pub", datagen::DblpGenerator::PublicationSchema(),
-                   {datagen::PublicationCols::kCountry}, d.publications)
-                   .ValueOrDie();
-  storage::DbEnv upi_env;
-  auto upi = core::Upi::Build(&upi_env, "pub",
-                              datagen::DblpGenerator::PublicationSchema(),
-                              PublicationUpiOptions(0.1),
-                              {datagen::PublicationCols::kCountry},
-                              d.publications)
-                 .ValueOrDie();
+  engine::Database pii_db;
+  engine::Table* table =
+      pii_db
+          .CreateUnclusteredTable("pub",
+                                  datagen::DblpGenerator::PublicationSchema(),
+                                  datagen::PublicationCols::kCountry,
+                                  {datagen::PublicationCols::kCountry},
+                                  d.publications)
+          .ValueOrDie();
+  engine::Database upi_db;
+  engine::Table* upi =
+      upi_db
+          .CreateUpiTable("pub", datagen::DblpGenerator::PublicationSchema(),
+                          PublicationUpiOptions(0.1),
+                          {datagen::PublicationCols::kCountry}, d.publications)
+          .ValueOrDie();
 
   PrintTitle(
       "Figure 6: Query 3 runtime (simulated seconds) via secondary index on "
@@ -35,30 +44,35 @@ int main(int argc, char** argv) {
               d.mid_country.c_str());
   std::printf("%-6s %14s %14s %14s %7s\n", "QT", "PII-on-heap[s]",
               "UPI-plain[s]", "UPI-tailored[s]", "rows");
+  char config[64];
   for (double qt = 0.1; qt <= 0.91; qt += 0.1) {
-    QueryCost pii = RunCold(&pii_env, [&]() -> size_t {
+    QueryCost pii = RunCold(pii_db.env(), [&]() -> size_t {
       std::vector<core::PtqMatch> out;
-      CheckOk(table->QueryPii(datagen::PublicationCols::kCountry, d.mid_country,
-                              qt, &out));
+      CheckOk(table->path()->QueryPtq(d.mid_country, qt, &out));
       return out.size();
     });
-    QueryCost plain = RunCold(&upi_env, [&]() -> size_t {
+    QueryCost plain = RunCold(upi_db.env(), [&]() -> size_t {
       std::vector<core::PtqMatch> out;
-      CheckOk(upi->QueryBySecondary(datagen::PublicationCols::kCountry,
-                                    d.mid_country, qt,
-                                    core::SecondaryAccessMode::kFirstPointer,
-                                    &out));
+      CheckOk(upi->path()->QuerySecondary(
+          datagen::PublicationCols::kCountry, d.mid_country, qt,
+          core::SecondaryAccessMode::kFirstPointer, &out));
       return out.size();
     });
-    QueryCost tailored = RunCold(&upi_env, [&]() -> size_t {
+    QueryCost tailored = RunCold(upi_db.env(), [&]() -> size_t {
       std::vector<core::PtqMatch> out;
-      CheckOk(upi->QueryBySecondary(datagen::PublicationCols::kCountry,
-                                    d.mid_country, qt,
-                                    core::SecondaryAccessMode::kTailored, &out));
+      CheckOk(upi->path()->QuerySecondary(
+          datagen::PublicationCols::kCountry, d.mid_country, qt,
+          core::SecondaryAccessMode::kTailored, &out));
       return out.size();
     });
     std::printf("%-6.1f %14.3f %14.3f %14.3f %7zu\n", qt, pii.sim_ms / 1000.0,
                 plain.sim_ms / 1000.0, tailored.sim_ms / 1000.0, tailored.rows);
+    std::snprintf(config, sizeof(config), "pii qt=%.1f", qt);
+    json.AddRow(config, pii);
+    std::snprintf(config, sizeof(config), "upi-plain qt=%.1f", qt);
+    json.AddRow(config, plain);
+    std::snprintf(config, sizeof(config), "upi-tailored qt=%.1f", qt);
+    json.AddRow(config, tailored);
   }
   return 0;
 }

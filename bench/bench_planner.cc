@@ -1,0 +1,163 @@
+// The cost-based planner against hand-picked access paths.
+//
+// Runs the Figure 4 workload (Query 1: PTQ on the clustered attribute) and
+// the Figure 6 workload (Query 3: secondary probe on Country) through the
+// Database facade three ways: every hand-picked physical plan, and the
+// planner's choice. The planner row should match the best hand-picked row
+// (within noise) at every threshold — it picks per query, so it may switch
+// plans across the sweep where the hand-picked rows cannot.
+//
+//   ./bench_planner [--scale=1] [--seed=42] [--json=BENCH_planner.json]
+#include "bench_util.h"
+#include "engine/database.h"
+#include "exec/operators.h"
+
+using namespace upi;
+using namespace upi::bench;
+
+namespace {
+
+engine::Plan ForcedPlan(engine::PlanKind kind, int column,
+                        const std::string& value, double qt) {
+  engine::Plan plan;
+  plan.kind = kind;
+  plan.column = column;
+  plan.value = value;
+  plan.qt = qt;
+  return plan;
+}
+
+QueryCost RunForced(engine::Database* db, engine::Table* table,
+                    const engine::Plan& plan) {
+  return RunCold(db->env(), [&]() -> size_t {
+    std::vector<core::PtqMatch> out;
+    CheckOk(exec::Execute(*table->path(), plan, &out));
+    return out.size();
+  });
+}
+
+struct Verdict {
+  int rows = 0;
+  int within_noise = 0;
+};
+
+/// Planner passes when within 10% (or one seek) of the best hand-picked row.
+bool WithinNoise(double planner_ms, double best_ms) {
+  return planner_ms <= best_ms * 1.10 + 25.0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  flags::Parse(argc, argv);
+  DblpData d = MakeDblp(/*with_publications=*/true);
+  JsonWriter json("planner");
+  char config[96];
+  Verdict verdict;
+
+  // --- Figure 4 workload: Query 1 PTQs on the clustered attribute ----------
+  engine::Database db;
+  engine::Table* authors =
+      db.CreateUpiTable("author", datagen::DblpGenerator::AuthorSchema(),
+                        AuthorUpiOptions(0.1), {}, d.authors)
+          .ValueOrDie();
+
+  PrintTitle("Planner vs hand-picked plans, Figure 4 workload (Query 1)");
+  std::printf("# authors=%zu  value=%s\n", d.authors.size(),
+              d.popular_institution.c_str());
+  std::printf("%-6s %10s %10s %10s  %-24s %10s\n", "QT", "probe[s]", "scan[s]",
+              "plan[s]", "chosen", "pred[s]");
+  for (double qt = 0.1; qt <= 0.91; qt += 0.2) {
+    QueryCost probe = RunForced(
+        &db, authors,
+        ForcedPlan(engine::PlanKind::kPrimaryProbe, -1, d.popular_institution,
+                   qt));
+    QueryCost scan = RunForced(
+        &db, authors,
+        ForcedPlan(engine::PlanKind::kHeapScan, -1, d.popular_institution, qt));
+    engine::Plan chosen;
+    QueryCost planned = RunCold(db.env(), [&]() -> size_t {
+      std::vector<core::PtqMatch> out;
+      chosen = std::move(authors->Ptq(d.popular_institution, qt, &out))
+                   .ValueOrDie();
+      return out.size();
+    });
+    double best = std::min(probe.sim_ms, scan.sim_ms);
+    ++verdict.rows;
+    verdict.within_noise += WithinNoise(planned.sim_ms, best) ? 1 : 0;
+    std::printf("%-6.1f %10.3f %10.3f %10.3f  %-24s %10.3f\n", qt,
+                probe.sim_ms / 1000.0, scan.sim_ms / 1000.0,
+                planned.sim_ms / 1000.0, engine::PlanKindName(chosen.kind),
+                chosen.predicted_ms / 1000.0);
+    std::snprintf(config, sizeof(config), "fig4 probe qt=%.1f", qt);
+    json.AddRow(config, probe);
+    std::snprintf(config, sizeof(config), "fig4 scan qt=%.1f", qt);
+    json.AddRow(config, scan);
+    std::snprintf(config, sizeof(config), "fig4 planner qt=%.1f", qt);
+    json.AddRow(config, planned);
+  }
+
+  // --- Figure 6 workload: Query 3 secondary probes on Country --------------
+  engine::Table* pubs =
+      db.CreateUpiTable("pub", datagen::DblpGenerator::PublicationSchema(),
+                        PublicationUpiOptions(0.1),
+                        {datagen::PublicationCols::kCountry}, d.publications)
+          .ValueOrDie();
+  const int country = datagen::PublicationCols::kCountry;
+
+  std::printf("\n");
+  PrintTitle("Planner vs hand-picked plans, Figure 6 workload (Query 3)");
+  std::printf("# publications=%zu  country=%s\n", d.publications.size(),
+              d.mid_country.c_str());
+  std::printf("%-6s %10s %10s %10s %10s  %-24s %10s\n", "QT", "first[s]",
+              "tailor[s]", "scan[s]", "plan[s]", "chosen", "pred[s]");
+  for (double qt = 0.1; qt <= 0.91; qt += 0.2) {
+    QueryCost first = RunForced(
+        &db, pubs,
+        ForcedPlan(engine::PlanKind::kSecondaryFirstPointer, country,
+                   d.mid_country, qt));
+    QueryCost tailored = RunForced(
+        &db, pubs,
+        ForcedPlan(engine::PlanKind::kSecondaryTailored, country, d.mid_country,
+                   qt));
+    QueryCost scan = RunForced(
+        &db, pubs,
+        ForcedPlan(engine::PlanKind::kHeapScan, country, d.mid_country, qt));
+    engine::Plan chosen;
+    QueryCost planned = RunCold(db.env(), [&]() -> size_t {
+      std::vector<core::PtqMatch> out;
+      chosen =
+          std::move(pubs->Secondary(country, d.mid_country, qt, &out))
+              .ValueOrDie();
+      return out.size();
+    });
+    double best =
+        std::min(std::min(first.sim_ms, tailored.sim_ms), scan.sim_ms);
+    ++verdict.rows;
+    verdict.within_noise += WithinNoise(planned.sim_ms, best) ? 1 : 0;
+    std::printf("%-6.1f %10.3f %10.3f %10.3f %10.3f  %-24s %10.3f\n", qt,
+                first.sim_ms / 1000.0, tailored.sim_ms / 1000.0,
+                scan.sim_ms / 1000.0, planned.sim_ms / 1000.0,
+                engine::PlanKindName(chosen.kind), chosen.predicted_ms / 1000.0);
+    std::snprintf(config, sizeof(config), "fig6 first-pointer qt=%.1f", qt);
+    json.AddRow(config, first);
+    std::snprintf(config, sizeof(config), "fig6 tailored qt=%.1f", qt);
+    json.AddRow(config, tailored);
+    std::snprintf(config, sizeof(config), "fig6 scan qt=%.1f", qt);
+    json.AddRow(config, scan);
+    std::snprintf(config, sizeof(config), "fig6 planner qt=%.1f", qt);
+    json.AddRow(config, planned);
+  }
+
+  // --- One EXPLAIN sample ---------------------------------------------------
+  std::printf("\n%s",
+              pubs->planner()
+                  .PlanSecondary(country, d.mid_country, 0.3)
+                  .Explain()
+                  .c_str());
+
+  std::printf("\nplanner within noise of the best hand-picked plan on %d/%d "
+              "rows\n",
+              verdict.within_noise, verdict.rows);
+  return verdict.within_noise == verdict.rows ? 0 : 1;
+}

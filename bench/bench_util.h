@@ -7,6 +7,9 @@
 //   --scale=<f>   dataset scale (1.0 = 100k authors / 200k pubs / 200k obs;
 //                 ~7 approximates the paper's sizes)
 //   --seed=<n>    generator seed
+//   --json=<path> machine-readable per-row capture (benches that call
+//                 JsonWriter::AddRow), for tracking the perf trajectory
+//                 across commits as BENCH_*.json
 #pragma once
 
 #include <chrono>
@@ -78,6 +81,51 @@ inline QueryCost RunMaintenance(storage::DbEnv* env,
 inline void PrintTitle(const std::string& title) {
   std::printf("# %s\n", title.c_str());
 }
+
+/// Per-row JSON capture behind the --json=<path> flag. Each AddRow records
+/// one measured configuration; the destructor writes the array:
+///   [{"bench": ..., "config": ..., "sim_ms": ..., "wall_ms": ..., "rows": ...}, ...]
+/// A no-op when --json is absent.
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::string bench)
+      : bench_(std::move(bench)), path_(flags::GetString("json", "")) {}
+
+  JsonWriter(const JsonWriter&) = delete;
+  JsonWriter& operator=(const JsonWriter&) = delete;
+
+  void AddRow(const std::string& config, const QueryCost& cost) {
+    if (path_.empty()) return;
+    char buf[320];
+    std::snprintf(buf, sizeof(buf),
+                  "  {\"bench\": \"%s\", \"config\": \"%s\", \"sim_ms\": %.3f,"
+                  " \"wall_ms\": %.3f, \"rows\": %zu}",
+                  bench_.c_str(), config.c_str(), cost.sim_ms, cost.wall_ms,
+                  cost.rows);
+    rows_.push_back(buf);
+  }
+
+  ~JsonWriter() {
+    if (path_.empty()) return;
+    std::FILE* f = std::fopen(path_.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "bench: cannot write --json=%s\n", path_.c_str());
+      return;
+    }
+    std::fputs("[\n", f);
+    for (size_t i = 0; i < rows_.size(); ++i) {
+      std::fprintf(f, "%s%s\n", rows_[i].c_str(),
+                   i + 1 < rows_.size() ? "," : "");
+    }
+    std::fputs("]\n", f);
+    std::fclose(f);
+  }
+
+ private:
+  std::string bench_;
+  std::string path_;
+  std::vector<std::string> rows_;
+};
 
 // ---------------------------------------------------------------------------
 // DBLP fixtures

@@ -1,20 +1,20 @@
-// DBLP-style analytics: the workload that motivates the paper's introduction.
+// DBLP-style analytics: the workload that motivates the paper's introduction,
+// served through the engine's Database facade.
 //
 // Generates a synthetic uncertain bibliography (authors with web-derived,
-// probabilistic affiliations; publications inheriting them), clusters the
-// Publication table with a UPI on Institution, and runs analytic PTQs:
-// per-journal publication counts for an institution, a country-level roll-up
-// through the tailored secondary index, and a top-k author ranking —
-// reporting the simulated I/O cost of each against the PII baseline.
+// probabilistic affiliations; publications inheriting them), creates named
+// tables (a UPI-clustered Publication table and its PII baseline), and runs
+// analytic queries through the cost-based planner: per-journal publication
+// counts for an institution, a country-level roll-up (the planner picks the
+// tailored secondary access itself), and a top-k author ranking — reporting
+// the simulated I/O cost of each, with the planner's EXPLAIN output.
 //
 //   ./example_dblp_analytics [--scale=0.2] [--qt=0.3]
 #include <cstdio>
 
-#include "baseline/unclustered_table.h"
 #include "bench/bench_util.h"  // reuse the cold-query harness helpers
 #include "common/flags.h"
-#include "core/upi.h"
-#include "datagen/dblp.h"
+#include "engine/database.h"
 #include "exec/aggregate.h"
 #include "exec/topk.h"
 
@@ -34,26 +34,30 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(cfg.num_institutions));
 
   // Publication table: UPI on Institution + secondary on Country; PII
-  // baseline on an unclustered heap.
-  storage::DbEnv upi_env, pii_env;
+  // baseline on an unclustered heap in its own database (own cold cache).
+  engine::Database db, pii_db;
   core::UpiOptions opt;
   opt.cluster_column = datagen::PublicationCols::kInstitution;
   opt.cutoff = 0.1;
-  auto upi = core::Upi::Build(&upi_env, "pub",
-                              datagen::DblpGenerator::PublicationSchema(), opt,
-                              {datagen::PublicationCols::kCountry}, pubs)
-                 .ValueOrDie();
-  auto heap = baseline::UnclusteredTable::Build(
-                  &pii_env, "pub", datagen::DblpGenerator::PublicationSchema(),
-                  {datagen::PublicationCols::kInstitution}, pubs)
-                  .ValueOrDie();
+  engine::Table* pub =
+      db.CreateUpiTable("pub", datagen::DblpGenerator::PublicationSchema(), opt,
+                        {datagen::PublicationCols::kCountry}, pubs)
+          .ValueOrDie();
+  engine::Table* heap =
+      pii_db
+          .CreateUnclusteredTable("pub",
+                                  datagen::DblpGenerator::PublicationSchema(),
+                                  datagen::PublicationCols::kInstitution,
+                                  {datagen::PublicationCols::kInstitution}, pubs)
+          .ValueOrDie();
 
   std::string inst = gen.PopularInstitution();
 
   // --- Query 2: per-journal counts for one institution ---------------------
-  auto upi_cost = bench::RunCold(&upi_env, [&]() -> size_t {
+  engine::Plan plan;
+  auto upi_cost = bench::RunCold(db.env(), [&]() -> size_t {
     std::vector<core::PtqMatch> matches;
-    bench::CheckOk(upi->QueryPtq(inst, qt, &matches));
+    plan = std::move(pub->Ptq(inst, qt, &matches)).ValueOrDie();
     auto groups = exec::GroupByCount(matches, datagen::PublicationCols::kJournal);
     std::printf("Top journals for %s (confidence >= %.2f):\n", inst.c_str(), qt);
     int shown = 0;
@@ -64,42 +68,40 @@ int main(int argc, char** argv) {
     }
     return matches.size();
   });
-  auto pii_cost = bench::RunCold(&pii_env, [&]() -> size_t {
+  auto pii_cost = bench::RunCold(pii_db.env(), [&]() -> size_t {
     std::vector<core::PtqMatch> matches;
-    bench::CheckOk(heap->QueryPii(datagen::PublicationCols::kInstitution, inst,
-                                  qt, &matches));
+    bench::CheckOk(heap->path()->QueryPtq(inst, qt, &matches));
     return matches.size();
   });
   std::printf("Aggregate over %zu matches: UPI %.2fs vs PII %.2fs (simulated)"
-              " -> %.0fx\n\n",
+              " -> %.0fx\n%s\n",
               upi_cost.rows, upi_cost.sim_ms / 1000.0, pii_cost.sim_ms / 1000.0,
-              pii_cost.sim_ms / upi_cost.sim_ms);
+              pii_cost.sim_ms / upi_cost.sim_ms, plan.Explain().c_str());
 
-  // --- Query 3: country roll-up via the tailored secondary index -----------
+  // --- Query 3: country roll-up; the planner picks the access mode ---------
   std::string country = gen.MidCountry();
-  auto sec_cost = bench::RunCold(&upi_env, [&]() -> size_t {
+  auto sec_cost = bench::RunCold(db.env(), [&]() -> size_t {
     std::vector<core::PtqMatch> matches;
-    bench::CheckOk(upi->QueryBySecondary(datagen::PublicationCols::kCountry,
-                                         country, qt,
-                                         core::SecondaryAccessMode::kTailored,
-                                         &matches));
+    plan = std::move(pub->Secondary(datagen::PublicationCols::kCountry, country,
+                                    qt, &matches))
+               .ValueOrDie();
     return matches.size();
   });
-  std::printf("Country=%s roll-up: %zu pubs, %.2fs simulated via tailored "
-              "secondary access\n\n",
-              country.c_str(), sec_cost.rows, sec_cost.sim_ms / 1000.0);
+  std::printf("Country=%s roll-up: %zu pubs, %.2fs simulated via %s\n\n",
+              country.c_str(), sec_cost.rows, sec_cost.sim_ms / 1000.0,
+              engine::PlanKindName(plan.kind));
 
   // --- Top-k: most confident authors of the institution --------------------
-  storage::DbEnv a_env;
   core::UpiOptions aopt;
   aopt.cluster_column = datagen::AuthorCols::kInstitution;
-  auto author_upi = core::Upi::Build(&a_env, "author",
-                                     datagen::DblpGenerator::AuthorSchema(),
-                                     aopt, {}, authors)
-                        .ValueOrDie();
+  engine::Table* author =
+      db.CreateUpiTable("author", datagen::DblpGenerator::AuthorSchema(), aopt,
+                        {}, authors)
+          .ValueOrDie();
   std::vector<core::PtqMatch> top;
-  bench::CheckOk(exec::TopKFromUpi(*author_upi, inst, 5, &top));
-  std::printf("Top-5 most-confident %s authors:\n", inst.c_str());
+  plan = std::move(author->TopK(inst, 5, &top)).ValueOrDie();
+  std::printf("Top-5 most-confident %s authors (via %s):\n", inst.c_str(),
+              engine::PlanKindName(plan.kind));
   for (const auto& m : top) {
     std::printf("  %-12s confidence=%.2f\n", m.tuple.Get(0).str().c_str(),
                 m.confidence);

@@ -1,16 +1,17 @@
-// Quickstart: the paper's running example (Tables 1-5) end to end.
+// Quickstart: the paper's running example (Tables 1-5) end to end, through
+// the engine's Database facade.
 //
 // Builds the three-author uncertain table, clusters it with a UPI on
 // Institution (cutoff C = 10%), adds a secondary index on Country, and runs
-// the paper's example queries, printing each structure's contents.
+// the paper's example queries through the cost-based planner — printing each
+// structure's contents and one EXPLAIN.
 //
 //   ./example_quickstart
 #include <cstdio>
 
-#include "core/upi.h"
 #include "core/upi_key.h"
+#include "engine/database.h"
 #include "exec/ptq.h"
-#include "storage/db_env.h"
 
 using namespace upi;
 
@@ -52,17 +53,18 @@ int main() {
        catalog::Value::Discrete(Dist({{"Brown", 0.6}, {"U.Tokyo", 0.4}})),
        catalog::Value::Discrete(Dist({{"US", 0.6}, {"Japan", 0.4}}))}));
 
-  // ----- Build a UPI on Institution with C = 10% (Table 3) ----------------
-  storage::DbEnv env;
+  // ----- Build a UPI table on Institution with C = 10% (Table 3) ----------
+  engine::Database db;
   core::UpiOptions options;
   options.cluster_column = 1;
   options.cutoff = 0.10;
-  auto upi = core::Upi::Build(&env, "author", schema, options,
-                              /*secondary_columns=*/{2}, authors)
-                 .ValueOrDie();
+  engine::Table* table =
+      db.CreateUpiTable("author", schema, options, /*secondary_columns=*/{2},
+                        authors)
+          .ValueOrDie();
 
   std::printf("== UPI heap file (Institution ASC, probability DESC) ==\n");
-  upi->ScanHeap([&](std::string_view key, std::string_view tuple_bytes) {
+  table->upi()->ScanHeap([&](std::string_view key, std::string_view tuple_bytes) {
     core::UpiKey k;
     (void)core::DecodeUpiKey(key, &k);
     auto t = catalog::Tuple::Deserialize(tuple_bytes).ValueOrDie();
@@ -70,31 +72,33 @@ int main() {
                 t.Get(0).str().c_str());
   });
   std::printf("Cutoff index holds %llu entry(ies) — Bob's UCB@5%% pointer.\n\n",
-              static_cast<unsigned long long>(upi->cutoff_index()->num_entries()));
+              static_cast<unsigned long long>(
+                  table->upi()->cutoff_index()->num_entries()));
 
   // ----- Query 1 (paper Section 1): Institution = MIT ---------------------
   std::vector<core::PtqMatch> out;
-  (void)upi->QueryPtq("MIT", 0.10, &out);
+  engine::Plan plan = std::move(table->Ptq("MIT", 0.10, &out)).ValueOrDie();
   PrintMatches("Query 1: Institution=MIT, threshold 10%", out);
+  std::printf("\n%s", plan.Explain().c_str());
 
   // Threshold below the cutoff: the cutoff index is consulted (Algorithm 2).
   out.clear();
-  (void)upi->QueryPtq("UCB", 0.01, &out);
+  (void)table->Ptq("UCB", 0.01, &out);
   PrintMatches("\nQuery: Institution=UCB, threshold 1% (via cutoff index)", out);
 
   // ----- Secondary index on Country (Table 5 + Algorithm 3) ---------------
   out.clear();
-  (void)upi->QueryBySecondary(2, "US", 0.8, core::SecondaryAccessMode::kTailored,
-                              &out);
-  PrintMatches("\nQuery: Country=US, threshold 80% (tailored secondary access)",
-               out);
+  plan = std::move(table->Secondary(2, "US", 0.8, &out)).ValueOrDie();
+  PrintMatches("\nQuery: Country=US, threshold 80% (planner-chosen secondary "
+               "access)", out);
+  std::printf("  planner picked: %s\n", engine::PlanKindName(plan.kind));
 
   // ----- Top-k with early termination --------------------------------------
   out.clear();
-  (void)upi->QueryTopK("Brown", 1, &out);
+  (void)table->TopK("Brown", 1, &out);
   PrintMatches("\nTop-1 for Institution=Brown", out);
 
   std::printf("\nSimulated I/O so far: %s\n",
-              env.disk()->stats().ToString(env.params()).c_str());
+              db.env()->disk()->stats().ToString(db.params()).c_str());
   return 0;
 }

@@ -18,6 +18,7 @@
 #include "core/continuous_upi.h"
 #include "core/fractured_upi.h"
 #include "datagen/cartel.h"
+#include "engine/database.h"
 #include "exec/spatial.h"
 #include "maintenance/manager.h"
 
@@ -99,45 +100,53 @@ int main(int argc, char** argv) {
                 m.confidence);
   }
 
-  // --- Live stream ingest under the background maintenance manager ---------
-  // The LSST-style pipeline: observations stream into a Fractured UPI
-  // clustered on the road segment; the manager's worker threads flush at the
-  // watermark and merge when the Section 6.2 cost model says the fracture tax
-  // is due — while this thread keeps answering segment PTQs.
-  storage::DbEnv stream_env;
+  // --- Live stream ingest through the Database facade ----------------------
+  // The LSST-style pipeline: observations stream into a Fractured UPI table
+  // created through the engine facade, which auto-registers it with the
+  // database's MaintenanceManager — every Table::Insert notifies the manager,
+  // whose worker threads flush at the watermark and merge when the Section
+  // 6.2 cost model says the fracture tax is due, while this thread keeps
+  // answering segment PTQs through the planner.
+  engine::DatabaseOptions dbopt;
+  dbopt.maintenance.num_workers = 2;
+  dbopt.maintenance.policy.flush_max_buffered_tuples = obs.size() / 20 + 1;
+  dbopt.maintenance.policy.reference_value = segment;
+  dbopt.maintenance.policy.reference_qt = qt;
+  engine::Database stream_db(dbopt);
   core::UpiOptions fopt;
   fopt.cluster_column = datagen::CarObsCols::kSegment;
   fopt.cutoff = 0.1;
-  core::FracturedUpi stream_table(
-      &stream_env, "obs_stream", datagen::CartelGenerator::CarObservationSchema(),
-      fopt, {});
-  bench::CheckOk(stream_table.BuildMain(obs));
-
-  maintenance::MaintenanceManagerOptions mopt;
-  mopt.num_workers = 2;
-  mopt.policy.flush_max_buffered_tuples = obs.size() / 20 + 1;
-  mopt.policy.reference_value = segment;
-  mopt.policy.reference_qt = qt;
-  maintenance::MaintenanceManager mgr(&stream_env, mopt);
-  mgr.Register(&stream_table);
+  engine::Table* stream_table =
+      stream_db
+          .CreateFracturedTable("obs_stream",
+                                datagen::CartelGenerator::CarObservationSchema(),
+                                fopt, {}, obs)
+          .ValueOrDie();
 
   size_t stream = obs.size() / 2;
   size_t mid_stream_rows = 0, mid_stream_queries = 0;
   for (size_t i = 0; i < stream; ++i) {
-    bench::CheckOk(stream_table.Insert(gen.MakeObservation(1000000 + i)));
-    mgr.NotifyWrite(&stream_table);
+    bench::CheckOk(stream_table->Insert(gen.MakeObservation(1000000 + i)));
     if (i % (stream / 8 + 1) == 0) {
-      // Query concurrently with whatever the workers are doing.
+      // Planned query concurrent with whatever the workers are doing —
+      // planning and execution both read the fracture list under the
+      // table's shared lock.
       std::vector<core::PtqMatch> out;
-      bench::CheckOk(stream_table.QueryPtq(segment, qt, &out));
+      bench::CheckOk(stream_table->Ptq(segment, qt, &out).status());
       mid_stream_rows += out.size();
       ++mid_stream_queries;
     }
   }
-  mgr.WaitIdle();
-  bench::CheckOk(mgr.last_error());
+  stream_db.maintenance()->WaitIdle();
+  bench::CheckOk(stream_db.maintenance()->last_error());
 
-  maintenance::MaintenanceStats mstats = mgr.stats();
+  // The stream is idle: one planned query, with its EXPLAIN.
+  std::vector<core::PtqMatch> settled;
+  engine::Plan plan =
+      std::move(stream_table->Ptq(segment, qt, &settled)).ValueOrDie();
+  std::printf("\n%s", plan.Explain().c_str());
+
+  maintenance::MaintenanceStats mstats = stream_db.maintenance()->stats();
   std::printf("\nIngested %zu streamed observations under the maintenance "
               "manager:\n", stream);
   std::printf("  %llu watermark flushes (%.2fs simulated), %llu partial + "
@@ -146,7 +155,8 @@ int main(int argc, char** argv) {
               mstats.flush_sim_ms / 1000,
               static_cast<unsigned long long>(mstats.partial_merges),
               static_cast<unsigned long long>(mstats.full_merges),
-              mstats.merge_sim_ms / 1000, stream_table.num_fractures());
+              mstats.merge_sim_ms / 1000,
+              stream_table->fractured()->num_fractures());
   std::printf("  %zu segment PTQs answered mid-stream (%zu rows) while "
               "background merges ran\n",
               mid_stream_queries, mid_stream_rows);

@@ -13,6 +13,7 @@
 #include "core/advisor.h"
 #include "core/upi.h"
 #include "datagen/dblp.h"
+#include "engine/database.h"
 
 using namespace upi;
 
@@ -84,15 +85,22 @@ int main(int argc, char** argv) {
                 tolerable_s, nfrac);
   }
 
-  // Step 5: sanity-check the recommendation against a real build.
-  storage::DbEnv env;
-  auto upi = core::Upi::Build(&env, "author",
-                              datagen::DblpGenerator::AuthorSchema(),
-                              bench::AuthorUpiOptions(best.cutoff), {}, authors)
-                 .ValueOrDie();
+  // Step 5: sanity-check the recommendation against a real build, through
+  // the Database facade (and show the planner's view of the tuned table).
+  engine::Database db;
+  engine::Table* table =
+      db.CreateUpiTable("author", datagen::DblpGenerator::AuthorSchema(),
+                        bench::AuthorUpiOptions(best.cutoff), {}, authors)
+          .ValueOrDie();
   std::printf("\nBuilt UPI at C=%.2f: heap %.1f MB (estimate was %.1f MB)\n",
               best.cutoff,
-              static_cast<double>(upi->heap_tree()->size_bytes()) / (1 << 20),
+              static_cast<double>(table->upi()->heap_tree()->size_bytes()) /
+                  (1 << 20),
               best.expected_heap_bytes / (1 << 20));
+  std::printf("\n%s",
+              table->planner()
+                  .PlanPtq(gen.PopularInstitution(), workload[0].qt)
+                  .Explain()
+                  .c_str());
   return 0;
 }

@@ -13,8 +13,8 @@ BTree::BTree(storage::Pager pager) : pager_(pager), root_(kInvalidPage), height_
 }
 
 BTree BTree::FromBuilt(storage::Pager pager, PageId root, uint32_t height,
-                       uint64_t num_entries) {
-  return BTree(pager, root, height, num_entries);
+                       uint64_t num_entries, uint64_t num_leaf_pages) {
+  return BTree(pager, root, height, num_entries, num_leaf_pages);
 }
 
 Status BTree::ReadNode(PageId id, Node* out) const {
@@ -27,24 +27,6 @@ void BTree::WriteNode(PageId id, const Node& node) {
   node.Serialize(ref.data());
   assert(ref.data()->size() <= pager_.page_size());
   ref.MarkDirty();
-}
-
-uint64_t BTree::num_leaf_pages() const {
-  // Walk down the leftmost spine, then along the leaf chain.
-  uint64_t count = 0;
-  Node n;
-  PageId id = root_;
-  if (!ReadNode(id, &n).ok()) return 0;
-  while (!n.is_leaf) {
-    id = n.children[0].child;
-    if (!ReadNode(id, &n).ok()) return 0;
-  }
-  while (id != kInvalidPage) {
-    ++count;
-    if (!ReadNode(id, &n).ok()) break;
-    id = n.right_sibling;
-  }
-  return count;
 }
 
 // ---------------------------------------------------------------------------
@@ -146,6 +128,7 @@ Status BTree::PutRec(PageId page_id, std::string_view key, std::string_view valu
     ref.MarkDirty();
   }
   WriteNode(page_id, node);
+  if (node.is_leaf) ++num_leaf_pages_;
   split->split = true;
   split->right = right_id;
   return Status::OK();
@@ -277,6 +260,7 @@ Status BTree::TryMergeChild(Node* parent, size_t ci) {
   WriteNode(left_id, left);
   pager_.Free(right_id);
   parent->children.erase(parent->children.begin() + right_i);
+  if (left.is_leaf) --num_leaf_pages_;
   return Status::OK();
 }
 
@@ -295,6 +279,7 @@ Status BTree::ValidateInvariants() const {
   }
   // Leaf chain must visit every entry in ascending order.
   uint64_t chain_entries = 0;
+  uint64_t chain_pages = 0;
   std::string prev;
   bool first = true;
   Node n;
@@ -302,6 +287,7 @@ Status BTree::ValidateInvariants() const {
   while (id != kInvalidPage) {
     UPI_RETURN_NOT_OK(ReadNode(id, &n));
     if (!n.is_leaf) return Status::Corruption("non-leaf in leaf chain");
+    ++chain_pages;
     for (const auto& e : n.entries) {
       if (!first && e.key <= prev) return Status::Corruption("leaf chain disorder");
       prev = e.key;
@@ -312,6 +298,11 @@ Status BTree::ValidateInvariants() const {
   }
   if (chain_entries != num_entries_) {
     return Status::Corruption("leaf chain entry count mismatch");
+  }
+  if (chain_pages != num_leaf_pages_) {
+    return Status::Corruption("leaf page count mismatch: counted " +
+                              std::to_string(chain_pages) + " vs tracked " +
+                              std::to_string(num_leaf_pages_));
   }
   return Status::OK();
 }

@@ -85,7 +85,10 @@ class BTree {
   uint32_t height() const { return height_; }
   uint64_t num_entries() const { return num_entries_; }
   uint64_t size_bytes() const { return pager_.file()->size_bytes(); }
-  uint64_t num_leaf_pages() const;
+  /// Maintained incrementally (splits/merges/bulk load), so reading it costs
+  /// no I/O — the planner polls it on every query. ValidateInvariants checks
+  /// it against the actual leaf chain.
+  uint64_t num_leaf_pages() const { return num_leaf_pages_; }
   storage::Pager* pager() const { return &pager_; }
   PageId root() const { return root_; }
 
@@ -96,7 +99,7 @@ class BTree {
 
   /// Used by BTreeBuilder to hand over a bulk-loaded tree.
   static BTree FromBuilt(storage::Pager pager, PageId root, uint32_t height,
-                         uint64_t num_entries);
+                         uint64_t num_entries, uint64_t num_leaf_pages);
 
  private:
   friend class Cursor;
@@ -107,8 +110,13 @@ class BTree {
     PageId right = kInvalidPage;
   };
 
-  BTree(storage::Pager pager, PageId root, uint32_t height, uint64_t n)
-      : pager_(pager), root_(root), height_(height), num_entries_(n) {}
+  BTree(storage::Pager pager, PageId root, uint32_t height, uint64_t n,
+        uint64_t leaves)
+      : pager_(pager),
+        root_(root),
+        height_(height),
+        num_entries_(n),
+        num_leaf_pages_(leaves) {}
 
   Status ReadNode(PageId id, Node* out) const;
   void WriteNode(PageId id, const Node& node);
@@ -130,6 +138,7 @@ class BTree {
   PageId root_;
   uint32_t height_;
   uint64_t num_entries_ = 0;
+  uint64_t num_leaf_pages_ = 1;
 };
 
 }  // namespace upi::btree

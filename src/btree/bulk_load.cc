@@ -60,6 +60,7 @@ Status BTreeBuilder::Add(std::string_view key, std::string_view value) {
     storage::PageId next_leaf = pager_.file()->Allocate();
     leaf_.right_sibling = next_leaf;
     WritePage(leaf_page_, leaf_);
+    ++leaf_pages_;
     AddToLevel(1, leaf_first_key_, leaf_page_);
     leaf_ = Node{};
     leaf_.is_leaf = true;
@@ -111,11 +112,12 @@ Result<BTree> BTreeBuilder::Finish() {
     n.is_leaf = true;
     storage::PageId root = AllocAndWrite(n);
     FlushPending();
-    return BTree::FromBuilt(pager_, root, 1, 0);
+    return BTree::FromBuilt(pager_, root, 1, 0, 1);
   }
 
   leaf_.right_sibling = storage::kInvalidPage;
   WritePage(leaf_page_, leaf_);
+  ++leaf_pages_;
   AddToLevel(1, leaf_first_key_, leaf_page_);
 
   for (size_t lvl = 1; lvl < levels_.size(); ++lvl) {
@@ -125,7 +127,8 @@ Result<BTree> BTreeBuilder::Finish() {
     if (is_top && L.node.children.size() == 1) {
       storage::PageId root = L.node.children[0].child;
       FlushPending();
-      return BTree::FromBuilt(pager_, root, static_cast<uint32_t>(lvl), count_);
+      return BTree::FromBuilt(pager_, root, static_cast<uint32_t>(lvl), count_,
+                              leaf_pages_);
     }
     // Copy first_key before AddToLevel: a resize of levels_ would invalidate
     // a reference into L.

@@ -52,6 +52,7 @@ class BTreeBuilder {
   bool started_ = false;
   bool finished_ = false;
   uint64_t count_ = 0;
+  uint64_t leaf_pages_ = 0;
   std::string last_key_;
 
   Node leaf_;

@@ -438,12 +438,15 @@ Result<std::unique_ptr<Upi>> FracturedUpi::MergeUpis(
 
   // Secondary indexes: pointer lists name clustered-attribute alternatives,
   // which merging does not move — except demoted ones, which are filtered.
+  // The per-column histogram is rebuilt alongside (the planner's secondary
+  // estimates must survive merges).
   for (int col : secondary_columns_) {
     std::vector<const btree::BTree*> trees;
     for (const Upi* s : sources) trees.push_back(s->secondary(col)->tree());
     SecondaryIndex::Builder builder(
         env_, merged_name + ".sec." + schema_.column(col).name + ".built",
         options_.page_size, options_.max_secondary_pointers);
+    histogram::ProbHistogram& sec_hist = merged->sec_histograms_[col];
     UPI_RETURN_NOT_OK(MergeTrees(
         trees, [&](std::string_view key, std::string_view value) -> Status {
           bool keep = false;
@@ -451,6 +454,7 @@ Result<std::unique_ptr<Upi>> FracturedUpi::MergeUpis(
           if (!keep) return Status::OK();
           UpiKey k;
           UPI_RETURN_NOT_OK(DecodeUpiKey(key, &k));
+          sec_hist.Add(k.attr, k.prob, /*is_first=*/false);
           std::vector<SecondaryPointer> pointers;
           bool has_cutoff;
           UPI_RETURN_NOT_OK(

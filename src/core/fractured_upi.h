@@ -30,6 +30,7 @@
 // keeps the buffered tuples visible to every query.
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <set>
 #include <shared_mutex>
@@ -138,7 +139,17 @@ class FracturedUpi {
   /// MaintenanceManager tasks).
   Upi* main() const { return main_.get(); }
   const std::vector<std::unique_ptr<Upi>>& fractures() const { return fractures_; }
+  /// Iterates main + every delta fracture under the shared lock — safe while
+  /// background maintenance runs (installed fractures are immutable; the list
+  /// swap takes the exclusive lock). The engine's planner reads stats and
+  /// histograms through this.
+  void ForEachFractureShared(const std::function<void(const Upi&)>& fn) const {
+    std::shared_lock lock(mu_);
+    if (main_ != nullptr) fn(*main_);
+    for (const auto& f : fractures_) fn(*f);
+  }
   const catalog::Schema& schema() const { return schema_; }
+  const std::string& name() const { return name_; }
 
  private:
   bool IsDeleted(catalog::TupleId id) const { return deleted_.contains(id); }

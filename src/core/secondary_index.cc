@@ -82,6 +82,8 @@ Status SecondaryIndex::Put(std::string_view sec_value, double confidence,
         "is always heap-resident)");
   }
   std::string buf = ApplyLimitAndEncode(pointers, has_cutoff, max_pointers_);
+  ++put_entries_;
+  put_pointers_ += LimitedCount(pointers.size(), max_pointers_);
   return tree_->Put(EncodeUpiKey(sec_value, confidence, id), buf).status();
 }
 
@@ -118,13 +120,18 @@ Status SecondaryIndex::Builder::Add(std::string_view sec_value, double confidenc
     return Status::InvalidArgument("secondary entry needs at least one pointer");
   }
   std::string buf = ApplyLimitAndEncode(pointers, has_cutoff, max_pointers_);
+  ++put_entries_;
+  put_pointers_ += LimitedCount(pointers.size(), max_pointers_);
   return builder_.Add(EncodeUpiKey(sec_value, confidence, id), buf);
 }
 
 Result<std::unique_ptr<SecondaryIndex>> SecondaryIndex::Builder::Finish() {
   UPI_ASSIGN_OR_RETURN(btree::BTree tree, builder_.Finish());
-  return std::unique_ptr<SecondaryIndex>(
+  auto index = std::unique_ptr<SecondaryIndex>(
       new SecondaryIndex(file_, std::move(tree), max_pointers_));
+  index->put_entries_ = put_entries_;
+  index->put_pointers_ = put_pointers_;
+  return index;
 }
 
 }  // namespace upi::core

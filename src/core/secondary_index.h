@@ -63,6 +63,16 @@ class SecondaryIndex {
   void ChargeOpen() { file_->ChargeOpen(); }
 
   int max_pointers() const { return max_pointers_; }
+  /// Average heap pointers stored per entry (after the limit), >= 1. Tracked
+  /// incrementally over Put/Builder::Add so the planner's tailored-access
+  /// model reads it without I/O; deletions are not subtracted, so after heavy
+  /// churn it is an estimate.
+  double avg_pointers() const {
+    return put_entries_ == 0
+               ? 1.0
+               : static_cast<double>(put_pointers_) /
+                     static_cast<double>(put_entries_);
+  }
   uint64_t num_entries() const { return tree_->num_entries(); }
   uint64_t size_bytes() const { return tree_->size_bytes(); }
   btree::BTree* tree() { return tree_.get(); }
@@ -88,6 +98,8 @@ class SecondaryIndex {
     storage::PageFile* file_;
     btree::BTreeBuilder builder_;
     int max_pointers_;
+    uint64_t put_entries_ = 0;
+    uint64_t put_pointers_ = 0;
   };
 
  private:
@@ -96,10 +108,17 @@ class SecondaryIndex {
   static std::string ApplyLimitAndEncode(
       const std::vector<SecondaryPointer>& pointers, bool has_cutoff,
       int max_pointers);
+  static uint64_t LimitedCount(size_t num_pointers, int max_pointers) {
+    return max_pointers >= 0 && num_pointers > static_cast<size_t>(max_pointers)
+               ? static_cast<uint64_t>(max_pointers)
+               : static_cast<uint64_t>(num_pointers);
+  }
 
   storage::PageFile* file_;
   std::unique_ptr<btree::BTree> tree_;
   int max_pointers_;
+  uint64_t put_entries_ = 0;
+  uint64_t put_pointers_ = 0;
 };
 
 }  // namespace upi::core

@@ -36,12 +36,25 @@ Status Upi::AddSecondaryColumn(int column) {
   secondaries_[column] = std::make_unique<SecondaryIndex>(
       env_, name_ + ".sec." + schema_.column(column).name, options_.page_size,
       options_.max_secondary_pointers);
+  sec_histograms_.emplace(column, histogram::ProbHistogram{});
   return Status::OK();
 }
 
 SecondaryIndex* Upi::secondary(int column) const {
   auto it = secondaries_.find(column);
   return it == secondaries_.end() ? nullptr : it->second.get();
+}
+
+const histogram::ProbHistogram* Upi::secondary_histogram(int column) const {
+  auto it = sec_histograms_.find(column);
+  return it == sec_histograms_.end() ? nullptr : &it->second;
+}
+
+double Upi::EstimateSecondaryMatches(int column, std::string_view value,
+                                     double qt) const {
+  const histogram::ProbHistogram* hist = secondary_histogram(column);
+  if (hist == nullptr) return 0.0;
+  return hist->CountRest(value, qt, 1.0 + 1e-9);
 }
 
 histogram::PtqEstimate Upi::EstimatePtq(std::string_view value, double qt) const {
@@ -129,6 +142,7 @@ Status Upi::InsertSecondaryEntries(const Tuple& tuple, const AltPartition& part)
       double conf = tuple.existence() * alt.prob;
       UPI_RETURN_NOT_OK(sec->Put(alt.value, conf, tuple.id(), part.heap_alts,
                                  !part.cutoff_alts.empty()));
+      sec_histograms_[col].Add(alt.value, conf, /*is_first=*/false);
     }
   }
   return Status::OK();
@@ -141,6 +155,7 @@ Status Upi::RemoveSecondaryEntries(const Tuple& tuple) {
     for (const auto& alt : sv.discrete().alternatives()) {
       double conf = tuple.existence() * alt.prob;
       UPI_RETURN_NOT_OK(sec->Remove(alt.value, conf, tuple.id()));
+      sec_histograms_[col].Remove(alt.value, conf, /*is_first=*/false);
     }
   }
   return Status::OK();
@@ -234,6 +249,7 @@ Result<std::unique_ptr<Upi>> Upi::Build(storage::DbEnv* env, std::string name,
       std::string value;
     };
     std::vector<SecEntry> entries;
+    histogram::ProbHistogram& sec_hist = upi->sec_histograms_[col];
     for (const Tuple& t : tuples) {
       const Value& sv = t.Get(col);
       if (sv.type() != ValueType::kDiscrete) continue;
@@ -241,6 +257,7 @@ Result<std::unique_ptr<Upi>> Upi::Build(storage::DbEnv* env, std::string name,
         double conf = t.existence() * alt.prob;
         entries.push_back(
             {EncodeUpiKey(alt.value, conf, t.id()), &t, conf, alt.value});
+        sec_hist.Add(alt.value, conf, /*is_first=*/false);
       }
     }
     std::sort(entries.begin(), entries.end(),

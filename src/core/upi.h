@@ -116,8 +116,16 @@ class Upi {
   CutoffIndex* cutoff_index() const { return cutoff_.get(); }
   SecondaryIndex* secondary(int column) const;
   const histogram::ProbHistogram& prob_histogram() const { return histogram_; }
+  /// Probability histogram of a secondary column (maintained alongside the
+  /// secondary index); nullptr when no secondary index exists on `column`.
+  const histogram::ProbHistogram* secondary_histogram(int column) const;
   /// Histogram-based estimate for a PTQ on this UPI (Section 6.1).
   histogram::PtqEstimate EstimatePtq(std::string_view value, double qt) const;
+  /// Estimated number of secondary-index entries matching (value, qt) on
+  /// `column` — the pointer count the planner feeds into the Section 6.3
+  /// sigmoid. Zero when no secondary index exists.
+  double EstimateSecondaryMatches(int column, std::string_view value,
+                                  double qt) const;
   uint64_t num_tuples() const { return num_tuples_; }
   uint64_t heap_entries() const { return heap_->num_entries(); }
   uint64_t size_bytes() const;
@@ -151,6 +159,9 @@ class Upi {
   std::unique_ptr<CutoffIndex> cutoff_;
   std::map<int, std::unique_ptr<SecondaryIndex>> secondaries_;
   histogram::ProbHistogram histogram_;
+  /// One probability histogram per secondary column (same bucketing as the
+  /// clustered histogram; all alternatives recorded as non-first).
+  std::map<int, histogram::ProbHistogram> sec_histograms_;
   uint64_t num_tuples_ = 0;
 };
 

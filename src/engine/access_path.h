@@ -1,0 +1,264 @@
+// The engine's physical-access abstraction.
+//
+// Every concrete layout in this codebase — the clustered UPI (Section 3), the
+// Fractured UPI (Section 4), and the Section 7.2 baselines (PII over an
+// unclustered heap, secondary U-Tree) — answers the same logical requests:
+// probabilistic threshold queries, top-k, secondary probes. AccessPath is the
+// common interface the executor operators and the cost-based QueryPlanner
+// work against, so callers are no longer welded to core::Upi. Adapters are
+// thin non-owning views (cheap to construct, no I/O of their own); the
+// estimation hooks are RAM-only so the planner never spends simulated disk
+// time to make a decision.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "baseline/secondary_utree.h"
+#include "baseline/unclustered_table.h"
+#include "core/cost_model.h"
+#include "core/fractured_upi.h"
+#include "core/upi.h"
+#include "histogram/selectivity.h"
+
+namespace upi::engine {
+
+/// Everything the planner needs to know about a path's physical shape.
+/// Assembled fresh on each call so it tracks maintenance (merges change
+/// Nfrac, inserts grow the heap).
+struct PathStats {
+  core::TableStats table;        // heap footprint, Nleaf, H, Nfrac
+  double cutoff = 0.0;           // the cutoff threshold C (0 when N/A)
+  uint64_t heap_entries = 0;     // heap entries across all fractures
+  uint64_t num_tuples = 0;
+  double avg_entry_bytes = 0.0;  // serialized heap entry footprint
+  /// Device span for distance-dependent seek pricing (SimDisk::SeekSpan).
+  uint64_t seek_span_bytes = 0;
+  /// Distinct primary-attribute values (heap regions a sweep can target).
+  double distinct_primary_values = 0.0;
+  /// Whether each probe pays Costinit per file touched (the Fractured UPI
+  /// always does, per fracture; plain UPIs only with charge_open_per_query).
+  bool charges_open_per_query = false;
+  bool supports_scan = false;
+  bool supports_direct_topk = false;
+  /// True when the primary probe reads one clustered region (UPI); false when
+  /// it random-fetches through an inverted list (PII baseline).
+  bool clustered = true;
+};
+
+class AccessPath {
+ public:
+  virtual ~AccessPath() = default;
+
+  virtual const std::string& name() const = 0;
+  virtual const catalog::Schema& schema() const = 0;
+  virtual PathStats Stats() const = 0;
+
+  // --- Physical operators (charge simulated I/O) ---------------------------
+
+  /// PTQ on the path's primary uncertain attribute.
+  virtual Status QueryPtq(std::string_view value, double qt,
+                          std::vector<core::PtqMatch>* out) const = 0;
+
+  /// Direct top-k (early-terminating cursor). NotSupported unless
+  /// Stats().supports_direct_topk.
+  virtual Status QueryTopK(std::string_view value, size_t k,
+                           std::vector<core::PtqMatch>* out) const;
+
+  /// Probe through a secondary index on `column`. Paths without pointer
+  /// tailoring ignore `mode`.
+  virtual Status QuerySecondary(int column, std::string_view value, double qt,
+                                core::SecondaryAccessMode mode,
+                                std::vector<core::PtqMatch>* out) const;
+
+  /// Full sequential sweep; `fn` is called exactly once per live tuple (heap
+  /// duplicates are deduplicated here). NotSupported unless
+  /// Stats().supports_scan.
+  virtual Status ScanTuples(
+      const std::function<void(const catalog::Tuple&)>& fn) const;
+
+  /// Probabilistic spatial range query (continuous paths only).
+  virtual Status QueryRange(prob::Point center, double radius, double qt,
+                            std::vector<core::PtqMatch>* out) const;
+
+  virtual bool HasSecondary(int column) const { return false; }
+
+  /// Schema column the primary probe filters on (-1 when N/A).
+  virtual int primary_column() const { return -1; }
+
+  // --- Estimation hooks (RAM only, no simulated I/O) -----------------------
+
+  /// Section 6.1 estimate for a primary-attribute PTQ.
+  virtual histogram::PtqEstimate EstimatePtq(std::string_view value,
+                                             double qt) const = 0;
+
+  /// Expected secondary-index entries matching (value, qt) on `column` — the
+  /// pointer count fed into the Section 6.3 sigmoid. 0 when unknown.
+  virtual double EstimateSecondaryMatches(int column, std::string_view value,
+                                          double qt) const {
+    return 0.0;
+  }
+
+  /// Average heap pointers per secondary entry on `column` (>= 1): the
+  /// tailored-access overlap opportunity.
+  virtual double SecondaryAvgPointers(int column) const { return 1.0; }
+
+  /// Histogram-suggested threshold of the k-th best answer (Section 9's
+  /// estimated-threshold top-k strategy); 0 when unknown.
+  virtual double EstimateTopKThreshold(std::string_view value,
+                                       size_t k) const {
+    return 0.0;
+  }
+};
+
+/// Adapter over a clustered UPI (Section 3).
+class UpiAccessPath : public AccessPath {
+ public:
+  explicit UpiAccessPath(const core::Upi* upi) : upi_(upi) {}
+
+  const std::string& name() const override { return upi_->name(); }
+  const catalog::Schema& schema() const override { return upi_->schema(); }
+  PathStats Stats() const override;
+
+  Status QueryPtq(std::string_view value, double qt,
+                  std::vector<core::PtqMatch>* out) const override;
+  Status QueryTopK(std::string_view value, size_t k,
+                   std::vector<core::PtqMatch>* out) const override;
+  Status QuerySecondary(int column, std::string_view value, double qt,
+                        core::SecondaryAccessMode mode,
+                        std::vector<core::PtqMatch>* out) const override;
+  Status ScanTuples(
+      const std::function<void(const catalog::Tuple&)>& fn) const override;
+
+  bool HasSecondary(int column) const override;
+  int primary_column() const override { return upi_->options().cluster_column; }
+  histogram::PtqEstimate EstimatePtq(std::string_view value,
+                                     double qt) const override;
+  double EstimateSecondaryMatches(int column, std::string_view value,
+                                  double qt) const override;
+  double SecondaryAvgPointers(int column) const override;
+  double EstimateTopKThreshold(std::string_view value, size_t k) const override;
+
+  const core::Upi* upi() const { return upi_; }
+
+ private:
+  const core::Upi* upi_;
+};
+
+/// Adapter over a Fractured UPI (Section 4). Queries fan out across
+/// fractures; the estimation hooks aggregate per-fracture stats and
+/// histograms under the table's shared lock, so planning (like querying) is
+/// safe while background maintenance workers merge underneath.
+class FracturedAccessPath : public AccessPath {
+ public:
+  explicit FracturedAccessPath(const core::FracturedUpi* table)
+      : table_(table) {}
+
+  const std::string& name() const override;
+  const catalog::Schema& schema() const override { return table_->schema(); }
+  PathStats Stats() const override;
+
+  Status QueryPtq(std::string_view value, double qt,
+                  std::vector<core::PtqMatch>* out) const override;
+  Status QuerySecondary(int column, std::string_view value, double qt,
+                        core::SecondaryAccessMode mode,
+                        std::vector<core::PtqMatch>* out) const override;
+
+  bool HasSecondary(int column) const override;
+  int primary_column() const override {
+    return table_->options().cluster_column;
+  }
+  histogram::PtqEstimate EstimatePtq(std::string_view value,
+                                     double qt) const override;
+  double EstimateSecondaryMatches(int column, std::string_view value,
+                                  double qt) const override;
+  double SecondaryAvgPointers(int column) const override;
+  double EstimateTopKThreshold(std::string_view value, size_t k) const override;
+
+  const core::FracturedUpi* fractured() const { return table_; }
+
+ private:
+  /// Applies `fn` to main + every delta fracture.
+  void ForEachUpi(const std::function<void(const core::Upi&)>& fn) const;
+
+  const core::FracturedUpi* table_;
+};
+
+/// Adapter over the unclustered baseline: PTQ / top-k route through the PII
+/// index on `primary_column`; QuerySecondary probes the PII index on the
+/// requested column (no pointer tailoring exists — `mode` is ignored).
+/// Estimation uses in-RAM probability histograms built by BuildStatistics
+/// (the facade calls it at table creation; a real system would persist them
+/// in the catalog).
+class UnclusteredAccessPath : public AccessPath {
+ public:
+  UnclusteredAccessPath(baseline::UnclusteredTable* table, int primary_column)
+      : table_(table), primary_column_(primary_column) {}
+
+  /// Populates the per-column histograms from the table's tuples (RAM only).
+  void BuildStatistics(const std::vector<catalog::Tuple>& tuples);
+
+  const std::string& name() const override { return name_; }
+  const catalog::Schema& schema() const override { return table_->schema(); }
+  PathStats Stats() const override;
+
+  Status QueryPtq(std::string_view value, double qt,
+                  std::vector<core::PtqMatch>* out) const override;
+  Status QueryTopK(std::string_view value, size_t k,
+                   std::vector<core::PtqMatch>* out) const override;
+  Status QuerySecondary(int column, std::string_view value, double qt,
+                        core::SecondaryAccessMode mode,
+                        std::vector<core::PtqMatch>* out) const override;
+  Status ScanTuples(
+      const std::function<void(const catalog::Tuple&)>& fn) const override;
+
+  bool HasSecondary(int column) const override;
+  int primary_column() const override { return primary_column_; }
+  histogram::PtqEstimate EstimatePtq(std::string_view value,
+                                     double qt) const override;
+  double EstimateSecondaryMatches(int column, std::string_view value,
+                                  double qt) const override;
+  double EstimateTopKThreshold(std::string_view value, size_t k) const override;
+
+  baseline::UnclusteredTable* table() const { return table_; }
+
+ private:
+  double CountMatches(int column, std::string_view value, double qt) const;
+
+  baseline::UnclusteredTable* table_;
+  int primary_column_;
+  std::string name_ = "unclustered";
+  std::map<int, histogram::ProbHistogram> histograms_;
+};
+
+/// Adapter over the secondary U-Tree baseline (spatial range queries only).
+class UtreeAccessPath : public AccessPath {
+ public:
+  UtreeAccessPath(baseline::UnclusteredTable* table,
+                  const baseline::SecondaryUtree* utree)
+      : table_(table), utree_(utree) {}
+
+  const std::string& name() const override { return name_; }
+  const catalog::Schema& schema() const override { return table_->schema(); }
+  PathStats Stats() const override;
+
+  Status QueryPtq(std::string_view value, double qt,
+                  std::vector<core::PtqMatch>* out) const override;
+  Status QueryRange(prob::Point center, double radius, double qt,
+                    std::vector<core::PtqMatch>* out) const override;
+  histogram::PtqEstimate EstimatePtq(std::string_view value,
+                                     double qt) const override {
+    return {};
+  }
+
+ private:
+  baseline::UnclusteredTable* table_;
+  const baseline::SecondaryUtree* utree_;
+  std::string name_ = "secondary-utree";
+};
+
+}  // namespace upi::engine

@@ -1,0 +1,165 @@
+#include "engine/database.h"
+
+#include <utility>
+
+#include "exec/operators.h"
+
+namespace upi::engine {
+
+// ---------------------------------------------------------------------------
+// Table
+// ---------------------------------------------------------------------------
+
+Result<Plan> Table::Ptq(std::string_view value, double qt,
+                        std::vector<core::PtqMatch>* out) const {
+  Plan plan = planner_->PlanPtq(value, qt);
+  UPI_RETURN_NOT_OK(exec::Execute(*path_, plan, out));
+  return plan;
+}
+
+Result<Plan> Table::Secondary(int column, std::string_view value, double qt,
+                              std::vector<core::PtqMatch>* out) const {
+  Plan plan = planner_->PlanSecondary(column, value, qt);
+  UPI_RETURN_NOT_OK(exec::Execute(*path_, plan, out));
+  return plan;
+}
+
+Result<Plan> Table::TopK(std::string_view value, size_t k,
+                         std::vector<core::PtqMatch>* out) const {
+  Plan plan = planner_->PlanTopK(value, k);
+  UPI_RETURN_NOT_OK(exec::Execute(*path_, plan, out));
+  return plan;
+}
+
+Status Table::Insert(const catalog::Tuple& tuple) {
+  switch (kind_) {
+    case Kind::kUpi:
+      return upi_->Insert(tuple);
+    case Kind::kFractured: {
+      UPI_RETURN_NOT_OK(fractured_->Insert(tuple));
+      db_->maintenance()->NotifyWrite(fractured_.get());
+      return Status::OK();
+    }
+    case Kind::kUnclustered:
+      return unclustered_->Insert(tuple);
+  }
+  return Status::Internal("unknown table kind");
+}
+
+Status Table::Delete(const catalog::Tuple& tuple) {
+  switch (kind_) {
+    case Kind::kUpi:
+      return upi_->Delete(tuple);
+    case Kind::kFractured: {
+      UPI_RETURN_NOT_OK(fractured_->Delete(tuple.id()));
+      db_->maintenance()->NotifyWrite(fractured_.get());
+      return Status::OK();
+    }
+    case Kind::kUnclustered:
+      return unclustered_->Delete(tuple.id());
+  }
+  return Status::Internal("unknown table kind");
+}
+
+// ---------------------------------------------------------------------------
+// Database
+// ---------------------------------------------------------------------------
+
+Database::Database(DatabaseOptions options)
+    : params_(options.params),
+      env_(options.pool_bytes, options.params),
+      manager_(&env_, options.maintenance) {}
+
+Database::~Database() {
+  // Stop maintenance before any table goes away (the manager's destructor
+  // would do it too, but being explicit keeps the ordering obvious).
+  for (auto& [name, table] : tables_) {
+    if (table->fractured() != nullptr) manager_.Unregister(table->fractured());
+  }
+  manager_.Stop();
+}
+
+Result<Table*> Database::Install(std::unique_ptr<Table> table) {
+  auto [it, inserted] = tables_.emplace(table->name_, std::move(table));
+  if (!inserted) {
+    return Status::AlreadyExists("table '" + it->first + "' already exists");
+  }
+  return it->second.get();
+}
+
+Result<Table*> Database::CreateUpiTable(
+    const std::string& name, catalog::Schema schema, core::UpiOptions options,
+    std::vector<int> secondary_columns,
+    const std::vector<catalog::Tuple>& tuples) {
+  if (tables_.contains(name)) {
+    return Status::AlreadyExists("table '" + name + "' already exists");
+  }
+  auto table = std::unique_ptr<Table>(new Table());
+  table->name_ = name;
+  table->kind_ = Table::Kind::kUpi;
+  table->db_ = this;
+  UPI_ASSIGN_OR_RETURN(
+      table->upi_, core::Upi::Build(&env_, name, std::move(schema), options,
+                                    std::move(secondary_columns), tuples));
+  table->path_ = std::make_unique<UpiAccessPath>(table->upi_.get());
+  table->planner_ = std::make_unique<QueryPlanner>(table->path_.get(), params_);
+  return Install(std::move(table));
+}
+
+Result<Table*> Database::CreateFracturedTable(
+    const std::string& name, catalog::Schema schema, core::UpiOptions options,
+    std::vector<int> secondary_columns,
+    const std::vector<catalog::Tuple>& tuples) {
+  if (tables_.contains(name)) {
+    return Status::AlreadyExists("table '" + name + "' already exists");
+  }
+  auto table = std::unique_ptr<Table>(new Table());
+  table->name_ = name;
+  table->kind_ = Table::Kind::kFractured;
+  table->db_ = this;
+  table->fractured_ = std::make_unique<core::FracturedUpi>(
+      &env_, name, std::move(schema), options, std::move(secondary_columns));
+  if (!tuples.empty()) {
+    UPI_RETURN_NOT_OK(table->fractured_->BuildMain(tuples));
+  }
+  table->path_ = std::make_unique<FracturedAccessPath>(table->fractured_.get());
+  table->planner_ = std::make_unique<QueryPlanner>(table->path_.get(), params_);
+  manager_.Register(table->fractured_.get());
+  return Install(std::move(table));
+}
+
+Result<Table*> Database::CreateUnclusteredTable(
+    const std::string& name, catalog::Schema schema, int primary_column,
+    std::vector<int> pii_columns, const std::vector<catalog::Tuple>& tuples) {
+  if (tables_.contains(name)) {
+    return Status::AlreadyExists("table '" + name + "' already exists");
+  }
+  auto table = std::unique_ptr<Table>(new Table());
+  table->name_ = name;
+  table->kind_ = Table::Kind::kUnclustered;
+  table->db_ = this;
+  UPI_ASSIGN_OR_RETURN(table->unclustered_,
+                       baseline::UnclusteredTable::Build(
+                           &env_, name, std::move(schema),
+                           std::move(pii_columns), tuples));
+  auto path = std::make_unique<UnclusteredAccessPath>(table->unclustered_.get(),
+                                                      primary_column);
+  path->BuildStatistics(tuples);
+  table->path_ = std::move(path);
+  table->planner_ = std::make_unique<QueryPlanner>(table->path_.get(), params_);
+  return Install(std::move(table));
+}
+
+Table* Database::GetTable(const std::string& name) const {
+  auto it = tables_.find(name);
+  return it == tables_.end() ? nullptr : it->second.get();
+}
+
+std::vector<std::string> Database::TableNames() const {
+  std::vector<std::string> names;
+  names.reserve(tables_.size());
+  for (const auto& [name, table] : tables_) names.push_back(name);
+  return names;
+}
+
+}  // namespace upi::engine

@@ -1,0 +1,139 @@
+// The Database facade: named tables over one shared DbEnv, with planner-backed
+// query execution and automatic background maintenance.
+//
+// This is the deployment shape the engine layer exists for: callers create
+// tables by name (clustered UPI, Fractured UPI, or the unclustered baseline),
+// query them through the cost-based planner (every query returns its
+// explainable Plan), and never schedule maintenance by hand — Fractured
+// tables are auto-registered with the environment's MaintenanceManager, and
+// every Insert/Delete notifies it so the Section 6.2 watermarks drive flushes
+// and merges.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "engine/access_path.h"
+#include "engine/planner.h"
+#include "maintenance/manager.h"
+#include "storage/db_env.h"
+
+namespace upi::engine {
+
+class Database;
+
+/// A named table: one underlying physical design, its AccessPath view, and a
+/// QueryPlanner. Created and owned by a Database.
+class Table {
+ public:
+  enum class Kind { kUpi, kFractured, kUnclustered };
+
+  const std::string& name() const { return name_; }
+  Kind kind() const { return kind_; }
+  AccessPath* path() const { return path_.get(); }
+  const QueryPlanner& planner() const { return *planner_; }
+
+  // --- Planned execution. Each call plans, executes the chosen access path,
+  // and returns the Plan (feed it to Plan::Explain() for the EXPLAIN output).
+  Result<Plan> Ptq(std::string_view value, double qt,
+                   std::vector<core::PtqMatch>* out) const;
+  Result<Plan> Secondary(int column, std::string_view value, double qt,
+                         std::vector<core::PtqMatch>* out) const;
+  Result<Plan> TopK(std::string_view value, size_t k,
+                    std::vector<core::PtqMatch>* out) const;
+
+  // --- Writes. Fractured tables notify the maintenance manager, which
+  // flushes/merges per its cost-model policy.
+  Status Insert(const catalog::Tuple& tuple);
+  Status Delete(const catalog::Tuple& tuple);
+
+  // --- Escape hatches to the concrete design (nullptr when not that kind).
+  core::Upi* upi() const { return upi_.get(); }
+  core::FracturedUpi* fractured() const { return fractured_.get(); }
+  baseline::UnclusteredTable* unclustered() const { return unclustered_.get(); }
+
+ private:
+  friend class Database;
+  Table() = default;
+
+  std::string name_;
+  Kind kind_ = Kind::kUpi;
+  Database* db_ = nullptr;
+  std::unique_ptr<core::Upi> upi_;
+  std::unique_ptr<core::FracturedUpi> fractured_;
+  std::unique_ptr<baseline::UnclusteredTable> unclustered_;
+  std::unique_ptr<AccessPath> path_;
+  std::unique_ptr<QueryPlanner> planner_;
+};
+
+struct DatabaseOptions {
+  /// Buffer-pool bytes (see DbEnv for the default's rationale).
+  uint64_t pool_bytes = 32ull << 20;
+  sim::CostParams params{};
+  /// Maintenance setup; num_workers == 0 keeps maintenance synchronous
+  /// (drain with RunMaintenance()), > 0 runs it on background threads.
+  maintenance::MaintenanceManagerOptions maintenance{};
+};
+
+class Database {
+ public:
+  explicit Database(DatabaseOptions options = {});
+  ~Database();
+
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+
+  /// Bulk-builds a clustered UPI table.
+  Result<Table*> CreateUpiTable(const std::string& name, catalog::Schema schema,
+                                core::UpiOptions options,
+                                std::vector<int> secondary_columns,
+                                const std::vector<catalog::Tuple>& tuples);
+
+  /// Creates a Fractured UPI table (bulk-building the main fracture from
+  /// `tuples` when non-empty) and registers it with the maintenance manager.
+  Result<Table*> CreateFracturedTable(const std::string& name,
+                                      catalog::Schema schema,
+                                      core::UpiOptions options,
+                                      std::vector<int> secondary_columns,
+                                      const std::vector<catalog::Tuple>& tuples);
+
+  /// Bulk-builds an unclustered baseline table with PII indexes on
+  /// `pii_columns`; `primary_column` is the attribute PTQs probe.
+  Result<Table*> CreateUnclusteredTable(const std::string& name,
+                                        catalog::Schema schema,
+                                        int primary_column,
+                                        std::vector<int> pii_columns,
+                                        const std::vector<catalog::Tuple>& tuples);
+
+  /// nullptr when no such table exists.
+  Table* GetTable(const std::string& name) const;
+
+  std::vector<std::string> TableNames() const;
+
+  storage::DbEnv* env() { return &env_; }
+  maintenance::MaintenanceManager* maintenance() { return &manager_; }
+
+  /// Synchronous maintenance: drains pending flush/merge tasks on the calling
+  /// thread. Returns tasks executed.
+  size_t RunMaintenance() { return manager_.RunPending(); }
+
+  /// The Section 7.1 cold-cache protocol (benches).
+  void ColdCache() { env_.ColdCache(); }
+
+  const sim::CostParams& params() const { return params_; }
+
+ private:
+  Result<Table*> Install(std::unique_ptr<Table> table);
+
+  sim::CostParams params_;
+  storage::DbEnv env_;
+  // Tables are declared before the manager so the manager (whose destructor
+  // stops workers and waits for in-flight tasks) is destroyed first.
+  std::map<std::string, std::unique_ptr<Table>> tables_;
+  maintenance::MaintenanceManager manager_;
+};
+
+}  // namespace upi::engine

@@ -1,0 +1,111 @@
+// The cost-based query planner: the Section 6 cost modeling applied *online*.
+//
+// Where the paper's Section 6 models price queries with Table 6's flat
+// constants (every seek = Tseek) for the offline advisor, the planner prices
+// candidate plans against the *device it actually runs on* — the simulated
+// disk's distance-dependent seeks. A pointer sweep over x sorted targets is
+// priced as r region jumps (a short seek each, gap = table/r) plus the
+// near-sequential pages those regions share, saturating at Costscan — the
+// same Section 6.3 saturation observation, derived from seek physics instead
+// of the fitted sigmoid (which stays in core::CostModel for the Figure 10-12
+// reproductions).
+//
+// Per query the planner weighs: the path's native primary probe (clustered
+// region read + cutoff pointers, or a PII inverted-list fetch) vs. a full
+// sequential scan; secondary first-pointer vs. tailored access (Algorithm 3,
+// priced by how many distinct heap regions each mode dereferences — tailored
+// coalesces multi-pointer entries into already-read regions) vs. scan; and
+// for top-k the direct cursor vs. the two Section 9 threshold-query
+// strategies. Every decision is explainable: Plan::Explain() prints the
+// chosen plan and each candidate's predicted simulated cost.
+//
+// Estimation is RAM-only (histograms + incrementally-tracked physical stats)
+// — planning never charges simulated I/O.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "engine/access_path.h"
+#include "sim/cost_params.h"
+
+namespace upi::engine {
+
+enum class PlanKind {
+  kPrimaryProbe,             // the path's native PTQ (clustered or PII)
+  kSecondaryFirstPointer,    // secondary index, always-first-pointer
+  kSecondaryTailored,        // secondary index, Algorithm 3
+  kHeapScan,                 // full sequential sweep + filter
+  kTopKDirect,               // early-terminating cursor
+  kTopKEstimatedThreshold,   // Section 9: one PTQ at the estimated k-th prob
+  kTopKDecreasingThreshold,  // Section 9: PTQs at geometrically lower QTs
+};
+
+const char* PlanKindName(PlanKind kind);
+
+/// One costed alternative the planner considered.
+struct PlanCandidate {
+  PlanKind kind;
+  double predicted_ms = 0.0;
+  bool feasible = true;   // path supports it
+  std::string note;       // model inputs, e.g. "sel=0.012 ptrs=340"
+};
+
+/// An executable, explainable decision. exec::Execute() runs it.
+struct Plan {
+  PlanKind kind = PlanKind::kPrimaryProbe;
+  std::string table;        // access-path name (for Explain)
+  int column = -1;          // secondary column; -1 = primary attribute
+  std::string value;
+  double qt = 0.0;
+  size_t k = 0;
+  /// Starting threshold for kTopKEstimatedThreshold / kTopKDecreasingThreshold.
+  double initial_qt = 0.0;
+  double predicted_ms = 0.0;
+  std::vector<PlanCandidate> candidates;  // chosen first
+
+  /// EXPLAIN-style report: the query, the chosen access path, its predicted
+  /// simulated cost, and every rejected candidate with its cost.
+  std::string Explain() const;
+};
+
+class QueryPlanner {
+ public:
+  /// `path` must outlive the planner. `params` are the device constants the
+  /// predictions are denominated in (defaults to the paper's Table 6).
+  explicit QueryPlanner(const AccessPath* path,
+                        sim::CostParams params = sim::CostParams{})
+      : path_(path), params_(params) {}
+
+  /// SELECT * WHERE primary_attr = value THRESHOLD qt.
+  Plan PlanPtq(std::string_view value, double qt) const;
+
+  /// SELECT * WHERE sec_col = value THRESHOLD qt via a secondary index (or a
+  /// scan, when the sweep saturates).
+  Plan PlanSecondary(int column, std::string_view value, double qt) const;
+
+  /// Top-k on the primary attribute.
+  Plan PlanTopK(std::string_view value, size_t k) const;
+
+  const AccessPath* path() const { return path_; }
+
+ private:
+  /// One index descent: Costinit (when the path charges opens) + a random
+  /// seek to the file + short hops down the remaining levels.
+  double LookupMs(const PathStats& s) const;
+  /// Predicted cost of the path's native PTQ at (value, qt).
+  double PrimaryProbeMs(const PathStats& s, std::string_view value,
+                        double qt, std::string* note) const;
+  double ScanMs(const PathStats& s) const;
+  /// Sorted sweep dereferencing `x` targets that coalesce into `regions`
+  /// contiguous heap regions; saturates at ScanMs (Section 6.3).
+  double SortedSweepMs(const PathStats& s, double x, double regions) const;
+
+  Plan Choose(std::vector<PlanCandidate> candidates) const;
+
+  const AccessPath* path_;
+  sim::CostParams params_;
+};
+
+}  // namespace upi::engine

@@ -1,0 +1,105 @@
+#include "exec/operators.h"
+
+#include <algorithm>
+#include <map>
+
+#include "exec/ptq.h"
+#include "exec/topk.h"
+
+namespace upi::exec {
+
+Status ScanFilter(const engine::AccessPath& path, int column,
+                  std::string_view value, double qt,
+                  std::vector<core::PtqMatch>* out) {
+  if (column < 0) {
+    return Status::InvalidArgument("scan-filter needs a concrete column");
+  }
+  return path.ScanTuples([&](const catalog::Tuple& tuple) {
+    double conf = tuple.ConfidenceOf(static_cast<size_t>(column), value);
+    if (conf < qt || conf <= 0.0) return;
+    core::PtqMatch m;
+    m.id = tuple.id();
+    m.confidence = conf;
+    m.tuple = tuple;
+    out->push_back(std::move(m));
+  });
+}
+
+Status Execute(const engine::AccessPath& path, const engine::Plan& plan,
+               std::vector<core::PtqMatch>* out) {
+  switch (plan.kind) {
+    case engine::PlanKind::kPrimaryProbe:
+      UPI_RETURN_NOT_OK(path.QueryPtq(plan.value, plan.qt, out));
+      break;
+    case engine::PlanKind::kSecondaryFirstPointer:
+      UPI_RETURN_NOT_OK(path.QuerySecondary(
+          plan.column, plan.value, plan.qt,
+          core::SecondaryAccessMode::kFirstPointer, out));
+      break;
+    case engine::PlanKind::kSecondaryTailored:
+      UPI_RETURN_NOT_OK(
+          path.QuerySecondary(plan.column, plan.value, plan.qt,
+                              core::SecondaryAccessMode::kTailored, out));
+      break;
+    case engine::PlanKind::kHeapScan: {
+      int column = plan.column >= 0 ? plan.column : path.primary_column();
+      UPI_RETURN_NOT_OK(ScanFilter(path, column, plan.value, plan.qt, out));
+      break;
+    }
+    case engine::PlanKind::kTopKDirect:
+      UPI_RETURN_NOT_OK(TopKDirect(path, plan.value, plan.k, out));
+      break;
+    case engine::PlanKind::kTopKEstimatedThreshold:
+    case engine::PlanKind::kTopKDecreasingThreshold:
+      // Same descent loop; the strategies differ in the planner-set starting
+      // threshold (histogram estimate vs. fixed 0.5).
+      UPI_RETURN_NOT_OK(TopKByDecreasingThreshold(path, plan.value, plan.k,
+                                                  plan.initial_qt, out));
+      break;
+  }
+  SortByConfidenceDesc(out);
+  if (plan.k > 0 && out->size() > plan.k) out->resize(plan.k);
+  return Status::OK();
+}
+
+Status RunBatch(const engine::AccessPath& path,
+                const std::vector<ProbeSpec>& probes,
+                std::vector<std::vector<core::PtqMatch>>* results) {
+  results->clear();
+  results->resize(probes.size());
+
+  // Group probes sharing (column, value); one physical probe per group at
+  // the group's lowest threshold. std::map keeps groups sorted, so distinct
+  // probes proceed in key order (monotonic head movement).
+  struct Group {
+    double min_qt = 1.0;
+    std::vector<size_t> members;
+  };
+  std::map<std::pair<int, std::string>, Group> groups;
+  for (size_t i = 0; i < probes.size(); ++i) {
+    Group& g = groups[{probes[i].column, probes[i].value}];
+    g.min_qt = std::min(g.min_qt, probes[i].qt);
+    g.members.push_back(i);
+  }
+
+  for (auto& [key, group] : groups) {
+    const auto& [column, value] = key;
+    std::vector<core::PtqMatch> rows;
+    if (column < 0) {
+      UPI_RETURN_NOT_OK(path.QueryPtq(value, group.min_qt, &rows));
+    } else {
+      UPI_RETURN_NOT_OK(path.QuerySecondary(
+          column, value, group.min_qt, core::SecondaryAccessMode::kTailored,
+          &rows));
+    }
+    SortByConfidenceDesc(&rows);
+    for (size_t idx : group.members) {
+      std::vector<core::PtqMatch>& slot = (*results)[idx];
+      slot = rows;
+      FilterByThreshold(&slot, probes[idx].qt);
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace upi::exec

@@ -1,0 +1,49 @@
+// Executor operators over the engine's AccessPath abstraction.
+//
+// Execute() runs a planner-produced Plan — the EXPLAIN output and the
+// executed physical operator can never disagree, because both come from the
+// same Plan. ScanFilter() is the sequential fallback operator the planner
+// falls back to when a pointer sweep saturates. RunBatch() is the batched
+// entry point: it groups same-(column, value) probes into one physical probe
+// at the group's lowest threshold and fans the rows back out per query, and
+// runs distinct groups in sorted key order so consecutive probes land in
+// nearby heap regions — amortizing the per-probe Costinit + H * Tseek that
+// dominates fractured and cold-cache workloads.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "engine/access_path.h"
+#include "engine/planner.h"
+
+namespace upi::exec {
+
+/// Runs `plan` against `path`. Results are sorted by descending confidence
+/// (ties by TupleId) and, for top-k plans, truncated to k.
+Status Execute(const engine::AccessPath& path, const engine::Plan& plan,
+               std::vector<core::PtqMatch>* out);
+
+/// Sequential-sweep operator: one full scan, keeping tuples whose combined
+/// probability of `value` in `column` reaches `qt`. Exact (the full tuple is
+/// inspected), deduplicated, heap order.
+Status ScanFilter(const engine::AccessPath& path, int column,
+                  std::string_view value, double qt,
+                  std::vector<core::PtqMatch>* out);
+
+/// One probe of a batch: a PTQ on the primary attribute (column == -1) or a
+/// secondary probe.
+struct ProbeSpec {
+  int column = -1;
+  std::string value;
+  double qt = 0.5;
+};
+
+/// Batched execution. `results` has one entry per probe, in input order,
+/// each sorted by descending confidence.
+Status RunBatch(const engine::AccessPath& path,
+                const std::vector<ProbeSpec>& probes,
+                std::vector<std::vector<core::PtqMatch>>* results);
+
+}  // namespace upi::exec

@@ -6,25 +6,20 @@
 
 namespace upi::exec {
 
-Status TopKFromUpi(const core::Upi& upi, std::string_view value, size_t k,
-                   std::vector<core::PtqMatch>* out) {
-  return upi.QueryTopK(value, k, out);
+Status TopKDirect(const engine::AccessPath& path, std::string_view value,
+                  size_t k, std::vector<core::PtqMatch>* out) {
+  return path.QueryTopK(value, k, out);
 }
 
-Status TopKFromUnclustered(const baseline::UnclusteredTable& table, int column,
-                           std::string_view value, size_t k,
-                           std::vector<core::PtqMatch>* out) {
-  return table.QueryTopK(column, value, k, out);
-}
-
-Status TopKByDecreasingThreshold(const core::Upi& upi, std::string_view value,
-                                 size_t k, double initial_qt,
+Status TopKByDecreasingThreshold(const engine::AccessPath& path,
+                                 std::string_view value, size_t k,
+                                 double initial_qt,
                                  std::vector<core::PtqMatch>* out, int* rounds) {
   double qt = initial_qt;
   int used = 0;
   for (;;) {
     std::vector<core::PtqMatch> matches;
-    UPI_RETURN_NOT_OK(upi.QueryPtq(value, qt, &matches));
+    UPI_RETURN_NOT_OK(path.QueryPtq(value, qt, &matches));
     ++used;
     if (matches.size() >= k || qt <= 1e-6) {
       SortByConfidenceDesc(&matches);
@@ -38,25 +33,12 @@ Status TopKByDecreasingThreshold(const core::Upi& upi, std::string_view value,
   }
 }
 
-Status TopKByEstimatedThreshold(const core::Upi& upi, std::string_view value,
-                                size_t k, std::vector<core::PtqMatch>* out) {
-  // Walk the per-value probability histogram from the top until >= k entries
-  // are believed to qualify.
-  const auto& hist = upi.prob_histogram();
-  double qt = 0.0;
-  int nb = hist.num_buckets();
-  double acc = 0.0;
-  for (int b = nb - 1; b >= 0; --b) {
-    double lo = static_cast<double>(b) / nb;
-    double hi = static_cast<double>(b + 1) / nb + (b == nb - 1 ? 1e-9 : 0.0);
-    acc += hist.CountFirst(value, lo, hi) + hist.CountRest(value, lo, hi);
-    if (acc >= static_cast<double>(k)) {
-      qt = lo;
-      break;
-    }
-  }
+Status TopKByEstimatedThreshold(const engine::AccessPath& path,
+                                std::string_view value, size_t k,
+                                std::vector<core::PtqMatch>* out) {
+  double qt = path.EstimateTopKThreshold(value, k);
   int rounds = 0;
-  return TopKByDecreasingThreshold(upi, value, k, qt <= 0 ? 0.25 : qt, out,
+  return TopKByDecreasingThreshold(path, value, k, qt <= 0 ? 0.25 : qt, out,
                                    &rounds);
 }
 

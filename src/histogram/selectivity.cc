@@ -15,4 +15,17 @@ PtqEstimate SelectivityEstimator::EstimatePtq(std::string_view value, double qt,
   return est;
 }
 
+double SelectivityEstimator::EstimateKthThreshold(std::string_view value,
+                                                 size_t k) const {
+  int nb = hist_->num_buckets();
+  double acc = 0.0;
+  for (int b = nb - 1; b >= 0; --b) {
+    double lo = static_cast<double>(b) / nb;
+    double hi = static_cast<double>(b + 1) / nb + (b == nb - 1 ? 1e-9 : 0.0);
+    acc += hist_->CountFirst(value, lo, hi) + hist_->CountRest(value, lo, hi);
+    if (acc >= static_cast<double>(k)) return lo;
+  }
+  return 0.0;
+}
+
 }  // namespace upi::histogram

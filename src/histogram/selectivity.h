@@ -37,6 +37,13 @@ class SelectivityEstimator {
     return hist_->EstimateTotalHeapEntries(c);
   }
 
+  /// Histogram-walk estimate of the k-th highest confidence for `value`: the
+  /// largest bucket boundary at which >= k entries (first + rest) are
+  /// expected. Returns 0 when the histogram expects fewer than k entries at
+  /// every threshold (the caller should fall back to an unbounded query).
+  /// This is the Section 9 "estimate a minimum probability" top-k strategy.
+  double EstimateKthThreshold(std::string_view value, size_t k) const;
+
  private:
   const ProbHistogram* hist_;
 };

@@ -3,11 +3,15 @@
 // files it creates.
 #pragma once
 
+#include <cstdio>
+#include <cstdlib>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <unordered_set>
 #include <vector>
 
+#include "common/status.h"
 #include "sim/sim_disk.h"
 #include "storage/buffer_pool.h"
 #include "storage/page_file.h"
@@ -27,9 +31,26 @@ class DbEnv {
 
   /// Creates a new page file on this environment's disk. Thread-safe:
   /// background maintenance workers create fracture files while other
-  /// threads query.
+  /// threads query. File names are unique per environment; a duplicate name
+  /// aborts (it would silently shadow live data otherwise) — callers that
+  /// want to recover use TryCreateFile.
   PageFile* CreateFile(const std::string& name, uint32_t page_size) {
+    auto file = TryCreateFile(name, page_size);
+    if (!file.ok()) {
+      std::fprintf(stderr, "DbEnv::CreateFile: %s\n",
+                   file.status().ToString().c_str());
+      std::abort();
+    }
+    return std::move(file).value();
+  }
+
+  /// Status-returning variant of CreateFile.
+  Result<PageFile*> TryCreateFile(const std::string& name, uint32_t page_size) {
     std::lock_guard<std::mutex> lock(files_mu_);
+    if (!file_names_.insert(name).second) {
+      return Status::AlreadyExists("file '" + name +
+                                   "' already exists in this environment");
+    }
     files_.push_back(std::make_unique<PageFile>(&disk_, name, page_size));
     return files_.back().get();
   }
@@ -63,6 +84,7 @@ class DbEnv {
   // back to these files) is destroyed first.
   mutable std::mutex files_mu_;
   std::vector<std::unique_ptr<PageFile>> files_;
+  std::unordered_set<std::string> file_names_;
   BufferPool pool_;
 };
 

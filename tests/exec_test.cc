@@ -7,7 +7,9 @@
 #include "core/upi.h"
 #include "datagen/cartel.h"
 #include "datagen/dblp.h"
+#include "engine/access_path.h"
 #include "exec/aggregate.h"
+#include "exec/operators.h"
 #include "exec/ptq.h"
 #include "exec/spatial.h"
 #include "exec/topk.h"
@@ -97,11 +99,12 @@ TEST(PtqUtilTest, SortFilterSummarize) {
 
 TEST(TopKTest, StrategiesAgree) {
   DblpFx fx;
+  engine::UpiAccessPath path(fx.author_upi.get());
   std::string v = fx.gen->PopularInstitution();
   const size_t k = 10;
 
   std::vector<core::PtqMatch> direct;
-  ASSERT_TRUE(TopKFromUpi(*fx.author_upi, v, k, &direct).ok());
+  ASSERT_TRUE(TopKDirect(path, v, k, &direct).ok());
   ASSERT_EQ(direct.size(), k);
   for (size_t i = 1; i < direct.size(); ++i) {
     EXPECT_GE(direct[i - 1].confidence, direct[i].confidence);
@@ -109,13 +112,12 @@ TEST(TopKTest, StrategiesAgree) {
 
   std::vector<core::PtqMatch> iter;
   int rounds = 0;
-  ASSERT_TRUE(
-      TopKByDecreasingThreshold(*fx.author_upi, v, k, 0.5, &iter, &rounds).ok());
+  ASSERT_TRUE(TopKByDecreasingThreshold(path, v, k, 0.5, &iter, &rounds).ok());
   ASSERT_EQ(iter.size(), k);
   EXPECT_GE(rounds, 1);
 
   std::vector<core::PtqMatch> est;
-  ASSERT_TRUE(TopKByEstimatedThreshold(*fx.author_upi, v, k, &est).ok());
+  ASSERT_TRUE(TopKByEstimatedThreshold(path, v, k, &est).ok());
   ASSERT_EQ(est.size(), k);
 
   // All strategies must return the same confidence profile (ids may tie).
@@ -134,10 +136,11 @@ TEST(TopKTest, UnclusteredBaselineAgrees) {
                    .ValueOrDie();
   table->charge_open_per_query = false;
   std::string v = fx.gen->PopularInstitution();
+  engine::UpiAccessPath upi_path(fx.author_upi.get());
+  engine::UnclusteredAccessPath heap_path(table.get(), AuthorCols::kInstitution);
   std::vector<core::PtqMatch> via_upi, via_heap;
-  ASSERT_TRUE(TopKFromUpi(*fx.author_upi, v, 7, &via_upi).ok());
-  ASSERT_TRUE(
-      TopKFromUnclustered(*table, AuthorCols::kInstitution, v, 7, &via_heap).ok());
+  ASSERT_TRUE(TopKDirect(upi_path, v, 7, &via_upi).ok());
+  ASSERT_TRUE(TopKDirect(heap_path, v, 7, &via_heap).ok());
   ASSERT_EQ(via_upi.size(), via_heap.size());
   for (size_t i = 0; i < via_upi.size(); ++i) {
     EXPECT_NEAR(via_upi[i].confidence, via_heap[i].confidence, 1e-8);
@@ -179,9 +182,10 @@ TEST(SpatialTest, KnnExpandsUntilKFound) {
 
 TEST(TopKTest, KLargerThanMatchesReturnsAll) {
   DblpFx fx;
+  engine::UpiAccessPath path(fx.author_upi.get());
   std::string v = fx.gen->InstitutionName(40);  // unpopular
   std::vector<core::PtqMatch> out;
-  ASSERT_TRUE(TopKFromUpi(*fx.author_upi, v, 100000, &out).ok());
+  ASSERT_TRUE(TopKDirect(path, v, 100000, &out).ok());
   // Oracle: all tuples with any positive confidence on v.
   size_t expected = 0;
   for (const Tuple& t : fx.authors) {
@@ -192,14 +196,37 @@ TEST(TopKTest, KLargerThanMatchesReturnsAll) {
 
 TEST(TopKTest, DecreasingThresholdUsesFewRoundsForPopularValue) {
   DblpFx fx;
+  engine::UpiAccessPath path(fx.author_upi.get());
   std::vector<core::PtqMatch> out;
   int rounds = 0;
-  ASSERT_TRUE(TopKByDecreasingThreshold(*fx.author_upi,
-                                        fx.gen->PopularInstitution(), 3, 0.5,
-                                        &out, &rounds)
+  ASSERT_TRUE(TopKByDecreasingThreshold(path, fx.gen->PopularInstitution(), 3,
+                                        0.5, &out, &rounds)
                   .ok());
   EXPECT_EQ(out.size(), 3u);
   EXPECT_EQ(rounds, 1);  // plenty of matches at QT=0.5 already
+}
+
+TEST(RunBatchTest, GroupsSameValueProbesAndMatchesIndividualResults) {
+  DblpFx fx;
+  engine::UpiAccessPath path(fx.author_upi.get());
+  std::string v = fx.gen->PopularInstitution();
+  std::vector<ProbeSpec> probes = {
+      {-1, v, 0.6}, {-1, v, 0.3}, {-1, fx.gen->InstitutionName(12), 0.4},
+      {-1, v, 0.3},  // exact duplicate of probe 1
+  };
+  std::vector<std::vector<core::PtqMatch>> batched;
+  ASSERT_TRUE(RunBatch(path, probes, &batched).ok());
+  ASSERT_EQ(batched.size(), probes.size());
+  for (size_t i = 0; i < probes.size(); ++i) {
+    std::vector<core::PtqMatch> solo;
+    ASSERT_TRUE(path.QueryPtq(probes[i].value, probes[i].qt, &solo).ok());
+    SortByConfidenceDesc(&solo);
+    ASSERT_EQ(batched[i].size(), solo.size()) << "probe " << i;
+    for (size_t j = 0; j < solo.size(); ++j) {
+      EXPECT_EQ(batched[i][j].id, solo[j].id);
+      EXPECT_NEAR(batched[i][j].confidence, solo[j].confidence, 1e-12);
+    }
+  }
 }
 
 TEST(AggregateTest, ExpectedCountBelowThresholdCount) {

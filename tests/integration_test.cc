@@ -16,6 +16,7 @@
 #include "core/fractured_upi.h"
 #include "datagen/cartel.h"
 #include "datagen/dblp.h"
+#include "engine/access_path.h"
 #include "exec/aggregate.h"
 #include "exec/spatial.h"
 #include "exec/topk.h"
@@ -146,9 +147,10 @@ TEST(IntegrationTest, DiscreteLifecycle) {
             authors.size() + extra.size() - deleted.size());
 
   // Top-k strategies agree after the whole lifecycle.
+  engine::UpiAccessPath main_path(table.main());
   std::vector<core::PtqMatch> direct, est_k;
-  ASSERT_TRUE(exec::TopKFromUpi(*table.main(), inst, 5, &direct).ok());
-  ASSERT_TRUE(exec::TopKByEstimatedThreshold(*table.main(), inst, 5, &est_k).ok());
+  ASSERT_TRUE(exec::TopKDirect(main_path, inst, 5, &direct).ok());
+  ASSERT_TRUE(exec::TopKByEstimatedThreshold(main_path, inst, 5, &est_k).ok());
   ASSERT_EQ(direct.size(), 5u);
   ASSERT_EQ(est_k.size(), 5u);
   for (size_t i = 0; i < 5; ++i) {

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "storage/buffer_pool.h"
+#include "storage/db_env.h"
 #include "storage/heap_file.h"
 #include "storage/page_file.h"
 #include "storage/pager.h"
@@ -238,6 +239,21 @@ TEST(HeapFileTest, RejectsOversizedRecord) {
   HeapFile heap(Pager(&pool, &f));
   std::string record(5000, 'x');
   EXPECT_FALSE(heap.Insert(record).ok());
+}
+
+TEST(DbEnvTest, DuplicateFileNameIsRejected) {
+  // Regression: CreateFile used to silently create a second file under an
+  // existing name, shadowing live data.
+  DbEnv env;
+  ASSERT_NE(env.CreateFile("t.heap", 4096), nullptr);
+  auto dup = env.TryCreateFile("t.heap", 4096);
+  ASSERT_FALSE(dup.ok());
+  EXPECT_TRUE(dup.status().IsAlreadyExists());
+  EXPECT_NE(dup.status().message().find("t.heap"), std::string::npos);
+  // Distinct names still work.
+  EXPECT_NE(env.CreateFile("t.cutoff", 4096), nullptr);
+  // The abort-on-duplicate contract of the pointer-returning variant.
+  EXPECT_DEATH(env.CreateFile("t.heap", 4096), "already exists");
 }
 
 }  // namespace

@@ -441,6 +441,93 @@ TEST(UpiTest, TopKSpansIntoCutoffIndex) {
   EXPECT_EQ(out[0].id, 1u);  // weakest strong alt => strongest Y alt
 }
 
+TEST(UpiTest, DeleteThenPtqAndSecondaryQueries) {
+  // The engine adapters route straight to these paths; a deleted tuple must
+  // vanish from the heap scan, the cutoff index, AND both secondary access
+  // modes in the same breath.
+  storage::DbEnv env;
+  Upi upi(&env, "a", PaperSchema(), PaperOptions());
+  ASSERT_TRUE(upi.AddSecondaryColumn(2).ok());
+  auto tuples = PaperTuples();
+  for (const Tuple& t : tuples) ASSERT_TRUE(upi.Insert(t).ok());
+
+  ASSERT_TRUE(upi.Delete(tuples[0]).ok());  // Alice (US 90%)
+  std::vector<PtqMatch> out;
+  ASSERT_TRUE(upi.QueryPtq("Brown", 0.01, &out).ok());
+  ASSERT_EQ(out.size(), 1u);  // only Carol's Brown alternative remains
+  EXPECT_EQ(out[0].id, 3u);
+
+  for (auto mode : {SecondaryAccessMode::kFirstPointer,
+                    SecondaryAccessMode::kTailored}) {
+    out.clear();
+    ASSERT_TRUE(upi.QueryBySecondary(2, "US", 0.1, mode, &out).ok());
+    ASSERT_EQ(out.size(), 2u) << "mode " << static_cast<int>(mode);
+    for (const auto& m : out) EXPECT_NE(m.id, 1u);
+  }
+  // The secondary histogram shrinks with the index, so planner estimates
+  // stay honest after churn.
+  EXPECT_NEAR(upi.EstimateSecondaryMatches(2, "US", 0.1), 2.0, 0.5);
+
+  // Delete Bob too: his below-cutoff UCB pointer and US entry must go.
+  ASSERT_TRUE(upi.Delete(tuples[1]).ok());
+  out.clear();
+  ASSERT_TRUE(upi.QueryPtq("UCB", 0.01, &out).ok());
+  EXPECT_TRUE(out.empty());
+  out.clear();
+  ASSERT_TRUE(
+      upi.QueryBySecondary(2, "US", 0.1, SecondaryAccessMode::kTailored, &out)
+          .ok());
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].id, 3u);
+}
+
+TEST(UpiTest, TopKFallsBackToCutoffWhenHeapHasFewerThanK) {
+  // After deletes shrink the heap-resident entries below k, QueryTopK must
+  // serve the tail through the cutoff index (Section 3.1's fallback).
+  storage::DbEnv env;
+  UpiOptions opt = PaperOptions();
+  opt.cutoff = 0.45;  // every non-first Y alternative (0.15..0.40) -> cutoff
+  std::vector<Tuple> tuples;
+  for (TupleId id = 1; id <= 6; ++id) {
+    double strong = 0.55 + 0.05 * static_cast<double>(id);
+    tuples.push_back(
+        Tuple(id, 1.0,
+              {Value::String("t" + std::to_string(id)),
+               Value::Discrete(Dist({{"X", strong}, {"Y", 1.0 - strong}})),
+               Value::Discrete(Dist({{"US", 1.0}}))}));
+  }
+  // One tuple whose FIRST alternative is Y: a heap-resident Y entry that
+  // deletion will remove.
+  tuples.push_back(Tuple(7, 1.0,
+                         {Value::String("t7"),
+                          Value::Discrete(Dist({{"Y", 0.9}, {"X", 0.1}})),
+                          Value::Discrete(Dist({{"US", 1.0}}))}));
+  auto upi =
+      Upi::Build(&env, "a", PaperSchema(), opt, {}, tuples).ValueOrDie();
+
+  // With t7 present the heap holds one qualifying Y entry; ask for more.
+  std::vector<PtqMatch> out;
+  ASSERT_TRUE(upi->QueryTopK("Y", 3, &out).ok());
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[0].id, 7u);  // the heap entry leads
+  for (size_t i = 1; i < out.size(); ++i) {
+    EXPECT_GE(out[i - 1].confidence, out[i].confidence);
+  }
+
+  // Delete t7: the heap now has ZERO qualifying Y entries, so top-k must be
+  // served entirely from the cutoff index.
+  ASSERT_TRUE(upi->Delete(tuples.back()).ok());
+  out.clear();
+  ASSERT_TRUE(upi->QueryTopK("Y", 3, &out).ok());
+  ASSERT_EQ(out.size(), 3u);
+  for (const auto& m : out) EXPECT_NE(m.id, 7u);
+  // Cutoff Y alternatives are 1 - strong: strongest first => id 1.
+  EXPECT_EQ(out[0].id, 1u);
+  for (size_t i = 1; i < out.size(); ++i) {
+    EXPECT_GE(out[i - 1].confidence, out[i].confidence);
+  }
+}
+
 TEST(UpiTest, AddSecondaryColumnValidation) {
   storage::DbEnv env;
   Upi upi(&env, "a", PaperSchema(), PaperOptions());
