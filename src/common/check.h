@@ -1,0 +1,32 @@
+// Always-on invariant checks for the storage engine.
+//
+// The default build is RelWithDebInfo, which defines NDEBUG and compiles
+// every `assert` out — so an assert is documentation, not enforcement. The
+// buffer pool's pin/dirty protocol violations (unpinning an unmapped frame,
+// discarding a pinned page) are heap corruption waiting to happen, and must
+// abort in every build type. UPI_CHECK stays in release builds; keep it off
+// per-byte hot loops and on state-machine transitions, where its cost is
+// noise next to a page access.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace upi::common {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* expr, const char* msg) {
+  std::fprintf(stderr, "CHECK failed at %s:%d: %s%s%s\n", file, line, expr,
+               msg[0] != '\0' ? " — " : "", msg);
+  std::abort();
+}
+
+}  // namespace upi::common
+
+/// Aborts (in every build type) with a message when `cond` is false.
+#define UPI_CHECK(cond, msg)                                         \
+  do {                                                               \
+    if (!(cond)) {                                                   \
+      ::upi::common::CheckFailed(__FILE__, __LINE__, #cond, (msg));  \
+    }                                                                \
+  } while (0)

@@ -67,7 +67,7 @@ Status Table::Delete(const catalog::Tuple& tuple) {
 
 Database::Database(DatabaseOptions options)
     : params_(options.params),
-      env_(options.pool_bytes, options.params),
+      env_(options.pool_bytes, options.params, options.pool_shards),
       manager_(&env_, options.maintenance) {}
 
 Database::~Database() {

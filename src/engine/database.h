@@ -72,6 +72,8 @@ class Table {
 struct DatabaseOptions {
   /// Buffer-pool bytes (see DbEnv for the default's rationale).
   uint64_t pool_bytes = 32ull << 20;
+  /// Buffer-pool latch shards (see BufferPool; 1 = single classic pool).
+  size_t pool_shards = storage::BufferPool::kDefaultShards;
   sim::CostParams params{};
   /// Maintenance setup; num_workers == 0 keeps maintenance synchronous
   /// (drain with RunMaintenance()), > 0 runs it on background threads.

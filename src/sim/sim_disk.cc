@@ -1,6 +1,8 @@
 #include "sim/sim_disk.h"
 
+#include <chrono>
 #include <cstdio>
+#include <thread>
 
 namespace upi::sim {
 
@@ -20,6 +22,17 @@ DiskStats DiskStats::operator-(const DiskStats& rhs) const {
   d.bytes_written = bytes_written - rhs.bytes_written;
   d.file_opens = file_opens - rhs.file_opens;
   return d;
+}
+
+DiskStats& DiskStats::operator+=(const DiskStats& rhs) {
+  seeks += rhs.seeks;
+  seek_ms += rhs.seek_ms;
+  reads += rhs.reads;
+  writes += rhs.writes;
+  bytes_read += rhs.bytes_read;
+  bytes_written += rhs.bytes_written;
+  file_opens += rhs.file_opens;
+  return *this;
 }
 
 double DiskStats::SimMs(const CostParams& p) const {
@@ -57,41 +70,97 @@ uint64_t SimDisk::SeekSpan() const {
   return SeekSpanLocked();
 }
 
-void SimDisk::Access(uint64_t addr, uint64_t bytes) {
+SimDisk::Stripe& SimDisk::ThisThreadStripe() const {
+  // Stripe indices are handed out process-wide, one per thread, wrapping at
+  // kStripes; with a sane client count every thread owns its stripe.
+  static std::atomic<size_t> next_index{0};
+  thread_local size_t index = next_index.fetch_add(1) % kStripes;
+  return stripes_[index];
+}
+
+void SimDisk::MaybeSleep(double sim_ms) const {
+  double scale = realtime_us_per_sim_ms_.load(std::memory_order_relaxed);
+  if (scale <= 0.0 || sim_ms <= 0.0) return;
+  std::this_thread::sleep_for(
+      std::chrono::duration<double, std::micro>(sim_ms * scale));
+}
+
+SimDisk::SeekCharge SimDisk::AccessLocked(uint64_t addr, uint64_t bytes) {
+  SeekCharge charge;
   if (head_ != addr) {
-    ++stats_.seeks;
+    charge.seeked = true;
     if (head_ == UINT64_MAX) {
-      stats_.seek_ms += params_.seek_ms;  // unknown position: average seek
+      charge.ms = params_.seek_ms;  // unknown position: average seek
     } else {
       uint64_t dist = head_ > addr ? head_ - addr : addr - head_;
-      stats_.seek_ms += params_.SeekMs(dist, SeekSpanLocked());
+      charge.ms = params_.SeekMs(dist, SeekSpanLocked());
     }
   }
   head_ = addr + bytes;
+  return charge;
 }
 
 void SimDisk::Read(uint64_t addr, uint64_t bytes) {
-  std::lock_guard<std::mutex> lock(mu_);
-  Access(addr, bytes);
-  ++stats_.reads;
-  stats_.bytes_read += bytes;
+  SeekCharge charge;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    charge = AccessLocked(addr, bytes);
+  }
+  Stripe& s = ThisThreadStripe();
+  {
+    std::lock_guard<std::mutex> lock(s.mu);
+    if (charge.seeked) ++s.stats.seeks;
+    s.stats.seek_ms += charge.ms;
+    ++s.stats.reads;
+    s.stats.bytes_read += bytes;
+  }
+  MaybeSleep(charge.ms + params_.ReadMs(bytes));
 }
 
 void SimDisk::Write(uint64_t addr, uint64_t bytes) {
-  std::lock_guard<std::mutex> lock(mu_);
-  Access(addr, bytes);
-  ++stats_.writes;
-  stats_.bytes_written += bytes;
+  SeekCharge charge;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    charge = AccessLocked(addr, bytes);
+  }
+  Stripe& s = ThisThreadStripe();
+  {
+    std::lock_guard<std::mutex> lock(s.mu);
+    if (charge.seeked) ++s.stats.seeks;
+    s.stats.seek_ms += charge.ms;
+    ++s.stats.writes;
+    s.stats.bytes_written += bytes;
+  }
+  MaybeSleep(charge.ms + params_.WriteMs(bytes));
 }
 
 void SimDisk::ChargeFileOpen() {
-  std::lock_guard<std::mutex> lock(mu_);
-  ++stats_.file_opens;
+  Stripe& s = ThisThreadStripe();
+  {
+    std::lock_guard<std::mutex> lock(s.mu);
+    ++s.stats.file_opens;
+  }
+  MaybeSleep(params_.init_ms);
 }
 
 void SimDisk::ResetHead() {
   std::lock_guard<std::mutex> lock(mu_);
   head_ = UINT64_MAX;
+}
+
+DiskStats SimDisk::stats() const {
+  DiskStats total;
+  for (const Stripe& s : stripes_) {
+    std::lock_guard<std::mutex> lock(s.mu);
+    total += s.stats;
+  }
+  return total;
+}
+
+DiskStats SimDisk::thread_stats() const {
+  const Stripe& s = ThisThreadStripe();
+  std::lock_guard<std::mutex> lock(s.mu);
+  return s.stats;
 }
 
 }  // namespace upi::sim

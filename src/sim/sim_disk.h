@@ -13,8 +13,28 @@
 // in the benches is the simulated milliseconds accumulated between
 // StatsWindow construction and ElapsedMs() — deterministic,
 // hardware-independent, and measuring exactly what the paper measured.
+//
+// Thread-safety and contention: the head position and address allocator are
+// inherently serial (two threads sharing one spindle *do* perturb each
+// other's head position, and the interleaved accounting is physically right),
+// so they stay under one mutex — but that critical section is a few
+// arithmetic ops. The I/O *counters* are striped per thread: each access
+// updates only the calling thread's stripe, so stats()/StatsWindow snapshots
+// (which benches and the maintenance policy poll) never contend with worker
+// I/O on a shared counter lock. Each access updates its stripe atomically, so
+// a snapshot never sees a half-counted access; with a single thread the
+// stripe sums are exact and bit-identical to the pre-striping accounting.
+//
+// Realtime mode (SetRealtimeScale): when enabled, every access additionally
+// *sleeps* for its charged simulated time scaled by a wall-us-per-sim-ms
+// factor — after all locks are released. This turns simulated latency into
+// real blocking that concurrent clients can overlap, which is what
+// bench_throughput uses to measure multi-client scaling of the storage stack
+// independently of host core count. Off by default; no existing bench or
+// test is affected.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <mutex>
 #include <string>
@@ -34,6 +54,7 @@ struct DiskStats {
   uint64_t file_opens = 0;       // charged Costinit each
 
   DiskStats operator-(const DiskStats& rhs) const;
+  DiskStats& operator+=(const DiskStats& rhs);
   /// Simulated elapsed time for these counters under `p`.
   double SimMs(const CostParams& p) const;
   std::string ToString(const CostParams& p) const;
@@ -42,12 +63,6 @@ struct DiskStats {
 /// \brief The simulated device. One instance per "machine"; every PageFile of
 /// a database allocates its extents from the same SimDisk so that cross-file
 /// interleaving shows up as seeks, as it would on the paper's single spindle.
-///
-/// Thread-safe: the maintenance subsystem's background workers do their build
-/// I/O on the same spindle as foreground queries, so head position, address
-/// allocation, and the stats counters are guarded by a mutex. (Interleaved
-/// accounting is also physically right — two threads sharing one disk *do*
-/// perturb each other's head position.)
 class SimDisk {
  public:
   explicit SimDisk(CostParams params = CostParams{}) : params_(params) {}
@@ -66,11 +81,26 @@ class SimDisk {
   /// full-cost seek. Benches call this as part of the cold-cache protocol.
   void ResetHead();
 
-  /// Snapshot of the counters (consistent even while workers run).
-  DiskStats stats() const {
-    std::lock_guard<std::mutex> lock(mu_);
-    return stats_;
+  /// When `wall_us_per_sim_ms` > 0, every subsequent access sleeps for its
+  /// simulated cost times this factor (outside all locks), so concurrent
+  /// clients genuinely overlap their I/O waits. 0 (the default) disables it.
+  void SetRealtimeScale(double wall_us_per_sim_ms) {
+    realtime_us_per_sim_ms_.store(wall_us_per_sim_ms,
+                                  std::memory_order_relaxed);
   }
+
+  /// Sum of all stripes. Each access lands in its stripe atomically, so the
+  /// snapshot never sees a half-counted access; exact once traffic quiesces.
+  DiskStats stats() const;
+
+  /// The calling thread's own stripe: the I/O this thread issued. Stripe
+  /// indices are handed out once per thread *created over the process
+  /// lifetime* (shared across SimDisk instances), wrapping at kStripes (64);
+  /// past that, threads share stripes and per-thread attribution becomes
+  /// approximate — stats() totals stay exact. Lets a multi-client bench
+  /// attribute per-operation simulated latency without a global counter.
+  DiskStats thread_stats() const;
+
   const CostParams& params() const { return params_; }
   uint64_t size_bytes() const {
     std::lock_guard<std::mutex> lock(mu_);
@@ -85,14 +115,29 @@ class SimDisk {
   double TotalMs() const { return stats().SimMs(params_); }
 
  private:
-  void Access(uint64_t addr, uint64_t bytes);
+  static constexpr size_t kStripes = 64;
+  struct alignas(64) Stripe {
+    mutable std::mutex mu;
+    DiskStats stats;
+  };
+
+  /// Moves the head; returns the seek charge {took_seek, seek_ms} for the
+  /// caller to record in its stripe. Caller must hold mu_.
+  struct SeekCharge {
+    bool seeked = false;
+    double ms = 0.0;
+  };
+  SeekCharge AccessLocked(uint64_t addr, uint64_t bytes);
   uint64_t SeekSpanLocked() const;
+  Stripe& ThisThreadStripe() const;
+  void MaybeSleep(double sim_ms) const;
 
   CostParams params_;
-  mutable std::mutex mu_;
-  DiskStats stats_;
+  mutable std::mutex mu_;  // head position + address allocator only
   uint64_t next_addr_ = 0;
   uint64_t head_ = UINT64_MAX;  // UINT64_MAX = unknown position
+  std::atomic<double> realtime_us_per_sim_ms_{0.0};
+  mutable Stripe stripes_[kStripes];
 };
 
 /// \brief RAII window over a SimDisk's stats: captures a snapshot at

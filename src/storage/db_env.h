@@ -24,10 +24,12 @@ class DbEnv {
   /// `pool_bytes` defaults to 32 MiB — deliberately smaller than the bench
   /// datasets so that maintenance workloads show the eviction-driven random
   /// writes the paper measures (Table 7), while single queries still keep
-  /// their working set resident as on the paper's machine.
+  /// their working set resident as on the paper's machine. `pool_shards`
+  /// controls buffer-pool latch sharding (1 = a single classic pool).
   explicit DbEnv(uint64_t pool_bytes = 32ull << 20,
-                 sim::CostParams params = sim::CostParams{})
-      : disk_(params), pool_(pool_bytes) {}
+                 sim::CostParams params = sim::CostParams{},
+                 size_t pool_shards = BufferPool::kDefaultShards)
+      : disk_(params), pool_(pool_bytes, pool_shards) {}
 
   /// Creates a new page file on this environment's disk. Thread-safe:
   /// background maintenance workers create fracture files while other

@@ -1,15 +1,20 @@
 #include "storage/page_file.h"
 
-#include <cassert>
+#include "common/check.h"
 
 namespace upi::storage {
 
 PageFile::PageFile(sim::SimDisk* disk, std::string name, uint32_t page_size)
     : disk_(disk), name_(std::move(name)), page_size_(page_size) {
-  assert(page_size_ >= 512);
+  UPI_CHECK(page_size_ >= 512, "page size below device sector size");
+}
+
+void PageFile::CheckLiveLocked(PageId id, const char* op) const {
+  UPI_CHECK(id < pages_.size() && pages_[id].in_use, op);
 }
 
 PageId PageFile::Allocate() {
+  std::lock_guard<std::mutex> lock(mu_);
   if (!free_list_.empty()) {
     PageId id = free_list_.back();
     free_list_.pop_back();
@@ -24,23 +29,40 @@ PageId PageFile::Allocate() {
 }
 
 void PageFile::Free(PageId id) {
-  assert(id < pages_.size() && pages_[id].in_use);
+  std::lock_guard<std::mutex> lock(mu_);
+  CheckLiveLocked(id, "Free of an unallocated or already-freed page");
   pages_[id].in_use = false;
   data_[id].clear();
   free_list_.push_back(id);
 }
 
 void PageFile::Read(PageId id, std::string* out) {
-  assert(id < pages_.size() && pages_[id].in_use);
-  disk_->Read(pages_[id].addr, page_size_);
-  *out = data_[id];
+  uint64_t addr;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    CheckLiveLocked(id, "Read of an unallocated or freed page");
+    addr = pages_[id].addr;
+    *out = data_[id];
+  }
+  disk_->Read(addr, page_size_);
 }
 
 void PageFile::Write(PageId id, std::string_view data) {
-  assert(id < pages_.size() && pages_[id].in_use);
-  assert(data.size() <= page_size_);
-  disk_->Write(pages_[id].addr, page_size_);
-  data_[id].assign(data.data(), data.size());
+  uint64_t addr;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    CheckLiveLocked(id, "Write to an unallocated or freed page");
+    UPI_CHECK(data.size() <= page_size_, "record larger than the page");
+    addr = pages_[id].addr;
+    data_[id].assign(data.data(), data.size());
+  }
+  disk_->Write(addr, page_size_);
+}
+
+uint64_t PageFile::AddressOf(PageId id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  UPI_CHECK(id < pages_.size(), "AddressOf out of range");
+  return pages_[id].addr;
 }
 
 }  // namespace upi::storage

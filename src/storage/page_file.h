@@ -5,9 +5,20 @@
 // device address. Pages freed back to the file are reused by later
 // allocations — which is how B+Tree churn produces physical fragmentation,
 // the effect behind the paper's Section 4.1 maintenance problem.
+//
+// Thread-safe: allocation metadata, the free list, and the RAM backing store
+// are guarded by an internal mutex, honoring the concurrency contract the
+// buffer pool documents (background builders allocate/write while foreground
+// queries read other pages of the same file). The SimDisk charge for a
+// Read/Write is issued *after* the metadata lock is released, so concurrent
+// clients of one file serialize only on the in-RAM bookkeeping, never on the
+// (possibly realtime-sleeping) simulated device. Per-page content access is
+// not additionally ordered here: a page is only written by the single thread
+// building it, per the buffer pool's contract.
 #pragma once
 
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -31,7 +42,12 @@ class PageFile {
   /// back to fresh address space at the end of the device.
   PageId Allocate();
 
-  /// Returns a page to the free list. Contents become undefined.
+  /// Returns a page to the free list. Contents become undefined. A caller
+  /// that cached this page through a BufferPool must Discard the frame
+  /// first (Pager::Free does): a stale *dirty* frame left behind would
+  /// eventually be flushed into a freed (or recycled) page — the pool's
+  /// create-path reset only covers clean re-use, and PageFile hard-aborts
+  /// on a write to a freed page rather than corrupt a recycled one.
   void Free(PageId id);
 
   /// Reads a full page (charges one page transfer; sequential iff the disk
@@ -47,15 +63,21 @@ class PageFile {
 
   uint32_t page_size() const { return page_size_; }
   /// Pages currently in use (excludes freed pages).
-  uint64_t num_active_pages() const { return pages_.size() - free_list_.size(); }
+  uint64_t num_active_pages() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return pages_.size() - free_list_.size();
+  }
   /// Total address-space footprint including freed-but-not-reclaimed pages —
   /// this is the "DB size" the paper reports in Table 8.
-  uint64_t size_bytes() const { return pages_.size() * uint64_t{page_size_}; }
+  uint64_t size_bytes() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return pages_.size() * uint64_t{page_size_};
+  }
   const std::string& name() const { return name_; }
   sim::SimDisk* disk() const { return disk_; }
 
   /// Physical device address of a page (for tests asserting layout).
-  uint64_t AddressOf(PageId id) const { return pages_[id].addr; }
+  uint64_t AddressOf(PageId id) const;
 
  private:
   struct PageMeta {
@@ -63,9 +85,13 @@ class PageFile {
     bool in_use = false;
   };
 
+  /// Hard-checks that `id` names a live page. Caller must hold mu_.
+  void CheckLiveLocked(PageId id, const char* op) const;
+
   sim::SimDisk* disk_;
   std::string name_;
-  uint32_t page_size_;
+  const uint32_t page_size_;
+  mutable std::mutex mu_;  // guards pages_, data_, free_list_
   std::vector<PageMeta> pages_;
   std::vector<std::string> data_;  // RAM backing store, index == PageId
   std::vector<PageId> free_list_;

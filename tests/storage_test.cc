@@ -1,7 +1,10 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <random>
 #include <set>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "storage/buffer_pool.h"
@@ -239,6 +242,266 @@ TEST(HeapFileTest, RejectsOversizedRecord) {
   HeapFile heap(Pager(&pool, &f));
   std::string record(5000, 'x');
   EXPECT_FALSE(heap.Insert(record).ok());
+}
+
+// --- Pin-protocol invariants: hard checks that fire in every build type ----
+// (These used to be plain asserts, compiled out under RelWithDebInfo, so
+// Unpin of an unmapped frame dereferenced frames_.end() in release builds.)
+
+TEST(BufferPoolDeathTest, UnpinOfUnmappedFrameAborts) {
+  sim::SimDisk disk;
+  PageFile f(&disk, "t", 4096);
+  BufferPool pool(1 << 20);
+  PageId a = f.Allocate();
+  EXPECT_DEATH(pool.Unpin(&f, a), "no mapped frame");
+}
+
+TEST(BufferPoolDeathTest, DoubleUnpinAborts) {
+  sim::SimDisk disk;
+  PageFile f(&disk, "t", 4096);
+  BufferPool pool(1 << 20);
+  PageId a = f.Allocate();
+  f.Write(a, "x");
+  pool.Fetch(&f, a);
+  pool.Unpin(&f, a);
+  EXPECT_DEATH(pool.Unpin(&f, a), "unpinned frame");
+}
+
+TEST(BufferPoolDeathTest, MarkDirtyOfUnmappedFrameAborts) {
+  sim::SimDisk disk;
+  PageFile f(&disk, "t", 4096);
+  BufferPool pool(1 << 20);
+  PageId a = f.Allocate();
+  EXPECT_DEATH(pool.MarkDirty(&f, a), "no mapped frame");
+}
+
+TEST(BufferPoolDeathTest, DiscardOfPinnedPageAborts) {
+  sim::SimDisk disk;
+  PageFile f(&disk, "t", 4096);
+  BufferPool pool(1 << 20);
+  PageId a = f.Allocate();
+  f.Write(a, "x");
+  pool.Fetch(&f, a);  // stays pinned
+  EXPECT_DEATH(pool.Discard(&f, a), "pinned");
+}
+
+TEST(PageFileDeathTest, ReadOfFreedPageAborts) {
+  sim::SimDisk disk;
+  PageFile f(&disk, "t", 4096);
+  PageId a = f.Allocate();
+  f.Free(a);
+  std::string out;
+  EXPECT_DEATH(f.Read(a, &out), "freed page");
+}
+
+TEST(PageFileDeathTest, DoubleFreeAborts) {
+  sim::SimDisk disk;
+  PageFile f(&disk, "t", 4096);
+  PageId a = f.Allocate();
+  f.Free(a);
+  EXPECT_DEATH(f.Free(a), "already-freed");
+}
+
+// --- Recycled PageId regression ------------------------------------------
+// A page freed without going through this pool's Discard (e.g. freed via a
+// different Pager layered on the same file) can leave a stale resident
+// frame; Fetch(create=true) must hand back a fresh page, not the old bytes.
+
+TEST(BufferPoolTest, RecycledPageIdGetsFreshFrame) {
+  sim::SimDisk disk;
+  PageFile f(&disk, "t", 4096);
+  BufferPool pool(1 << 20);
+  PageId a = f.Allocate();
+  std::string* data = pool.Fetch(&f, a, /*create=*/true);
+  *data = "stale bytes";
+  pool.MarkDirty(&f, a);
+  pool.Unpin(&f, a);
+  f.Free(a);                  // bypasses pool.Discard on purpose
+  PageId b = f.Allocate();
+  ASSERT_EQ(b, a);            // recycled
+  data = pool.Fetch(&f, b, /*create=*/true);
+  EXPECT_TRUE(data->empty()) << "stale frame returned for a fresh page";
+  *data = "fresh";
+  pool.Unpin(&f, b);
+  pool.FlushAll();            // create-path frames must reach the device
+  std::string out;
+  f.Read(b, &out);
+  EXPECT_EQ(out, "fresh");
+}
+
+// --- Capacity accounting ---------------------------------------------------
+
+TEST(BufferPoolTest, NeverExceedsCapacityWithUnpinnedFramesAvailable) {
+  sim::SimDisk disk;
+  PageFile f(&disk, "t", 4096);
+  const uint64_t capacity = 4 * 4096;
+  BufferPool pool(capacity, /*num_shards=*/1);
+  for (int i = 0; i < 16; ++i) {
+    PageId id = f.Allocate();
+    std::string* data = pool.Fetch(&f, id, /*create=*/true);
+    *data = "p" + std::to_string(i);
+    pool.Unpin(&f, id);
+    EXPECT_LE(pool.cached_bytes(), capacity) << "after page " << i;
+  }
+  EXPECT_EQ(pool.cached_bytes(), capacity);  // exactly full, no overshoot
+}
+
+// --- Sharding --------------------------------------------------------------
+
+TEST(BufferPoolTest, PagesSpreadAcrossShards) {
+  sim::SimDisk disk;
+  PageFile f(&disk, "t", 4096);
+  BufferPool pool(64 << 20);
+  ASSERT_EQ(pool.num_shards(), BufferPool::kDefaultShards);
+  std::set<size_t> used;
+  for (PageId id = 0; id < 256; ++id) {
+    size_t shard = pool.ShardIndexOf(&f, id);
+    ASSERT_LT(shard, pool.num_shards());
+    used.insert(shard);
+  }
+  // 256 consecutive ids over 16 shards: a lopsided hash would funnel them
+  // into a few shards and serialize clients again.
+  EXPECT_GE(used.size(), pool.num_shards() - 2);
+}
+
+// --- Scan resistance (midpoint insertion) ---------------------------------
+
+TEST(BufferPoolTest, FullScanDoesNotEvictHotPages) {
+  sim::SimDisk disk;
+  PageFile f(&disk, "t", 4096);
+  BufferPool pool(8 * 4096, /*num_shards=*/1);
+  // Resident set: 8 one-touch pages...
+  std::vector<PageId> ids;
+  for (int i = 0; i < 8; ++i) {
+    PageId id = f.Allocate();
+    f.Write(id, "r" + std::to_string(i));
+    pool.Fetch(&f, id);
+    pool.Unpin(&f, id);
+    ids.push_back(id);
+  }
+  // ...of which two become hot via re-reference.
+  for (int i = 0; i < 2; ++i) {
+    pool.Fetch(&f, ids[i]);
+    pool.Unpin(&f, ids[i]);
+  }
+  // A 50-page one-touch scan churns through the pool.
+  for (int i = 0; i < 50; ++i) {
+    PageId id = f.Allocate();
+    f.Write(id, "scan");
+    pool.Fetch(&f, id);
+    pool.Unpin(&f, id);
+  }
+  // The hot pages survived the scan: re-fetching them costs no disk read.
+  uint64_t reads_before = disk.stats().reads;
+  for (int i = 0; i < 2; ++i) {
+    pool.Fetch(&f, ids[i]);
+    pool.Unpin(&f, ids[i]);
+  }
+  EXPECT_EQ(disk.stats().reads, reads_before);
+}
+
+// --- Loading-frame wait path -----------------------------------------------
+
+TEST(BufferPoolTest, ConcurrentFetchersOfOnePageShareOneRead) {
+  sim::SimDisk disk;
+  PageFile f(&disk, "t", 4096);
+  BufferPool pool(1 << 20);
+  for (int iter = 0; iter < 8; ++iter) {
+    PageId id = f.Allocate();
+    std::string payload = "page-" + std::to_string(iter);
+    f.Write(id, payload);
+    uint64_t reads_before = disk.stats().reads;
+    constexpr int kFetchers = 4;
+    std::atomic<int> ready{0};
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kFetchers; ++t) {
+      threads.emplace_back([&] {
+        ready.fetch_add(1);
+        while (ready.load() < kFetchers) {}  // start the stampede together
+        std::string* data = pool.Fetch(&f, id);
+        EXPECT_EQ(*data, payload);
+        pool.Unpin(&f, id);
+      });
+    }
+    for (auto& t : threads) t.join();
+    // One fetcher loaded; the rest waited on the loading frame's condvar.
+    EXPECT_EQ(disk.stats().reads - reads_before, 1u);
+  }
+}
+
+// --- Threaded stress (run under TSan in CI) --------------------------------
+
+TEST(BufferPoolStressTest, MixedTrafficAcrossShards) {
+  sim::SimDisk disk;
+  PageFile f(&disk, "t", 4096);
+  // Small pool so the workload constantly evicts and writes back.
+  BufferPool pool(24 * 4096);
+  constexpr int kThreads = 4;
+  constexpr int kPagesPerThread = 32;
+  constexpr int kIters = 400;
+  // Pre-allocate so Allocate/Fetch interleaving is not part of this test.
+  std::vector<PageId> ids;
+  for (int i = 0; i < kThreads * kPagesPerThread; ++i) ids.push_back(f.Allocate());
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      // Each thread owns a disjoint page range (the single-writer-per-page
+      // contract); reads, writes, discards, and evictions still collide on
+      // shards, frames, and the disk from all threads.
+      std::mt19937 rng(t);
+      std::vector<int> version(kPagesPerThread, -1);
+      for (int i = 0; i < kIters; ++i) {
+        int slot = static_cast<int>(rng() % kPagesPerThread);
+        PageId id = ids[t * kPagesPerThread + slot];
+        bool fresh = version[slot] < 0;
+        std::string* data = pool.Fetch(&f, id, /*create=*/fresh);
+        if (!fresh) {
+          EXPECT_EQ(*data, std::to_string(version[slot])) << "page " << id;
+        }
+        version[slot] = i;
+        *data = std::to_string(i);
+        pool.MarkDirty(&f, id);
+        pool.Unpin(&f, id);
+        if (rng() % 64 == 0) {
+          // Forget a page entirely; next touch recreates it.
+          pool.Discard(&f, id);
+          version[slot] = -1;
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_GT(pool.misses(), 0u);
+  pool.FlushAll();
+  // Victims come from the missing page's own shard, so a shard whose frames
+  // are all pinned (or empty) may overshoot by its incoming page; the global
+  // bound under sharding is capacity plus one page per shard. (The exact
+  // bound is asserted by NeverExceedsCapacityWithUnpinnedFramesAvailable,
+  // which runs single-sharded.)
+  EXPECT_LE(pool.cached_bytes(), 24 * 4096u + pool.num_shards() * 4096u);
+}
+
+TEST(PageFileStressTest, ConcurrentAllocateWriteFree) {
+  sim::SimDisk disk;
+  PageFile f(&disk, "t", 4096);
+  constexpr int kThreads = 4;
+  constexpr int kIters = 300;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kIters; ++i) {
+        PageId id = f.Allocate();
+        std::string payload = std::to_string(t) + ":" + std::to_string(i);
+        f.Write(id, payload);
+        std::string out;
+        f.Read(id, &out);
+        EXPECT_EQ(out, payload);
+        f.Free(id);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(f.num_active_pages(), 0u);
 }
 
 TEST(DbEnvTest, DuplicateFileNameIsRejected) {
