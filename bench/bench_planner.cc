@@ -7,7 +7,15 @@
 // (within noise) at every threshold — it picks per query, so it may switch
 // plans across the sweep where the hand-picked rows cannot.
 //
+// A final section measures the *planning* overhead itself: plan-every-call
+// (QueryPlanner::PlanSecondary per probe) vs the prepared path
+// (PreparedQuery::Bind hitting the plan cache). The prepared path must stay
+// >= 2x cheaper in wall-clock — that is the headroom Table::Prepare buys a
+// high-QPS serving loop.
+//
 //   ./bench_planner [--scale=1] [--seed=42] [--json=BENCH_planner.json]
+#include <chrono>
+
 #include "bench_util.h"
 #include "engine/database.h"
 #include "exec/operators.h"
@@ -78,7 +86,9 @@ int main(int argc, char** argv) {
     engine::Plan chosen;
     QueryCost planned = RunCold(db.env(), [&]() -> size_t {
       std::vector<core::PtqMatch> out;
-      chosen = std::move(authors->Ptq(d.popular_institution, qt, &out))
+      chosen = std::move(authors->Run(
+                             engine::Query::Ptq(d.popular_institution, qt),
+                             &out))
                    .ValueOrDie();
       return out.size();
     });
@@ -126,9 +136,11 @@ int main(int argc, char** argv) {
     engine::Plan chosen;
     QueryCost planned = RunCold(db.env(), [&]() -> size_t {
       std::vector<core::PtqMatch> out;
-      chosen =
-          std::move(pubs->Secondary(country, d.mid_country, qt, &out))
-              .ValueOrDie();
+      chosen = std::move(pubs->Run(
+                             engine::Query::Secondary(country, d.mid_country,
+                                                      qt),
+                             &out))
+                   .ValueOrDie();
       return out.size();
     });
     double best =
@@ -156,8 +168,58 @@ int main(int argc, char** argv) {
                   .Explain()
                   .c_str());
 
-  std::printf("\nplanner within noise of the best hand-picked plan on %d/%d "
-              "rows\n",
+  // --- Prepared-statement planning overhead --------------------------------
+  // Same probe, two regimes: plan-every-call re-prices every candidate per
+  // execution; the prepared path buckets the bound parameter on the
+  // histogram and serves the cached plan. Pure CPU (planning is RAM-only),
+  // so wall-clock is the honest metric.
+  std::printf("\n");
+  PrintTitle("Planning overhead: plan-every-call vs prepared (wall-clock)");
+  const int reps = 4000;
+  std::vector<std::string> probe_values;
+  for (int i = 0; i < 8; ++i) {
+    probe_values.push_back(d.gen->CountryName(2 + 5 * i));
+  }
+  engine::PreparedQuery prepared =
+      pubs->Prepare(engine::Query::Secondary(country, "", 0.3)).ValueOrDie();
+
+  auto t0 = std::chrono::steady_clock::now();
+  size_t sink = 0;
+  for (int i = 0; i < reps; ++i) {
+    engine::Plan p = pubs->planner().PlanSecondary(
+        country, probe_values[i % probe_values.size()], 0.3);
+    sink += static_cast<size_t>(p.kind);
+  }
+  auto t1 = std::chrono::steady_clock::now();
+  for (int i = 0; i < reps; ++i) {
+    engine::BoundQuery bound =
+        prepared.Bind(probe_values[i % probe_values.size()]);
+    sink += static_cast<size_t>(bound.plan().kind);
+  }
+  auto t2 = std::chrono::steady_clock::now();
+
+  double every_ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+  double prepared_ms =
+      std::chrono::duration<double, std::milli>(t2 - t1).count();
+  double ratio = prepared_ms > 0 ? every_ms / prepared_ms : 0.0;
+  std::printf("%-24s %10.2f ms  (%d probes)\n", "plan-every-call", every_ms,
+              reps);
+  std::printf("%-24s %10.2f ms  (%llu plannings, %llu cache hits)\n",
+              "prepared Bind()", prepared_ms,
+              static_cast<unsigned long long>(prepared.plans()),
+              static_cast<unsigned long long>(prepared.hits()));
+  std::printf("prepared overhead is %.1fx lower (sink=%zu)\n", ratio, sink);
+  ++verdict.rows;
+  verdict.within_noise += ratio >= 2.0 ? 1 : 0;
+  QueryCost overhead;
+  overhead.wall_ms = prepared_ms;
+  overhead.rows = reps;
+  json.AddRow("prepared-bind overhead", overhead);
+  overhead.wall_ms = every_ms;
+  json.AddRow("plan-every-call overhead", overhead);
+
+  std::printf("\nplanner within noise of the best hand-picked plan (and "
+              "prepared >= 2x cheaper) on %d/%d rows\n",
               verdict.within_noise, verdict.rows);
   return verdict.within_noise == verdict.rows ? 0 : 1;
 }

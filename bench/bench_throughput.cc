@@ -1,12 +1,15 @@
-// Closed-loop multi-client throughput of the storage engine.
+// Closed-loop multi-client throughput of the serving API.
 //
-// N client threads run a fixed per-client budget of planned queries against
-// cache-resident tables — a mix of Query-1 PTQ probes, Query-3 secondary
-// lookups, and top-k — while a background ingest thread feeds a Fractured
-// table whose flushes/merges run on the MaintenanceManager's worker thread.
-// The sweep reports wall-clock ops/sec and per-operation latency percentiles
-// (wall microseconds, and the operation's own simulated disk milliseconds
-// from SimDisk::thread_stats()).
+// N clients drive the engine through the real per-client surface: each opens
+// a Session over the Database, prepares its query shapes once
+// (Table::Prepare — the plan cache is shared across clients), and submits a
+// fixed budget of bound executions — a mix of Query-1 PTQ probes, Query-3
+// secondary lookups, and top-k — while a background ingest thread feeds a
+// Fractured table whose flushes/merges run on the MaintenanceManager's
+// worker thread. The sweep reports wall-clock ops/sec and per-operation
+// latency percentiles (wall microseconds around Submit()+wait, and the
+// operation's own simulated disk milliseconds as measured on the session
+// worker and carried back in QueryResult).
 //
 // Scaling is made host-independent by running the SimDisk in realtime mode:
 // every access sleeps wall time proportional to its simulated cost
@@ -31,6 +34,7 @@
 
 #include "bench_util.h"
 #include "engine/database.h"
+#include "engine/session.h"
 
 using namespace upi;
 using namespace upi::bench;
@@ -135,17 +139,30 @@ int main(int argc, char** argv) {
       d.authors, datagen::AuthorCols::kCountry, 500);
   constexpr double kQts[] = {0.5, 0.7, 0.9};
 
+  // The prepared shapes every client executes; the plan caches are shared
+  // (PreparedQuery copies alias one cache), so across the whole sweep each
+  // shape plans a handful of times and everything else is a cache hit.
+  engine::PreparedQuery prep_ptq =
+      authors->Prepare(engine::Query::Ptq("", 0.5)).ValueOrDie();
+  engine::PreparedQuery prep_sec =
+      authors->Prepare(
+                 engine::Query::Secondary(datagen::AuthorCols::kCountry, "",
+                                          0.5))
+          .ValueOrDie();
+  engine::PreparedQuery prep_topk =
+      authors->Prepare(engine::Query::TopK("", 10)).ValueOrDie();
+  engine::PreparedQuery prep_stream =
+      stream->Prepare(engine::Query::Ptq("", 0.5)).ValueOrDie();
+
   // Warm the cache (the sweep measures the serving regime, not cold starts),
   // then start the realtime clock.
   {
     std::vector<core::PtqMatch> out;
     for (const std::string& inst : institutions) {
-      CheckOk(authors->Ptq(inst, 0.3, &out).status());
-      CheckOk(stream->Ptq(inst, 0.3, &out).status());
+      CheckOk(prep_ptq.Bind(inst, 0.3).Execute(&out).status());
+      CheckOk(prep_stream.Bind(inst, 0.3).Execute(&out).status());
     }
-    CheckOk(authors->Secondary(datagen::AuthorCols::kCountry, country, 0.3,
-                               &out)
-                .status());
+    CheckOk(prep_sec.Bind(country, 0.3).Execute(&out).status());
   }
   db.env()->disk()->SetRealtimeScale(sleep_us_per_ms);
 
@@ -180,40 +197,35 @@ int main(int argc, char** argv) {
     for (size_t t = 0; t < nthreads; ++t) {
       clients.emplace_back([&, t] {
         Rng rng(seed * 7919 + t);
-        const sim::SimDisk* disk = db.env()->disk();
+        // The real per-client surface: one Session, closed-loop submits.
+        engine::Session session(&db);
         lat[t].reserve(ops_per_client);
-        std::vector<core::PtqMatch> out;
         for (size_t op = 0; op < ops_per_client; ++op) {
           double qt = kQts[rng.Uniform(3)];
-          sim::DiskStats before = disk->thread_stats();
           auto t0 = std::chrono::steady_clock::now();
           uint64_t kind = rng.Uniform(100);
+          std::future<Result<engine::QueryResult>> fut;
           if (kind < 55) {  // Query 1: PTQ on the clustered attribute
-            CheckOk(authors
-                        ->Ptq(institutions[rng.Uniform(institutions.size())],
-                              qt, &out)
-                        .status());
+            fut = session.Submit(prep_ptq,
+                                 institutions[rng.Uniform(institutions.size())],
+                                 qt);
           } else if (kind < 80) {  // Query 3: secondary lookup
-            CheckOk(authors
-                        ->Secondary(datagen::AuthorCols::kCountry, country,
-                                    qt, &out)
-                        .status());
+            fut = session.Submit(prep_sec, country, qt);
           } else if (kind < 90) {  // top-k
-            CheckOk(authors
-                        ->TopK(institutions[rng.Uniform(institutions.size())],
-                               10, &out)
-                        .status());
+            fut = session.Submit(
+                prep_topk, institutions[rng.Uniform(institutions.size())]);
           } else {  // PTQ against the fractured table under ingest
-            CheckOk(stream
-                        ->Ptq(institutions[rng.Uniform(institutions.size())],
-                              qt, &out)
-                        .status());
+            fut = session.Submit(prep_stream,
+                                 institutions[rng.Uniform(institutions.size())],
+                                 qt);
           }
+          Result<engine::QueryResult> res = fut.get();
+          CheckOk(res.status());
           auto t1 = std::chrono::steady_clock::now();
           OpLatency l;
           l.wall_us =
               std::chrono::duration<double, std::micro>(t1 - t0).count();
-          l.sim_ms = (disk->thread_stats() - before).SimMs(db.params());
+          l.sim_ms = res.value().sim_ms;
           lat[t].push_back(l);
         }
       });
@@ -258,6 +270,15 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(db.env()->pool()->hits()),
               static_cast<unsigned long long>(db.env()->pool()->misses()),
               static_cast<unsigned long long>(db.maintenance()->stats().tasks()));
+  std::printf("# prepared plan cache: %llu plannings, %llu hits across the "
+              "whole sweep\n",
+              static_cast<unsigned long long>(
+                  prep_ptq.plans() + prep_sec.plans() + prep_topk.plans() +
+                  prep_stream.plans()),
+              static_cast<unsigned long long>(prep_ptq.hits() +
+                                              prep_sec.hits() +
+                                              prep_topk.hits() +
+                                              prep_stream.hits()));
 
   double speedup =
       rows.back().ops_per_sec / rows.front().ops_per_sec;

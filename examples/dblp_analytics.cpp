@@ -57,7 +57,8 @@ int main(int argc, char** argv) {
   engine::Plan plan;
   auto upi_cost = bench::RunCold(db.env(), [&]() -> size_t {
     std::vector<core::PtqMatch> matches;
-    plan = std::move(pub->Ptq(inst, qt, &matches)).ValueOrDie();
+    plan = std::move(pub->Run(engine::Query::Ptq(inst, qt), &matches))
+               .ValueOrDie();
     auto groups = exec::GroupByCount(matches, datagen::PublicationCols::kJournal);
     std::printf("Top journals for %s (confidence >= %.2f):\n", inst.c_str(), qt);
     int shown = 0;
@@ -70,7 +71,8 @@ int main(int argc, char** argv) {
   });
   auto pii_cost = bench::RunCold(pii_db.env(), [&]() -> size_t {
     std::vector<core::PtqMatch> matches;
-    bench::CheckOk(heap->path()->QueryPtq(inst, qt, &matches));
+    bench::CheckOk(
+        heap->Run(engine::Query::Ptq(inst, qt), &matches).status());
     return matches.size();
   });
   std::printf("Aggregate over %zu matches: UPI %.2fs vs PII %.2fs (simulated)"
@@ -82,8 +84,10 @@ int main(int argc, char** argv) {
   std::string country = gen.MidCountry();
   auto sec_cost = bench::RunCold(db.env(), [&]() -> size_t {
     std::vector<core::PtqMatch> matches;
-    plan = std::move(pub->Secondary(datagen::PublicationCols::kCountry, country,
-                                    qt, &matches))
+    plan = std::move(pub->Run(engine::Query::Secondary(
+                                  datagen::PublicationCols::kCountry, country,
+                                  qt),
+                              &matches))
                .ValueOrDie();
     return matches.size();
   });
@@ -98,13 +102,15 @@ int main(int argc, char** argv) {
       db.CreateUpiTable("author", datagen::DblpGenerator::AuthorSchema(), aopt,
                         {}, authors)
           .ValueOrDie();
-  std::vector<core::PtqMatch> top;
-  plan = std::move(author->TopK(inst, 5, &top)).ValueOrDie();
-  std::printf("Top-5 most-confident %s authors (via %s):\n", inst.c_str(),
-              engine::PlanKindName(plan.kind));
-  for (const auto& m : top) {
-    std::printf("  %-12s confidence=%.2f\n", m.tuple.Get(0).str().c_str(),
-                m.confidence);
+  // Streamed through a cursor: the direct top-k plan pulls exactly five rows
+  // off the probability-ordered heap.
+  auto cursor = author->OpenCursor(engine::Query::TopK(inst, 5)).ValueOrDie();
+  std::printf("Top-5 most-confident %s authors (streamed):\n", inst.c_str());
+  engine::RowView row;
+  while (cursor->Next(&row)) {
+    std::printf("  %-12s confidence=%.2f\n", row.tuple->Get(0).str().c_str(),
+                row.confidence);
   }
+  bench::CheckOk(cursor->status());
   return 0;
 }

@@ -1,10 +1,11 @@
 // Quickstart: the paper's running example (Tables 1-5) end to end, through
-// the engine's Database facade.
+// the engine's declarative Query API.
 //
 // Builds the three-author uncertain table, clusters it with a UPI on
 // Institution (cutoff C = 10%), adds a secondary index on Country, and runs
-// the paper's example queries through the cost-based planner — printing each
-// structure's contents and one EXPLAIN.
+// the paper's example queries as Query values through the cost-based planner
+// — one-shot Run(), a streaming ResultCursor, and a PreparedQuery — printing
+// each structure's contents and one EXPLAIN.
 //
 //   ./example_quickstart
 #include <cstdio>
@@ -63,6 +64,8 @@ int main() {
                         authors)
           .ValueOrDie();
 
+  // Physical-layout tour (structural introspection through the escape
+  // hatch; every *read query* below goes through the Query API).
   std::printf("== UPI heap file (Institution ASC, probability DESC) ==\n");
   table->upi()->ScanHeap([&](std::string_view key, std::string_view tuple_bytes) {
     core::UpiKey k;
@@ -77,26 +80,53 @@ int main() {
 
   // ----- Query 1 (paper Section 1): Institution = MIT ---------------------
   std::vector<core::PtqMatch> out;
-  engine::Plan plan = std::move(table->Ptq("MIT", 0.10, &out)).ValueOrDie();
+  engine::Plan plan =
+      std::move(table->Run(engine::Query::Ptq("MIT", 0.10), &out)).ValueOrDie();
   PrintMatches("Query 1: Institution=MIT, threshold 10%", out);
   std::printf("\n%s", plan.Explain().c_str());
 
   // Threshold below the cutoff: the cutoff index is consulted (Algorithm 2).
   out.clear();
-  (void)table->Ptq("UCB", 0.01, &out);
+  (void)table->Run(engine::Query::Ptq("UCB", 0.01), &out);
   PrintMatches("\nQuery: Institution=UCB, threshold 1% (via cutoff index)", out);
 
   // ----- Secondary index on Country (Table 5 + Algorithm 3) ---------------
   out.clear();
-  plan = std::move(table->Secondary(2, "US", 0.8, &out)).ValueOrDie();
+  plan = std::move(table->Run(engine::Query::Secondary(2, "US", 0.8), &out))
+             .ValueOrDie();
   PrintMatches("\nQuery: Country=US, threshold 80% (planner-chosen secondary "
                "access)", out);
   std::printf("  planner picked: %s\n", engine::PlanKindName(plan.kind));
 
-  // ----- Top-k with early termination --------------------------------------
-  out.clear();
-  (void)table->TopK("Brown", 1, &out);
-  PrintMatches("\nTop-1 for Institution=Brown", out);
+  // ----- Prepared execution: plan once, bind per value ---------------------
+  engine::PreparedQuery by_institution =
+      table->Prepare(engine::Query::Ptq("", 0.10)).ValueOrDie();
+  for (const char* inst : {"MIT", "Brown"}) {
+    out.clear();
+    (void)by_institution.Bind(inst).Execute(&out);
+    PrintMatches(inst, out);
+  }
+  std::printf("  prepared: %llu planning(s) served %llu executions\n",
+              static_cast<unsigned long long>(by_institution.plans()),
+              static_cast<unsigned long long>(by_institution.plans() +
+                                              by_institution.hits()));
+
+  // ----- Top-1 through a streaming cursor ----------------------------------
+  // The cursor pulls exactly one row off the probability-ordered heap and
+  // stops — no materialized match set, no cutoff-index visit.
+  auto cursor =
+      table->OpenCursor(engine::Query::TopK("Brown", 1)).ValueOrDie();
+  engine::RowView row;
+  std::printf("\nTop-1 for Institution=Brown (streamed):\n");
+  while (cursor->Next(&row)) {
+    std::printf("  %-6s confidence=%.0f%%\n", row.tuple->Get(0).str().c_str(),
+                row.confidence * 100.0);
+  }
+  if (!cursor->status().ok()) {
+    std::fprintf(stderr, "cursor failed: %s\n",
+                 cursor->status().ToString().c_str());
+    return 1;
+  }
 
   std::printf("\nSimulated I/O so far: %s\n",
               db.env()->disk()->stats().ToString(db.params()).c_str());

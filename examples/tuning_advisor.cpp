@@ -94,13 +94,20 @@ int main(int argc, char** argv) {
           .ValueOrDie();
   std::printf("\nBuilt UPI at C=%.2f: heap %.1f MB (estimate was %.1f MB)\n",
               best.cutoff,
-              static_cast<double>(table->upi()->heap_tree()->size_bytes()) /
-                  (1 << 20),
+              static_cast<double>(table->stats().table.table_bytes) / (1 << 20),
               best.expected_heap_bytes / (1 << 20));
-  std::printf("\n%s",
-              table->planner()
-                  .PlanPtq(gen.PopularInstitution(), workload[0].qt)
-                  .Explain()
-                  .c_str());
+
+  // The workload's own dashboard query, prepared the way a serving tier
+  // would run it: its plan (EXPLAIN below) is cached until writes move the
+  // table's statistics.
+  engine::PreparedQuery dashboard =
+      table->Prepare(engine::Query::Ptq("", workload[0].qt)).ValueOrDie();
+  std::vector<core::PtqMatch> rows;
+  engine::Plan plan = std::move(dashboard.Bind(gen.PopularInstitution())
+                                    .Execute(&rows))
+                          .ValueOrDie();
+  std::printf("\n%s", plan.Explain().c_str());
+  std::printf("dashboard query returns %zu authors at qt=%.2f\n", rows.size(),
+              workload[0].qt);
   return 0;
 }

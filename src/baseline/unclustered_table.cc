@@ -60,6 +60,7 @@ Status UnclusteredTable::Insert(const Tuple& tuple) {
           p->Put(alt.value, tuple.existence() * alt.prob, tuple.id(), rid));
     }
   }
+  stats_epoch_.fetch_add(1, std::memory_order_relaxed);
   return Status::OK();
 }
 
@@ -78,6 +79,7 @@ Status UnclusteredTable::Delete(TupleId id) {
   }
   UPI_RETURN_NOT_OK(heap_->Delete(rid));
   id_to_rid_.erase(id);
+  stats_epoch_.fetch_add(1, std::memory_order_relaxed);
   return Status::OK();
 }
 
@@ -134,26 +136,39 @@ Result<std::unique_ptr<UnclusteredTable>> UnclusteredTable::Build(
   return table;
 }
 
-Status UnclusteredTable::QueryPii(int column, std::string_view value, double qt,
-                                  std::vector<core::PtqMatch>* out) const {
+Status UnclusteredTable::CollectPiiMatches(
+    int column, std::string_view value, double qt,
+    std::vector<PiiIndex::Entry>* out) const {
   PiiIndex* p = pii(column);
   if (p == nullptr) return Status::InvalidArgument("no PII index on column");
   if (charge_open_per_query) p->ChargeOpen();
-  std::vector<PiiIndex::Entry> entries;
-  UPI_RETURN_NOT_OK(p->Collect(value, qt, &entries));
+  UPI_RETURN_NOT_OK(p->Collect(value, qt, out));
   // Bitmap-scan protocol: sort pointers in heap order before fetching.
-  std::sort(entries.begin(), entries.end(),
+  std::sort(out->begin(), out->end(),
             [](const PiiIndex::Entry& a, const PiiIndex::Entry& b) {
               return a.rid < b.rid;
             });
   if (charge_open_per_query) heap_pagefile_->ChargeOpen();
+  return Status::OK();
+}
+
+Status UnclusteredTable::FetchMatch(const PiiIndex::Entry& entry,
+                                    core::PtqMatch* out) const {
   std::string bytes;
+  UPI_RETURN_NOT_OK(heap_->Read(entry.rid, &bytes));
+  out->id = entry.key.id;
+  out->confidence = entry.key.prob;
+  UPI_ASSIGN_OR_RETURN(out->tuple, Tuple::Deserialize(bytes));
+  return Status::OK();
+}
+
+Status UnclusteredTable::QueryPii(int column, std::string_view value, double qt,
+                                  std::vector<core::PtqMatch>* out) const {
+  std::vector<PiiIndex::Entry> entries;
+  UPI_RETURN_NOT_OK(CollectPiiMatches(column, value, qt, &entries));
   for (const auto& e : entries) {
-    UPI_RETURN_NOT_OK(heap_->Read(e.rid, &bytes));
     core::PtqMatch m;
-    m.id = e.key.id;
-    m.confidence = e.key.prob;
-    UPI_ASSIGN_OR_RETURN(m.tuple, Tuple::Deserialize(bytes));
+    UPI_RETURN_NOT_OK(FetchMatch(e, &m));
     out->push_back(std::move(m));
   }
   return Status::OK();

@@ -5,6 +5,7 @@
 // avoid.
 #pragma once
 
+#include <atomic>
 #include <map>
 #include <memory>
 #include <string>
@@ -47,6 +48,16 @@ class UnclusteredTable {
   Status QueryPii(int column, std::string_view value, double qt,
                   std::vector<core::PtqMatch>* out) const;
 
+  /// The collection half of QueryPii: the matching PII entries in RID order,
+  /// with the same open charges. Streaming cursors fetch each tuple lazily
+  /// via FetchMatch, so an early-exiting consumer skips the per-tuple random
+  /// heap seeks — the dominant cost of this baseline.
+  Status CollectPiiMatches(int column, std::string_view value, double qt,
+                           std::vector<PiiIndex::Entry>* out) const;
+
+  /// Fetches one collected entry's tuple from the heap.
+  Status FetchMatch(const PiiIndex::Entry& entry, core::PtqMatch* out) const;
+
   /// Top-k through the PII index: the inverted list is probability-ordered,
   /// so only k entries are read.
   Status QueryTopK(int column, std::string_view value, size_t k,
@@ -56,6 +67,10 @@ class UnclusteredTable {
   PiiIndex* pii(int column) const;
   uint64_t num_tuples() const { return id_to_rid_.size(); }
   uint64_t size_bytes() const;
+  /// Monotonic counter bumped by every Insert/Delete (see Upi::stats_epoch).
+  uint64_t stats_epoch() const {
+    return stats_epoch_.load(std::memory_order_relaxed);
+  }
   const catalog::Schema& schema() const { return schema_; }
   Result<storage::Rid> RidOf(catalog::TupleId id) const;
 
@@ -75,6 +90,7 @@ class UnclusteredTable {
   // its primary-key index; charging it no I/O matches the paper's setup where
   // the auto-increment primary index is small and hot.
   std::unordered_map<catalog::TupleId, storage::Rid> id_to_rid_;
+  std::atomic<uint64_t> stats_epoch_{0};
 };
 
 }  // namespace upi::baseline

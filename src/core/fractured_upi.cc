@@ -56,6 +56,7 @@ Status FracturedUpi::BuildMain(const std::vector<Tuple>& tuples) {
   UPI_ASSIGN_OR_RETURN(main_, Upi::Build(env_, name_ + ".main", schema_,
                                          options_, secondary_columns_, tuples));
   main_and_fracture_tuples_ = tuples.size();
+  stats_epoch_.fetch_add(1, std::memory_order_relaxed);
   return Status::OK();
 }
 
@@ -70,12 +71,14 @@ Status FracturedUpi::Insert(const Tuple& tuple) {
       buffer_.emplace(tuple.id(), BufferedTuple{tuple, buf.size()});
   if (!inserted) return Status::AlreadyExists("TupleId already buffered");
   buffer_bytes_ += it->second.bytes;
+  stats_epoch_.fetch_add(1, std::memory_order_relaxed);
   return Status::OK();
 }
 
 Status FracturedUpi::Delete(TupleId id) {
   std::unique_lock lock(mu_);
   auto it = buffer_.find(id);
+  stats_epoch_.fetch_add(1, std::memory_order_relaxed);
   if (it != buffer_.end()) {
     buffer_bytes_ -= it->second.bytes;
     buffer_.erase(it);  // never reached disk; no delete-set entry needed
@@ -163,6 +166,7 @@ Status FracturedUpi::FlushBufferLocked() {
   buffer_bytes_ = 0;
   buffer_deletes_.clear();
   env_->pool()->FlushAll();
+  stats_epoch_.fetch_add(1, std::memory_order_relaxed);
   return Status::OK();
 }
 
@@ -286,6 +290,47 @@ Status FracturedUpi::QueryBySecondary(int column, std::string_view value,
   out->insert(out->end(), std::make_move_iterator(all.begin()),
               std::make_move_iterator(all.end()));
   return Status::OK();
+}
+
+Status FracturedUpi::ScanTuples(
+    const std::function<void(const catalog::Tuple&)>& fn) const {
+  std::shared_lock lock(mu_);
+  std::set<catalog::TupleId> seen;
+  // The RAM buffer first: its tuples shadow nothing (TupleIds are unique),
+  // and emitting them costs no I/O.
+  for (const auto& [id, bt] : buffer_) {
+    seen.insert(id);
+    fn(bt.tuple);
+  }
+  Status st = Status::OK();
+  auto scan_one = [&](const Upi& upi) {
+    upi.heap_file_->ChargeOpen();  // per-fracture Costinit, as in QueryPtq
+    upi.ScanHeap([&](std::string_view key, std::string_view tuple_bytes) {
+      if (!st.ok()) return;
+      UpiKey k;
+      Status dst = DecodeUpiKey(key, &k);
+      if (!dst.ok()) {
+        st = dst;
+        return;
+      }
+      // The heap duplicates a tuple per qualifying alternative; report once,
+      // and apply both the flushed and the still-buffered delete sets.
+      if (IsDeleted(k.id) || buffer_deletes_.contains(k.id)) return;
+      if (!seen.insert(k.id).second) return;
+      auto tuple = catalog::Tuple::Deserialize(tuple_bytes);
+      if (!tuple.ok()) {
+        st = tuple.status();
+        return;
+      }
+      fn(std::move(tuple).value());
+    });
+  };
+  if (main_ != nullptr) scan_one(*main_);
+  for (const auto& f : fractures_) {
+    if (!st.ok()) break;
+    scan_one(*f);
+  }
+  return st;
 }
 
 // ---------------------------------------------------------------------------
@@ -531,6 +576,7 @@ Status FracturedUpi::MergeAll() {
     }
   }
   env_->pool()->FlushAll();
+  stats_epoch_.fetch_add(1, std::memory_order_relaxed);
   return Status::OK();
 }
 
@@ -571,6 +617,7 @@ Status FracturedUpi::MergeOldestFractures(size_t count) {
     fractures_.insert(fractures_.begin(), std::move(merged));
   }
   env_->pool()->FlushAll();
+  stats_epoch_.fetch_add(1, std::memory_order_relaxed);
   return Status::OK();
 }
 

@@ -30,6 +30,7 @@
 // keeps the buffered tuples visible to every query.
 #pragma once
 
+#include <atomic>
 #include <functional>
 #include <memory>
 #include <set>
@@ -93,6 +94,12 @@ class FracturedUpi {
                           SecondaryAccessMode mode,
                           std::vector<PtqMatch>* out) const;
 
+  /// Full sequential sweep: RAM-buffered tuples first (no I/O), then main +
+  /// every delta fracture in order, deduplicated by TupleId with delete sets
+  /// applied — `fn` runs exactly once per live tuple. Charges each fracture's
+  /// per-file Costinit like every other fractured read.
+  Status ScanTuples(const std::function<void(const catalog::Tuple&)>& fn) const;
+
   // --- Tuning / introspection ---------------------------------------------
 
   UpiOptions* mutable_options() { return &options_; }
@@ -131,6 +138,12 @@ class FracturedUpi {
   }
   uint64_t num_live_tuples() const;
   uint64_t size_bytes() const;
+  /// Monotonic counter bumped whenever the cost-model inputs move: every
+  /// Insert/Delete, flush, and merge install. Prepared-plan caches compare
+  /// it to decide when to re-plan.
+  uint64_t stats_epoch() const {
+    return stats_epoch_.load(std::memory_order_relaxed);
+  }
   /// Aggregated histogram estimate across main + fractures: the fraction of
   /// all heap entries a PTQ(value, qt) scans — the Section 6.2 Selectivity.
   double EstimateSelectivity(std::string_view value, double qt) const;
@@ -203,6 +216,7 @@ class FracturedUpi {
   std::set<catalog::TupleId> deleted_;
   uint64_t deleted_count_applied_ = 0;
   uint64_t main_and_fracture_tuples_ = 0;
+  std::atomic<uint64_t> stats_epoch_{0};
 };
 
 }  // namespace upi::core

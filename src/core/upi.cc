@@ -115,6 +115,7 @@ Status Upi::Insert(const Tuple& tuple) {
   }
   UPI_RETURN_NOT_OK(InsertSecondaryEntries(tuple, part));
   ++num_tuples_;
+  stats_epoch_.fetch_add(1, std::memory_order_relaxed);
   return Status::OK();
 }
 
@@ -131,6 +132,7 @@ Status Upi::Delete(const Tuple& tuple) {
   }
   UPI_RETURN_NOT_OK(RemoveSecondaryEntries(tuple));
   --num_tuples_;
+  stats_epoch_.fetch_add(1, std::memory_order_relaxed);
   return Status::OK();
 }
 
@@ -290,73 +292,22 @@ Status Upi::FetchHeapTuple(const std::string& heap_key, Tuple* out) const {
 
 Status Upi::QueryPtq(std::string_view value, double qt,
                      std::vector<PtqMatch>* out) const {
-  if (options_.charge_open_per_query) heap_file_->ChargeOpen();
-  std::string prefix = UpiKeyPrefix(value);
-  // One index seek followed by a sequential scan of qualifying entries.
-  for (btree::Cursor c = heap_->Seek(prefix); c.Valid(); c.Next()) {
-    if (c.key().substr(0, prefix.size()) != prefix) break;
-    UpiKey key;
-    UPI_RETURN_NOT_OK(DecodeUpiKey(c.key(), &key));
-    if (key.prob < qt) break;  // probability-descending order allows early stop
-    PtqMatch m;
-    m.id = key.id;
-    m.confidence = key.prob;
-    UPI_ASSIGN_OR_RETURN(m.tuple, Tuple::Deserialize(c.value()));
-    out->push_back(std::move(m));
-  }
-
-  if (qt < options_.cutoff) {
-    // Algorithm 2, second phase: follow cutoff pointers.
-    if (options_.charge_open_per_query) cutoff_->ChargeOpen();
-    std::vector<CutoffIndex::PointerEntry> pointers;
-    UPI_RETURN_NOT_OK(cutoff_->CollectPointers(value, qt, &pointers));
-    // Bitmap-scan style: sort pointers in heap order before fetching.
-    std::sort(pointers.begin(), pointers.end(),
-              [](const CutoffIndex::PointerEntry& a,
-                 const CutoffIndex::PointerEntry& b) {
-                return a.heap_key < b.heap_key;
-              });
-    for (const auto& p : pointers) {
-      PtqMatch m;
-      m.id = p.entry.id;
-      m.confidence = p.entry.prob;
-      UPI_RETURN_NOT_OK(FetchHeapTuple(p.heap_key, &m.tuple));
-      out->push_back(std::move(m));
-    }
-  }
-  return Status::OK();
+  // Algorithm 2 lives in UpiPtqCursor; the materialized query is its fully
+  // drained stream (same access sequence, one implementation).
+  UpiPtqCursor c = OpenPtqCursor(value, qt);
+  PtqMatch m;
+  while (c.Next(&m)) out->push_back(std::move(m));
+  return c.status();
 }
 
 Status Upi::QueryTopK(std::string_view value, size_t k,
                       std::vector<PtqMatch>* out) const {
-  if (options_.charge_open_per_query) heap_file_->ChargeOpen();
-  std::string prefix = UpiKeyPrefix(value);
-  for (btree::Cursor c = heap_->Seek(prefix); c.Valid() && out->size() < k;
-       c.Next()) {
-    if (c.key().substr(0, prefix.size()) != prefix) break;
-    UpiKey key;
-    UPI_RETURN_NOT_OK(DecodeUpiKey(c.key(), &key));
-    PtqMatch m;
-    m.id = key.id;
-    m.confidence = key.prob;
-    UPI_ASSIGN_OR_RETURN(m.tuple, Tuple::Deserialize(c.value()));
-    out->push_back(std::move(m));
-  }
-  if (out->size() < k && cutoff_->num_entries() > 0) {
-    // Not enough heap entries: consult the cutoff index for the tail.
-    if (options_.charge_open_per_query) cutoff_->ChargeOpen();
-    std::vector<CutoffIndex::PointerEntry> pointers;
-    UPI_RETURN_NOT_OK(cutoff_->CollectPointers(value, 0.0, &pointers));
-    for (const auto& p : pointers) {
-      if (out->size() >= k) break;
-      PtqMatch m;
-      m.id = p.entry.id;
-      m.confidence = p.entry.prob;
-      UPI_RETURN_NOT_OK(FetchHeapTuple(p.heap_key, &m.tuple));
-      out->push_back(std::move(m));
-    }
-  }
-  return Status::OK();
+  // The k bound is the consumer stopping: the cursor's cutoff phase runs
+  // only when the heap ran short of k.
+  UpiPtqCursor c = OpenTopKCursor(value);
+  PtqMatch m;
+  while (out->size() < k && c.Next(&m)) out->push_back(std::move(m));
+  return c.status();
 }
 
 Status Upi::QueryBySecondary(int column, std::string_view value, double qt,
@@ -428,6 +379,124 @@ void Upi::ScanHeap(
   for (btree::Cursor c = heap_->SeekToFirst(); c.Valid(); c.Next()) {
     fn(c.key(), c.value());
   }
+}
+
+// ---------------------------------------------------------------------------
+// Streaming cursor (pull-based Algorithm 2)
+// ---------------------------------------------------------------------------
+
+UpiPtqCursor Upi::OpenPtqCursor(std::string_view value, double qt) const {
+  return UpiPtqCursor(this, value, qt, /*topk_mode=*/false);
+}
+
+UpiPtqCursor Upi::OpenTopKCursor(std::string_view value) const {
+  return UpiPtqCursor(this, value, /*qt=*/0.0, /*topk_mode=*/true);
+}
+
+UpiPtqCursor::UpiPtqCursor(const Upi* upi, std::string_view value, double qt,
+                           bool topk_mode)
+    : upi_(upi),
+      value_(value),
+      prefix_(UpiKeyPrefix(value)),
+      qt_(qt),
+      topk_mode_(topk_mode) {
+  // Same opening sequence as QueryPtq/QueryTopK: the optional Costinit, then
+  // one index descent to the start of the value's clustered region.
+  if (upi_->options_.charge_open_per_query) upi_->heap_file_->ChargeOpen();
+  heap_ = upi_->heap_->Seek(prefix_);
+}
+
+bool UpiPtqCursor::Next(PtqMatch* out) {
+  for (;;) {
+    switch (phase_) {
+      case Phase::kHeap:
+        if (NextHeap(out)) return true;
+        if (phase_ == Phase::kDone) return false;
+        break;  // moved to the cutoff phase; retry there
+      case Phase::kCutoff:
+        return NextCutoff(out);
+      case Phase::kDone:
+        return false;
+    }
+  }
+}
+
+bool UpiPtqCursor::NextHeap(PtqMatch* out) {
+  if (!heap_.Valid() ||
+      heap_.key().substr(0, prefix_.size()) != prefix_) {
+    EnterCutoffPhase();
+    return false;
+  }
+  UpiKey key;
+  Status st = DecodeUpiKey(heap_.key(), &key);
+  if (!st.ok()) {
+    status_ = st;
+    phase_ = Phase::kDone;
+    return false;
+  }
+  if (!topk_mode_ && key.prob < qt_) {
+    // Probability-descending order: nothing further in the heap qualifies.
+    EnterCutoffPhase();
+    return false;
+  }
+  auto tuple = catalog::Tuple::Deserialize(heap_.value());
+  if (!tuple.ok()) {
+    status_ = tuple.status();
+    phase_ = Phase::kDone;
+    return false;
+  }
+  out->id = key.id;
+  out->confidence = key.prob;
+  out->tuple = std::move(tuple).value();
+  heap_.Next();  // eager advance, like the QueryPtq for-loop
+  return true;
+}
+
+void UpiPtqCursor::EnterCutoffPhase() {
+  // PTQ consults the cutoff index only when QT < C (Algorithm 2); top-k
+  // consults it whenever the heap ran short of k and it has entries —
+  // both conditions arise here only because the consumer kept pulling.
+  bool consult = topk_mode_ ? upi_->cutoff_->num_entries() > 0
+                            : qt_ < upi_->options_.cutoff;
+  if (!consult) {
+    phase_ = Phase::kDone;
+    return;
+  }
+  if (upi_->options_.charge_open_per_query) upi_->cutoff_->ChargeOpen();
+  Status st = upi_->cutoff_->CollectPointers(value_, topk_mode_ ? 0.0 : qt_,
+                                             &pointers_);
+  if (!st.ok()) {
+    status_ = st;
+    phase_ = Phase::kDone;
+    return;
+  }
+  if (!topk_mode_) {
+    // Bitmap-scan style: fetch in heap order (QueryTopK fetches in collected
+    // order, matching the materialized path).
+    std::sort(pointers_.begin(), pointers_.end(),
+              [](const CutoffIndex::PointerEntry& a,
+                 const CutoffIndex::PointerEntry& b) {
+                return a.heap_key < b.heap_key;
+              });
+  }
+  phase_ = Phase::kCutoff;
+}
+
+bool UpiPtqCursor::NextCutoff(PtqMatch* out) {
+  if (ptr_idx_ >= pointers_.size()) {
+    phase_ = Phase::kDone;
+    return false;
+  }
+  const CutoffIndex::PointerEntry& p = pointers_[ptr_idx_++];
+  out->id = p.entry.id;
+  out->confidence = p.entry.prob;
+  Status st = upi_->FetchHeapTuple(p.heap_key, &out->tuple);
+  if (!st.ok()) {
+    status_ = st;
+    phase_ = Phase::kDone;
+    return false;
+  }
+  return true;
 }
 
 }  // namespace upi::core

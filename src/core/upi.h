@@ -10,6 +10,7 @@
 // (Section 3.2, Algorithm 3).
 #pragma once
 
+#include <atomic>
 #include <functional>
 #include <map>
 #include <memory>
@@ -63,6 +64,47 @@ enum class SecondaryAccessMode {
   kTailored,      // Algorithm 3: prefer heap regions already being read
 };
 
+class Upi;
+
+/// Pull-based streaming cursor over one UPI's read path (Algorithm 2,
+/// incremental). The heap phase streams the value's clustered region in
+/// descending-probability order; the cutoff phase — pointer collection and
+/// its heap fetches — is entered only when the consumer pulls past the heap
+/// phase, so a consumer that stops early (top-k, LIMIT) never pays for it.
+/// Fully drained, the access sequence is identical to QueryPtq/QueryTopK.
+/// Must not outlive the Upi or be used across tree modifications (it wraps a
+/// btree::Cursor).
+class UpiPtqCursor {
+ public:
+  /// Produces the next match; false at end of stream or on error (check
+  /// status() after a false return).
+  bool Next(PtqMatch* out);
+  const Status& status() const { return status_; }
+
+ private:
+  friend class Upi;
+  UpiPtqCursor(const Upi* upi, std::string_view value, double qt,
+               bool topk_mode);
+
+  enum class Phase { kHeap, kCutoff, kDone };
+  bool NextHeap(PtqMatch* out);
+  bool NextCutoff(PtqMatch* out);
+  /// Heap phase exhausted: collect cutoff pointers if this query consults
+  /// them (QT < C, or top-k mode with a non-empty cutoff index).
+  void EnterCutoffPhase();
+
+  const Upi* upi_ = nullptr;
+  std::string value_;
+  std::string prefix_;
+  double qt_ = 0.0;
+  bool topk_mode_ = false;
+  Phase phase_ = Phase::kHeap;
+  btree::Cursor heap_;
+  std::vector<CutoffIndex::PointerEntry> pointers_;
+  size_t ptr_idx_ = 0;
+  Status status_;
+};
+
 class Upi {
  public:
   /// Creates an empty UPI.
@@ -107,6 +149,14 @@ class Upi {
                           SecondaryAccessMode mode,
                           std::vector<PtqMatch>* out) const;
 
+  /// Streaming Algorithm 2: QueryPtq's rows, pulled one at a time (the
+  /// cutoff phase runs only if the consumer drains past the heap phase).
+  UpiPtqCursor OpenPtqCursor(std::string_view value, double qt) const;
+
+  /// Streaming top-k: QueryTopK's row stream without the k bound — the
+  /// caller stops pulling after k rows, which is what makes it early-exit.
+  UpiPtqCursor OpenTopKCursor(std::string_view value) const;
+
   // --- Introspection -------------------------------------------------------
 
   const catalog::Schema& schema() const { return schema_; }
@@ -129,6 +179,11 @@ class Upi {
   uint64_t num_tuples() const { return num_tuples_; }
   uint64_t heap_entries() const { return heap_->num_entries(); }
   uint64_t size_bytes() const;
+  /// Monotonic counter bumped by every Insert/Delete — the cost-model inputs
+  /// moved. Prepared-plan caches compare it to decide when to re-plan.
+  uint64_t stats_epoch() const {
+    return stats_epoch_.load(std::memory_order_relaxed);
+  }
 
   /// Enumerates all heap entries in key order (used by merge and by tests):
   /// fn(encoded_key, serialized_tuple).
@@ -143,6 +198,7 @@ class Upi {
 
  private:
   friend class FracturedUpi;
+  friend class UpiPtqCursor;
 
   Status InsertSecondaryEntries(const catalog::Tuple& tuple,
                                 const AltPartition& part);
@@ -163,6 +219,7 @@ class Upi {
   /// clustered histogram; all alternatives recorded as non-first).
   std::map<int, histogram::ProbHistogram> sec_histograms_;
   uint64_t num_tuples_ = 0;
+  std::atomic<uint64_t> stats_epoch_{0};
 };
 
 }  // namespace upi::core

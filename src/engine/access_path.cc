@@ -13,6 +13,53 @@ double AvgEntryBytes(uint64_t table_bytes, uint64_t entries) {
                             static_cast<double>(entries);
 }
 
+/// ResultCursor over a core::UpiPtqCursor (streaming Algorithm 2).
+class UpiStreamCursor : public ResultCursor {
+ public:
+  explicit UpiStreamCursor(core::UpiPtqCursor cursor)
+      : cursor_(std::move(cursor)) {}
+
+ private:
+  bool Produce(core::PtqMatch* out) override {
+    if (cursor_.Next(out)) return true;
+    status_ = cursor_.status();
+    return false;
+  }
+
+  core::UpiPtqCursor cursor_;
+};
+
+/// ResultCursor over the PII baseline's probe: the inverted-list entries are
+/// collected up front (one index scan, as QueryPii does), but each tuple's
+/// random heap seek happens only when the consumer pulls its row. A failed
+/// collection is carried as the cursor's status (the open already charged
+/// simulated I/O — falling back to a second materialized scan would double
+/// the query's cost).
+class PiiStreamCursor : public ResultCursor {
+ public:
+  PiiStreamCursor(const baseline::UnclusteredTable* table,
+                  std::vector<baseline::PiiIndex::Entry> entries,
+                  Status collect_status)
+      : table_(table), entries_(std::move(entries)) {
+    status_ = std::move(collect_status);
+  }
+
+ private:
+  bool Produce(core::PtqMatch* out) override {
+    if (!status_.ok() || idx_ >= entries_.size()) return false;
+    Status st = table_->FetchMatch(entries_[idx_++], out);
+    if (!st.ok()) {
+      status_ = st;
+      return false;
+    }
+    return true;
+  }
+
+  const baseline::UnclusteredTable* table_;
+  std::vector<baseline::PiiIndex::Entry> entries_;
+  size_t idx_ = 0;
+};
+
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -80,6 +127,10 @@ Status UpiAccessPath::QuerySecondary(int column, std::string_view value,
 
 Status UpiAccessPath::ScanTuples(
     const std::function<void(const catalog::Tuple&)>& fn) const {
+  // Same open protocol as QueryPtq (and as ScanMs prices it).
+  if (upi_->options().charge_open_per_query) {
+    upi_->heap_tree()->pager()->file()->ChargeOpen();
+  }
   // The heap duplicates a tuple once per (non-cutoff) alternative; report
   // each tuple once.
   std::unordered_set<catalog::TupleId> seen;
@@ -101,6 +152,16 @@ Status UpiAccessPath::ScanTuples(
     fn(std::move(tuple).value());
   });
   return st;
+}
+
+std::unique_ptr<ResultCursor> UpiAccessPath::OpenPtqStream(
+    std::string_view value, double qt) const {
+  return std::make_unique<UpiStreamCursor>(upi_->OpenPtqCursor(value, qt));
+}
+
+std::unique_ptr<ResultCursor> UpiAccessPath::OpenTopKStream(
+    std::string_view value) const {
+  return std::make_unique<UpiStreamCursor>(upi_->OpenTopKCursor(value));
 }
 
 bool UpiAccessPath::HasSecondary(int column) const {
@@ -169,7 +230,7 @@ PathStats FracturedAccessPath::Stats() const {
   // Every fractured query pays Costinit per fracture (Section 6.2's
   // Nfrac * Costinit term; FracturedUpi charges it itself).
   s.charges_open_per_query = true;
-  s.supports_scan = false;       // buffered tuples are not visible to a sweep
+  s.supports_scan = true;          // fan-out sweep incl. the RAM buffer
   s.supports_direct_topk = false;  // the Section 9 TAL scenario
   s.clustered = true;
   return s;
@@ -184,6 +245,11 @@ Status FracturedAccessPath::QuerySecondary(
     int column, std::string_view value, double qt,
     core::SecondaryAccessMode mode, std::vector<core::PtqMatch>* out) const {
   return table_->QueryBySecondary(column, value, qt, mode, out);
+}
+
+Status FracturedAccessPath::ScanTuples(
+    const std::function<void(const catalog::Tuple&)>& fn) const {
+  return table_->ScanTuples(fn);
 }
 
 bool FracturedAccessPath::HasSecondary(int column) const {
@@ -319,6 +385,10 @@ Status UnclusteredAccessPath::QuerySecondary(
 
 Status UnclusteredAccessPath::ScanTuples(
     const std::function<void(const catalog::Tuple&)>& fn) const {
+  // Same open protocol as QueryPii (and as ScanMs prices it).
+  if (table_->charge_open_per_query) {
+    table_->heap()->pager()->file()->ChargeOpen();
+  }
   Status st = Status::OK();
   table_->heap()->Scan([&](storage::Rid, std::string_view record) {
     if (!st.ok()) return false;
@@ -331,6 +401,17 @@ Status UnclusteredAccessPath::ScanTuples(
     return true;
   });
   return st;
+}
+
+std::unique_ptr<ResultCursor> UnclusteredAccessPath::OpenPtqStream(
+    std::string_view value, double qt) const {
+  if (table_->pii(primary_column_) == nullptr) {
+    return nullptr;  // no PII index: cannot stream, let callers materialize
+  }
+  std::vector<baseline::PiiIndex::Entry> entries;
+  Status st = table_->CollectPiiMatches(primary_column_, value, qt, &entries);
+  return std::make_unique<PiiStreamCursor>(table_, std::move(entries),
+                                           std::move(st));
 }
 
 bool UnclusteredAccessPath::HasSecondary(int column) const {

@@ -23,6 +23,7 @@
 #include "core/cost_model.h"
 #include "core/fractured_upi.h"
 #include "core/upi.h"
+#include "engine/query.h"
 #include "histogram/selectivity.h"
 
 namespace upi::engine {
@@ -90,6 +91,29 @@ class AccessPath {
   /// Schema column the primary probe filters on (-1 when N/A).
   virtual int primary_column() const { return -1; }
 
+  // --- Streaming entry points (pull-based execution) -----------------------
+
+  /// Streaming primary-attribute PTQ: QueryPtq's rows pulled one at a time,
+  /// with deferred phases (e.g. cutoff-pointer fetches) run only if the
+  /// consumer drains that far. nullptr when the path cannot stream — callers
+  /// fall back to materialized execution.
+  virtual std::unique_ptr<ResultCursor> OpenPtqStream(std::string_view value,
+                                                      double qt) const {
+    return nullptr;
+  }
+
+  /// Streaming direct top-k: the probability-descending row stream without
+  /// the k bound (the consumer's limit provides it). nullptr when the path
+  /// has no direct cursor.
+  virtual std::unique_ptr<ResultCursor> OpenTopKStream(
+      std::string_view value) const {
+    return nullptr;
+  }
+
+  /// The underlying table's stats epoch (see core::Upi::stats_epoch);
+  /// prepared-plan caches re-plan when it moves. 0 = path never changes.
+  virtual uint64_t StatsEpoch() const { return 0; }
+
   // --- Estimation hooks (RAM only, no simulated I/O) -----------------------
 
   /// Section 6.1 estimate for a primary-attribute PTQ.
@@ -134,6 +158,12 @@ class UpiAccessPath : public AccessPath {
   Status ScanTuples(
       const std::function<void(const catalog::Tuple&)>& fn) const override;
 
+  std::unique_ptr<ResultCursor> OpenPtqStream(std::string_view value,
+                                              double qt) const override;
+  std::unique_ptr<ResultCursor> OpenTopKStream(
+      std::string_view value) const override;
+  uint64_t StatsEpoch() const override { return upi_->stats_epoch(); }
+
   bool HasSecondary(int column) const override;
   int primary_column() const override { return upi_->options().cluster_column; }
   histogram::PtqEstimate EstimatePtq(std::string_view value,
@@ -167,6 +197,10 @@ class FracturedAccessPath : public AccessPath {
   Status QuerySecondary(int column, std::string_view value, double qt,
                         core::SecondaryAccessMode mode,
                         std::vector<core::PtqMatch>* out) const override;
+  Status ScanTuples(
+      const std::function<void(const catalog::Tuple&)>& fn) const override;
+
+  uint64_t StatsEpoch() const override { return table_->stats_epoch(); }
 
   bool HasSecondary(int column) const override;
   int primary_column() const override {
@@ -215,6 +249,10 @@ class UnclusteredAccessPath : public AccessPath {
                         std::vector<core::PtqMatch>* out) const override;
   Status ScanTuples(
       const std::function<void(const catalog::Tuple&)>& fn) const override;
+
+  std::unique_ptr<ResultCursor> OpenPtqStream(std::string_view value,
+                                              double qt) const override;
+  uint64_t StatsEpoch() const override { return table_->stats_epoch(); }
 
   bool HasSecondary(int column) const override;
   int primary_column() const override { return primary_column_; }

@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "exec/cursor.h"
 #include "exec/operators.h"
 
 namespace upi::engine {
@@ -10,26 +11,40 @@ namespace upi::engine {
 // Table
 // ---------------------------------------------------------------------------
 
+Result<Plan> Table::Run(const Query& q, std::vector<core::PtqMatch>* out) const {
+  UPI_RETURN_NOT_OK(q.Validate(*path_));
+  Plan plan = planner_->PlanQuery(q);
+  UPI_RETURN_NOT_OK(exec::Execute(*path_, plan, out, q.predicate));
+  return plan;
+}
+
+Result<std::unique_ptr<ResultCursor>> Table::OpenCursor(const Query& q) const {
+  UPI_RETURN_NOT_OK(q.Validate(*path_));
+  Plan plan = planner_->PlanQuery(q);
+  return exec::OpenCursor(*path_, plan, q.predicate);
+}
+
+Result<PreparedQuery> Table::Prepare(Query q) const {
+  UPI_RETURN_NOT_OK(q.Validate(*path_));
+  return PreparedQuery(path_.get(), planner_.get(), std::move(q));
+}
+
+#ifndef UPI_NO_LEGACY_QUERY_API
 Result<Plan> Table::Ptq(std::string_view value, double qt,
                         std::vector<core::PtqMatch>* out) const {
-  Plan plan = planner_->PlanPtq(value, qt);
-  UPI_RETURN_NOT_OK(exec::Execute(*path_, plan, out));
-  return plan;
+  return Run(Query::Ptq(value, qt), out);
 }
 
 Result<Plan> Table::Secondary(int column, std::string_view value, double qt,
                               std::vector<core::PtqMatch>* out) const {
-  Plan plan = planner_->PlanSecondary(column, value, qt);
-  UPI_RETURN_NOT_OK(exec::Execute(*path_, plan, out));
-  return plan;
+  return Run(Query::Secondary(column, value, qt), out);
 }
 
 Result<Plan> Table::TopK(std::string_view value, size_t k,
                          std::vector<core::PtqMatch>* out) const {
-  Plan plan = planner_->PlanTopK(value, k);
-  UPI_RETURN_NOT_OK(exec::Execute(*path_, plan, out));
-  return plan;
+  return Run(Query::TopK(value, k), out);
 }
+#endif  // UPI_NO_LEGACY_QUERY_API
 
 Status Table::Insert(const catalog::Tuple& tuple) {
   switch (kind_) {

@@ -1,13 +1,18 @@
-// The Database facade: named tables over one shared DbEnv, with planner-backed
-// query execution and automatic background maintenance.
+// The Database facade: named tables over one shared DbEnv, with declarative
+// planner-backed query execution and automatic background maintenance.
 //
 // This is the deployment shape the engine layer exists for: callers create
-// tables by name (clustered UPI, Fractured UPI, or the unclustered baseline),
-// query them through the cost-based planner (every query returns its
-// explainable Plan), and never schedule maintenance by hand — Fractured
-// tables are auto-registered with the environment's MaintenanceManager, and
-// every Insert/Delete notifies it so the Section 6.2 watermarks drive flushes
-// and merges.
+// tables by name (clustered UPI, Fractured UPI, or the unclustered baseline)
+// and describe reads as Query values (see engine/query.h) — run one-shot
+// with Run(), streamed through OpenCursor(), or planned-once via Prepare()
+// whose plan cache the table's stats epoch invalidates. Every execution
+// returns its explainable Plan. Maintenance is never scheduled by hand:
+// Fractured tables are auto-registered with the environment's
+// MaintenanceManager, and every Insert/Delete notifies it so the Section 6.2
+// watermarks drive flushes and merges.
+//
+// Building with -DUPI_NO_LEGACY_QUERY_API removes the deprecated
+// Ptq/Secondary/TopK shims, so new code cannot regress onto them.
 #pragma once
 
 #include <map>
@@ -18,6 +23,7 @@
 
 #include "engine/access_path.h"
 #include "engine/planner.h"
+#include "engine/query.h"
 #include "maintenance/manager.h"
 #include "storage/db_env.h"
 
@@ -36,14 +42,47 @@ class Table {
   AccessPath* path() const { return path_.get(); }
   const QueryPlanner& planner() const { return *planner_; }
 
-  // --- Planned execution. Each call plans, executes the chosen access path,
-  // and returns the Plan (feed it to Plan::Explain() for the EXPLAIN output).
+  // --- Declarative execution (see engine/query.h). ------------------------
+
+  /// Plans `q` and executes it materialized: rows sorted by descending
+  /// confidence, top-k / LIMIT / predicate applied. Returns the Plan (feed
+  /// it to Plan::Explain() for the EXPLAIN output).
+  Result<Plan> Run(const Query& q, std::vector<core::PtqMatch>* out) const;
+
+  /// Plans `q` and opens a pull-based cursor: LIMIT/top-k consumers stop the
+  /// underlying descent early instead of materializing the match set. Row
+  /// order is plan-dependent (see exec/cursor.h).
+  ///
+  /// Lifetime contract: a *streaming* cursor (clustered PTQ / direct top-k
+  /// on a plain UPI table) walks live index pages — drain it before any
+  /// Insert/Delete on this table, and do not hold it across another
+  /// session's writes. Fan-out and union plans (fractured tables, secondary
+  /// probes, scans) materialize at open and have no such hazard.
+  Result<std::unique_ptr<ResultCursor>> OpenCursor(const Query& q) const;
+
+  /// Validates and prepares `q` for repeated execution: the plan is cached
+  /// per parameter-histogram bucket and re-planned only when this table's
+  /// stats_epoch() moves. `q.value` is a placeholder — Bind() supplies it.
+  Result<PreparedQuery> Prepare(Query q) const;
+
+  /// Bumped by every Insert/Delete, maintenance flush, and merge install.
+  uint64_t stats_epoch() const { return path_->StatsEpoch(); }
+
+  /// The planner's snapshot of the table's physical shape (RAM-only).
+  PathStats stats() const { return path_->Stats(); }
+
+#ifndef UPI_NO_LEGACY_QUERY_API
+  // --- Deprecated pre-Query shims (one release; see Run/Prepare). ---------
+  [[deprecated("use Run(Query::Ptq(value, qt), out)")]]
   Result<Plan> Ptq(std::string_view value, double qt,
                    std::vector<core::PtqMatch>* out) const;
+  [[deprecated("use Run(Query::Secondary(column, value, qt), out)")]]
   Result<Plan> Secondary(int column, std::string_view value, double qt,
                          std::vector<core::PtqMatch>* out) const;
+  [[deprecated("use Run(Query::TopK(value, k), out)")]]
   Result<Plan> TopK(std::string_view value, size_t k,
                     std::vector<core::PtqMatch>* out) const;
+#endif  // UPI_NO_LEGACY_QUERY_API
 
   // --- Writes. Fractured tables notify the maintenance manager, which
   // flushes/merges per its cost-model policy.

@@ -37,7 +37,7 @@ std::string Plan::Explain() const {
   std::snprintf(buf, sizeof(buf), "  chosen: %s  predicted=%.1f sim-ms\n",
                 PlanKindName(kind), predicted_ms);
   out += buf;
-  for (const PlanCandidate& c : candidates) {
+  for (const PlanCandidate& c : candidates()) {
     std::snprintf(buf, sizeof(buf), "  %c %-26s %10.1f ms%s%s%s\n",
                   c.kind == kind ? '*' : ' ', PlanKindName(c.kind),
                   c.predicted_ms, c.feasible ? "" : "  (unsupported)",
@@ -66,7 +66,13 @@ double QueryPlanner::LookupMs(const PathStats& s) const {
 }
 
 double QueryPlanner::ScanMs(const PathStats& s) const {
-  return params_.seek_ms + params_.ScanMs(s.table.table_bytes);
+  // A fractured sweep opens and seeks into every fracture's heap file; a
+  // single-file path pays one seek (and its Costinit only when the path
+  // charges opens per query).
+  double n = s.table.num_fractures > 0 ? s.table.num_fractures : 1.0;
+  return n * ((s.charges_open_per_query ? params_.init_ms : 0.0) +
+              params_.seek_ms) +
+         params_.ScanMs(s.table.table_bytes);
 }
 
 double QueryPlanner::SortedSweepMs(const PathStats& s, double x,
@@ -128,7 +134,8 @@ Plan QueryPlanner::Choose(std::vector<PlanCandidate> candidates) const {
   plan.table = path_->name();
   plan.kind = candidates.front().kind;
   plan.predicted_ms = candidates.front().predicted_ms;
-  plan.candidates = std::move(candidates);
+  plan.shared_candidates =
+      std::make_shared<const std::vector<PlanCandidate>>(std::move(candidates));
   return plan;
 }
 
@@ -194,6 +201,35 @@ Plan QueryPlanner::PlanSecondary(int column, std::string_view value,
   plan.column = column;
   plan.value = std::string(value);
   plan.qt = qt;
+  return plan;
+}
+
+Plan QueryPlanner::PlanQuery(const Query& q) const {
+  Plan plan;
+  switch (q.kind) {
+    case Query::Kind::kPtq:
+      plan = PlanPtq(q.value, q.qt);
+      break;
+    case Query::Kind::kSecondary:
+      plan = PlanSecondary(q.column, q.value, q.qt);
+      break;
+    case Query::Kind::kTopK:
+      plan = PlanTopK(q.value, q.k);
+      break;
+    case Query::Kind::kScanFilter: {
+      // Declaratively forced sweep: a one-candidate plan (still explainable).
+      PathStats s = path_->Stats();
+      PlanCandidate scan{PlanKind::kHeapScan};
+      scan.predicted_ms = ScanMs(s);
+      scan.feasible = s.supports_scan;
+      plan = Choose({std::move(scan)});
+      plan.column = q.column;
+      plan.value = q.value;
+      plan.qt = q.qt;
+      break;
+    }
+  }
+  plan.limit = q.limit;
   return plan;
 }
 

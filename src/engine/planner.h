@@ -23,11 +23,13 @@
 // — planning never charges simulated I/O.
 #pragma once
 
+#include <memory>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "engine/access_path.h"
+#include "engine/query.h"
 #include "sim/cost_params.h"
 
 namespace upi::engine {
@@ -53,6 +55,11 @@ struct PlanCandidate {
 };
 
 /// An executable, explainable decision. exec::Execute() runs it.
+///
+/// Cheaply copyable: the candidate list — the only heavyweight member, and
+/// immutable once the planner chose — is shared between copies, so returning
+/// a Plan through Result<Plan> on the hot prepared-execution path costs a
+/// refcount bump plus two small strings, not a vector deep-copy.
 struct Plan {
   PlanKind kind = PlanKind::kPrimaryProbe;
   std::string table;        // access-path name (for Explain)
@@ -60,10 +67,19 @@ struct Plan {
   std::string value;
   double qt = 0.0;
   size_t k = 0;
+  /// Row cap carried from Query::limit (0 = all); cursors stop the
+  /// underlying descent once satisfied.
+  size_t limit = 0;
   /// Starting threshold for kTopKEstimatedThreshold / kTopKDecreasingThreshold.
   double initial_qt = 0.0;
   double predicted_ms = 0.0;
-  std::vector<PlanCandidate> candidates;  // chosen first
+  /// Every costed alternative, chosen first. Shared and immutable.
+  std::shared_ptr<const std::vector<PlanCandidate>> shared_candidates;
+
+  const std::vector<PlanCandidate>& candidates() const {
+    static const std::vector<PlanCandidate> kEmpty;
+    return shared_candidates == nullptr ? kEmpty : *shared_candidates;
+  }
 
   /// EXPLAIN-style report: the query, the chosen access path, its predicted
   /// simulated cost, and every rejected candidate with its cost.
@@ -87,6 +103,9 @@ class QueryPlanner {
 
   /// Top-k on the primary attribute.
   Plan PlanTopK(std::string_view value, size_t k) const;
+
+  /// Plans a declarative Query (dispatches on its kind; carries limit).
+  Plan PlanQuery(const Query& q) const;
 
   const AccessPath* path() const { return path_; }
 

@@ -1,0 +1,266 @@
+#include "engine/query.h"
+
+#include <cmath>
+#include <map>
+#include <mutex>
+#include <utility>
+
+#include "engine/access_path.h"
+#include "engine/planner.h"
+#include "exec/cursor.h"
+#include "exec/operators.h"
+
+namespace upi::engine {
+
+// ---------------------------------------------------------------------------
+// Query
+// ---------------------------------------------------------------------------
+
+Query Query::Ptq(std::string_view value, double qt) {
+  Query q;
+  q.kind = Kind::kPtq;
+  q.value = std::string(value);
+  q.qt = qt;
+  return q;
+}
+
+Query Query::Secondary(int column, std::string_view value, double qt) {
+  Query q;
+  q.kind = Kind::kSecondary;
+  q.column = column;
+  q.value = std::string(value);
+  q.qt = qt;
+  return q;
+}
+
+Query Query::TopK(std::string_view value, size_t k) {
+  Query q;
+  q.kind = Kind::kTopK;
+  q.value = std::string(value);
+  q.k = k;
+  return q;
+}
+
+Query Query::ScanFilter(int column, std::string_view value, double qt) {
+  Query q;
+  q.kind = Kind::kScanFilter;
+  q.column = column;
+  q.value = std::string(value);
+  q.qt = qt;
+  return q;
+}
+
+Query&& Query::WithLimit(size_t n) && {
+  limit = n;
+  return std::move(*this);
+}
+
+Query&& Query::Where(std::function<bool(const catalog::Tuple&)> pred) && {
+  predicate = std::move(pred);
+  return std::move(*this);
+}
+
+Status Query::Validate(const AccessPath& path) const {
+  if (qt < 0.0 || qt > 1.0) {
+    return Status::InvalidArgument("threshold must be in [0, 1]");
+  }
+  size_t columns = path.schema().num_columns();
+  switch (kind) {
+    case Kind::kPtq:
+      return Status::OK();
+    case Kind::kSecondary:
+    case Kind::kScanFilter:
+      if (column < 0 || static_cast<size_t>(column) >= columns) {
+        return Status::InvalidArgument("target column out of range");
+      }
+      return Status::OK();
+    case Kind::kTopK:
+      if (k == 0) return Status::InvalidArgument("top-k needs k > 0");
+      return Status::OK();
+  }
+  return Status::Internal("unknown query kind");
+}
+
+// ---------------------------------------------------------------------------
+// ResultCursor
+// ---------------------------------------------------------------------------
+
+bool ResultCursor::Advance() {
+  if (!status_.ok()) return false;
+  if (limit_ > 0 && rows_ >= limit_) return false;
+  for (;;) {
+    if (!Produce(&slot_)) return false;
+    if (predicate_ && !predicate_(slot_.tuple)) continue;
+    ++rows_;
+    return true;
+  }
+}
+
+bool ResultCursor::Next(RowView* row) {
+  if (!Advance()) return false;
+  row->id = slot_.id;
+  row->confidence = slot_.confidence;
+  row->tuple = &slot_.tuple;
+  return true;
+}
+
+bool ResultCursor::TakeNext(core::PtqMatch* match) {
+  if (!Advance()) return false;
+  *match = std::move(slot_);
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// PreparedQuery
+// ---------------------------------------------------------------------------
+
+namespace detail {
+struct PreparedState {
+  const AccessPath* path = nullptr;
+  const QueryPlanner* planner = nullptr;
+  Query query;
+
+  /// Cache key: (quantized threshold, parameter histogram bucket). Guarded
+  /// by mu; cleared wholesale when the table's stats epoch moves.
+  mutable std::mutex mu;
+  mutable std::map<std::pair<int, int>, std::shared_ptr<const Plan>> cache;
+  mutable uint64_t epoch = 0;
+  mutable uint64_t plans = 0;
+  mutable uint64_t hits = 0;
+
+  std::shared_ptr<const Plan> PlanFor(std::string_view value, double qt) const;
+};
+}  // namespace detail
+
+namespace {
+
+/// Log-scale bucket of an estimated cardinality: parameters whose estimates
+/// differ by less than ~2x land in the same bucket and share a plan.
+int CardinalityBucket(double estimate) {
+  if (estimate <= 0.0) return -1;
+  return static_cast<int>(std::log2(estimate + 1.0));
+}
+
+}  // namespace
+
+std::shared_ptr<const Plan> detail::PreparedState::PlanFor(
+    std::string_view value, double qt) const {
+  // The parameter's histogram bucket: the same RAM-only statistics the
+  // planner prices with, reduced to one coordinate. Far cheaper than a full
+  // planning pass (no Stats() assembly, no candidate sweep math).
+  int bucket = -1;
+  double topk_qt = 0.0;
+  switch (query.kind) {
+    case Query::Kind::kPtq: {
+      histogram::PtqEstimate est = path->EstimatePtq(value, qt);
+      bucket = CardinalityBucket(est.heap_entries + est.cutoff_pointers);
+      break;
+    }
+    case Query::Kind::kScanFilter:
+      bucket = 0;  // a forced sweep's plan is parameter-independent
+      break;
+    case Query::Kind::kSecondary:
+      bucket = CardinalityBucket(
+          path->EstimateSecondaryMatches(query.column, value, qt));
+      break;
+    case Query::Kind::kTopK:
+      // Top-k plans embed the starting threshold, so bucket on it directly.
+      topk_qt = path->EstimateTopKThreshold(value, query.k);
+      bucket = static_cast<int>(std::lround(topk_qt * 32.0));
+      break;
+  }
+  std::pair<int, int> key{static_cast<int>(std::lround(qt * 32.0)), bucket};
+
+  uint64_t now = path->StatsEpoch();
+  std::shared_ptr<const Plan> base;
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    if (now != epoch) {
+      // Insert/Delete or a maintenance flush/merge moved the cost inputs:
+      // every cached plan is potentially wrong. Re-plan on demand.
+      cache.clear();
+      epoch = now;
+    }
+    if (auto it = cache.find(key); it != cache.end()) {
+      ++hits;
+      base = it->second;
+    }
+  }
+  if (base == nullptr) {
+    // Plan outside the lock: a full planning pass reads table stats and
+    // histograms, and a write-heavy table re-plans often — concurrent
+    // sessions must not serialize through the cache mutex for it. A racing
+    // Bind may plan the same bucket twice; first one in wins the slot.
+    Query bound = query;
+    bound.value = std::string(value);
+    bound.qt = qt;
+    base = std::make_shared<const Plan>(planner->PlanQuery(bound));
+    std::lock_guard<std::mutex> lock(mu);
+    ++plans;
+    if (epoch == now) {
+      auto [it, inserted] = cache.emplace(key, base);
+      if (!inserted) base = it->second;
+    }
+  }
+  if (base->value == value && base->qt == qt &&
+      query.kind != Query::Kind::kTopK) {
+    return base;
+  }
+  // Re-bind the cached plan to this call's parameter: a cheap copy (the
+  // candidate list is shared), with the top-k starting threshold refreshed
+  // from this value's histogram — the same choice PlanTopK would make.
+  auto rebound = std::make_shared<Plan>(*base);
+  rebound->value = std::string(value);
+  rebound->qt = qt;
+  if (query.kind == Query::Kind::kTopK) {
+    rebound->initial_qt = rebound->kind == PlanKind::kTopKDecreasingThreshold
+                              ? 0.5
+                              : (topk_qt > 0 ? topk_qt : 0.25);
+  }
+  return rebound;
+}
+
+PreparedQuery::PreparedQuery(const AccessPath* path, const QueryPlanner* planner,
+                             Query q)
+    : impl_(std::make_shared<detail::PreparedState>()) {
+  impl_->path = path;
+  impl_->planner = planner;
+  impl_->query = std::move(q);
+  impl_->epoch = path->StatsEpoch();
+}
+
+const Query& PreparedQuery::query() const { return impl_->query; }
+
+BoundQuery PreparedQuery::Bind(std::string_view value) const {
+  return Bind(value, impl_->query.qt);
+}
+
+BoundQuery PreparedQuery::Bind(std::string_view value, double qt) const {
+  return BoundQuery(impl_, impl_->PlanFor(value, qt));
+}
+
+uint64_t PreparedQuery::plans() const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  return impl_->plans;
+}
+
+uint64_t PreparedQuery::hits() const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  return impl_->hits;
+}
+
+// ---------------------------------------------------------------------------
+// BoundQuery
+// ---------------------------------------------------------------------------
+
+Result<Plan> BoundQuery::Execute(std::vector<core::PtqMatch>* out) const {
+  UPI_RETURN_NOT_OK(
+      exec::Execute(*state_->path, *plan_, out, state_->query.predicate));
+  return *plan_;
+}
+
+Result<std::unique_ptr<ResultCursor>> BoundQuery::OpenCursor() const {
+  return exec::OpenCursor(*state_->path, *plan_, state_->query.predicate);
+}
+
+}  // namespace upi::engine

@@ -1,0 +1,78 @@
+// Session: a per-client serving handle over a Database.
+//
+// Each Session owns one worker thread — the classic one-connection-one-
+// stream contract — and an in-order submission queue. Submit() hands a bound
+// prepared query (or a one-shot Query) to the worker and returns a future:
+// the client can pipeline several submissions and collect results as they
+// complete, and a closed-loop client (bench_throughput) simply submits and
+// waits. Because execution happens on the worker, the worker's SimDisk
+// stripe attributes the operation's simulated device time, which the result
+// carries back — clients never need to touch thread_stats() themselves.
+//
+// Sessions add no locking of their own around table access: the storage
+// engine below (sharded buffer pool, fracture shared locks, striped disk
+// stats) is what lets many sessions overlap.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "engine/database.h"
+
+namespace upi::engine {
+
+/// One executed query's outcome: the plan it ran, its rows, and the
+/// simulated device milliseconds the execution charged (measured on the
+/// session worker's SimDisk stripe).
+struct QueryResult {
+  Plan plan;
+  std::vector<core::PtqMatch> rows;
+  double sim_ms = 0.0;
+};
+
+class Session {
+ public:
+  explicit Session(Database* db);
+  /// Drains queued submissions, then joins the worker.
+  ~Session();
+
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  /// Async prepared execution: Bind(value[, qt]) + Execute on the session
+  /// worker. Submissions run in order.
+  std::future<Result<QueryResult>> Submit(const PreparedQuery& prepared,
+                                          std::string value);
+  std::future<Result<QueryResult>> Submit(const PreparedQuery& prepared,
+                                          std::string value, double qt);
+
+  /// Async one-shot execution of a full Query against a table.
+  std::future<Result<QueryResult>> Submit(const Table& table, Query q);
+
+  /// Operations submitted over the session's lifetime.
+  uint64_t submitted() const;
+
+ private:
+  using Task = std::packaged_task<Result<QueryResult>()>;
+
+  std::future<Result<QueryResult>> Enqueue(Task task);
+  Result<QueryResult> Measure(
+      const std::function<Result<Plan>(std::vector<core::PtqMatch>*)>& run)
+      const;
+  void WorkerLoop();
+
+  Database* db_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Task> queue_;
+  bool closed_ = false;
+  uint64_t submitted_ = 0;
+  std::thread worker_;
+};
+
+}  // namespace upi::engine

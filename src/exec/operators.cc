@@ -3,8 +3,8 @@
 #include <algorithm>
 #include <map>
 
+#include "exec/cursor.h"
 #include "exec/ptq.h"
-#include "exec/topk.h"
 
 namespace upi::exec {
 
@@ -26,39 +26,39 @@ Status ScanFilter(const engine::AccessPath& path, int column,
 }
 
 Status Execute(const engine::AccessPath& path, const engine::Plan& plan,
-               std::vector<core::PtqMatch>* out) {
-  switch (plan.kind) {
-    case engine::PlanKind::kPrimaryProbe:
-      UPI_RETURN_NOT_OK(path.QueryPtq(plan.value, plan.qt, out));
-      break;
-    case engine::PlanKind::kSecondaryFirstPointer:
-      UPI_RETURN_NOT_OK(path.QuerySecondary(
-          plan.column, plan.value, plan.qt,
-          core::SecondaryAccessMode::kFirstPointer, out));
-      break;
-    case engine::PlanKind::kSecondaryTailored:
-      UPI_RETURN_NOT_OK(
-          path.QuerySecondary(plan.column, plan.value, plan.qt,
-                              core::SecondaryAccessMode::kTailored, out));
-      break;
-    case engine::PlanKind::kHeapScan: {
-      int column = plan.column >= 0 ? plan.column : path.primary_column();
-      UPI_RETURN_NOT_OK(ScanFilter(path, column, plan.value, plan.qt, out));
-      break;
-    }
-    case engine::PlanKind::kTopKDirect:
-      UPI_RETURN_NOT_OK(TopKDirect(path, plan.value, plan.k, out));
-      break;
-    case engine::PlanKind::kTopKEstimatedThreshold:
-    case engine::PlanKind::kTopKDecreasingThreshold:
-      // Same descent loop; the strategies differ in the planner-set starting
-      // threshold (histogram estimate vs. fixed 0.5).
-      UPI_RETURN_NOT_OK(TopKByDecreasingThreshold(path, plan.value, plan.k,
-                                                  plan.initial_qt, out));
-      break;
+               std::vector<core::PtqMatch>* out,
+               std::function<bool(const catalog::Tuple&)> predicate) {
+  // LIMIT is applied only *after* the confidence sort (the documented
+  // contract: the limit keeps the highest-confidence rows) — pushing it into
+  // a streaming cursor would truncate in storage order, which can differ
+  // once a PTQ spills into the cutoff phase. Early-exit LIMIT execution is
+  // OpenCursor()'s job; top-k stays pushed down (its stream is the k bound).
+  std::unique_ptr<engine::ResultCursor> stream;
+  if (plan.kind == engine::PlanKind::kPrimaryProbe) {
+    stream = path.OpenPtqStream(plan.value, plan.qt);
+  } else if (plan.kind == engine::PlanKind::kTopKDirect) {
+    stream = path.OpenTopKStream(plan.value);
   }
-  SortByConfidenceDesc(out);
-  if (plan.k > 0 && out->size() > plan.k) out->resize(plan.k);
+  std::vector<core::PtqMatch> rows;
+  if (stream != nullptr) {
+    if (plan.k > 0) stream->SetLimit(plan.k);
+    if (predicate) stream->SetPredicate(std::move(predicate));
+    core::PtqMatch m;
+    while (stream->TakeNext(&m)) rows.push_back(std::move(m));
+    UPI_RETURN_NOT_OK(stream->status());
+    SortByConfidenceDesc(&rows);
+  } else {
+    // Already predicate-filtered and confidence-sorted.
+    UPI_RETURN_NOT_OK(ExecuteMaterialized(path, plan, predicate, &rows));
+  }
+  if (plan.k > 0 && rows.size() > plan.k) rows.resize(plan.k);
+  if (plan.limit > 0 && rows.size() > plan.limit) rows.resize(plan.limit);
+  if (out->empty()) {
+    *out = std::move(rows);
+  } else {
+    out->insert(out->end(), std::make_move_iterator(rows.begin()),
+                std::make_move_iterator(rows.end()));
+  }
   return Status::OK();
 }
 
@@ -84,15 +84,16 @@ Status RunBatch(const engine::AccessPath& path,
 
   for (auto& [key, group] : groups) {
     const auto& [column, value] = key;
+    // One cursor per group at the group's lowest threshold; its drained
+    // stream fans back out to every member query.
+    engine::Plan plan;
+    plan.kind = column < 0 ? engine::PlanKind::kPrimaryProbe
+                           : engine::PlanKind::kSecondaryTailored;
+    plan.column = column;
+    plan.value = value;
+    plan.qt = group.min_qt;
     std::vector<core::PtqMatch> rows;
-    if (column < 0) {
-      UPI_RETURN_NOT_OK(path.QueryPtq(value, group.min_qt, &rows));
-    } else {
-      UPI_RETURN_NOT_OK(path.QuerySecondary(
-          column, value, group.min_qt, core::SecondaryAccessMode::kTailored,
-          &rows));
-    }
-    SortByConfidenceDesc(&rows);
+    UPI_RETURN_NOT_OK(Execute(path, plan, &rows));
     for (size_t idx : group.members) {
       std::vector<core::PtqMatch>& slot = (*results)[idx];
       slot = rows;

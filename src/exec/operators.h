@@ -1,16 +1,19 @@
 // Executor operators over the engine's AccessPath abstraction.
 //
-// Execute() runs a planner-produced Plan — the EXPLAIN output and the
-// executed physical operator can never disagree, because both come from the
-// same Plan. ScanFilter() is the sequential fallback operator the planner
-// falls back to when a pointer sweep saturates. RunBatch() is the batched
-// entry point: it groups same-(column, value) probes into one physical probe
-// at the group's lowest threshold and fans the rows back out per query, and
-// runs distinct groups in sorted key order so consecutive probes land in
-// nearby heap regions — amortizing the per-probe Costinit + H * Tseek that
-// dominates fractured and cold-cache workloads.
+// Execute() runs a planner-produced Plan materialized: a fully drained
+// ResultCursor (see exec/cursor.h) plus the final confidence sort — the
+// EXPLAIN output and the executed physical operator can never disagree,
+// because both come from the same Plan. ScanFilter() is the sequential
+// fallback operator the planner falls back to when a pointer sweep
+// saturates. RunBatch() is the batched cursor-merging layer: it groups
+// same-(column, value) probes into one cursor at the group's lowest
+// threshold and fans the drained rows back out per query, and runs distinct
+// groups in sorted key order so consecutive probes land in nearby heap
+// regions — amortizing the per-probe Costinit + H * Tseek that dominates
+// fractured and cold-cache workloads.
 #pragma once
 
+#include <functional>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -21,9 +24,11 @@
 namespace upi::exec {
 
 /// Runs `plan` against `path`. Results are sorted by descending confidence
-/// (ties by TupleId) and, for top-k plans, truncated to k.
+/// (ties by TupleId); top-k / LIMIT plans are truncated, and rows failing
+/// `predicate` (when given) are dropped before the limit counts them.
 Status Execute(const engine::AccessPath& path, const engine::Plan& plan,
-               std::vector<core::PtqMatch>* out);
+               std::vector<core::PtqMatch>* out,
+               std::function<bool(const catalog::Tuple&)> predicate = {});
 
 /// Sequential-sweep operator: one full scan, keeping tuples whose combined
 /// probability of `value` in `column` reaches `qt`. Exact (the full tuple is

@@ -122,7 +122,7 @@ TEST(PlannerTest, SecondaryModeAgreesWithMeasurementOnFigure6Shapes) {
     // Between the two secondary modes, the predicted order matches the
     // measured order (ties tolerated).
     auto predicted = [&](PlanKind kind) {
-      for (const PlanCandidate& c : plan.candidates) {
+      for (const PlanCandidate& c : plan.candidates()) {
         if (c.kind == kind) return c.predicted_ms;
       }
       return -1.0;
@@ -228,7 +228,8 @@ TEST(PlannerTest, TinyTablePrefersScanForSecondaryQuery) {
   Table* table = db.CreateUpiTable("t", schema, opt, {2}, tuples).ValueOrDie();
 
   std::vector<core::PtqMatch> out;
-  Plan plan = std::move(table->Secondary(2, "US", 0.5, &out)).ValueOrDie();
+  Plan plan =
+      std::move(table->Run(Query::Secondary(2, "US", 0.5), &out)).ValueOrDie();
   EXPECT_EQ(plan.kind, PlanKind::kHeapScan) << plan.Explain();
   ASSERT_EQ(out.size(), 2u);
   EXPECT_EQ(out[0].id, 2u);  // Bob at 1.0 before Alice at 0.9
@@ -378,7 +379,7 @@ TEST(DatabaseTest, FracturedTableGetsAutomaticMaintenance) {
     if (t.ConfidenceOf(AuthorCols::kInstitution, inst) >= 0.2) ++expected;
   }
   std::vector<core::PtqMatch> out;
-  ASSERT_TRUE(table->Ptq(inst, 0.2, &out).status().ok());
+  ASSERT_TRUE(table->Run(Query::Ptq(inst, 0.2), &out).status().ok());
   EXPECT_EQ(out.size(), expected);
 }
 
@@ -410,7 +411,7 @@ TEST(DatabaseTest, PlannedQueriesRunConcurrentlyWithWorkerMaintenance) {
     ASSERT_TRUE(table->Insert(authors[i]).ok());
     if (i % 60 == 0) {
       std::vector<core::PtqMatch> out;
-      ASSERT_TRUE(table->Ptq(inst, 0.3, &out).status().ok());
+      ASSERT_TRUE(table->Run(Query::Ptq(inst, 0.3), &out).status().ok());
     }
   }
   db.maintenance()->WaitIdle();
@@ -421,7 +422,7 @@ TEST(DatabaseTest, PlannedQueriesRunConcurrentlyWithWorkerMaintenance) {
     if (t.ConfidenceOf(AuthorCols::kInstitution, inst) >= 0.3) ++expected;
   }
   std::vector<core::PtqMatch> out;
-  ASSERT_TRUE(table->Ptq(inst, 0.3, &out).status().ok());
+  ASSERT_TRUE(table->Run(Query::Ptq(inst, 0.3), &out).status().ok());
   EXPECT_EQ(out.size(), expected);
 }
 
