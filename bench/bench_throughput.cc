@@ -23,7 +23,13 @@
 //
 //   ./bench_throughput [--scale=0.3] [--seed=42] [--threads=1,2,4,8]
 //                      [--ops=300] [--pool_mb=256] [--sleep_us_per_ms=10]
-//                      [--json=BENCH_throughput.json]
+//                      [--json=BENCH_throughput.json] [--no-pruning]
+//
+// The nfrac column reports the ingest-fed fractured table's fracture count
+// at the end of each sweep — the fan-out every stream-table probe would pay
+// without pruning. --no-pruning disables the fracture summaries on that
+// table (see UpiOptions::enable_pruning), demonstrating the pruning win
+// under concurrent ingest; rows are identical either way.
 //
 // Exits non-zero when the max-thread configuration fails to reach a 3x
 // ops/sec speedup over one client (the sharded pool's acceptance bar).
@@ -51,6 +57,7 @@ struct SweepRow {
   double wall_s = 0.0;
   double ops_per_sec = 0.0;
   size_t ops = 0;
+  size_t nfrac = 0;  // stream table's fracture count at sweep end
   OpLatency p50, p99;
 };
 
@@ -119,10 +126,12 @@ int main(int argc, char** argv) {
   // ingest thread below.
   std::vector<catalog::Tuple> half(d.authors.begin(),
                                    d.authors.begin() + d.authors.size() / 2);
+  core::UpiOptions stream_opts = AuthorUpiOptions(0.1);
+  stream_opts.enable_pruning = !flags::GetBool("no-pruning", false);
   engine::Table* stream =
       db.CreateFracturedTable("author_stream",
                               datagen::DblpGenerator::AuthorSchema(),
-                              AuthorUpiOptions(0.1), {}, half)
+                              stream_opts, {}, half)
           .ValueOrDie();
 
   // Probe values: selective institutions for the point-query mix (hundreds
@@ -168,12 +177,13 @@ int main(int argc, char** argv) {
 
   PrintTitle("Closed-loop multi-client throughput (planned queries)");
   std::printf("# authors=%zu  pool=%lluMiB  shards=%zu  ops/client=%zu  "
-              "sleep=%.1fus/sim-ms  host_cores=%u\n",
+              "sleep=%.1fus/sim-ms  host_cores=%u  pruning=%s\n",
               d.authors.size(), static_cast<unsigned long long>(pool_mb),
               db.env()->pool()->num_shards(), ops_per_client, sleep_us_per_ms,
-              std::thread::hardware_concurrency());
-  std::printf("%-8s %10s %9s %12s %12s %12s %12s\n", "clients", "ops/s",
-              "speedup", "p50_wall_us", "p99_wall_us", "p50_sim_ms",
+              std::thread::hardware_concurrency(),
+              stream_opts.enable_pruning ? "on" : "off");
+  std::printf("%-8s %10s %9s %6s %12s %12s %12s %12s\n", "clients", "ops/s",
+              "speedup", "nfrac", "p50_wall_us", "p99_wall_us", "p50_sim_ms",
               "p99_sim_ms");
 
   JsonWriter json("throughput");
@@ -238,6 +248,7 @@ int main(int argc, char** argv) {
     SweepRow row;
     row.threads = nthreads;
     row.ops = nthreads * ops_per_client;
+    row.nfrac = stream->fractured()->num_fractures();
     row.wall_s = std::chrono::duration<double>(sweep_t1 - sweep_t0).count();
     row.ops_per_sec = static_cast<double>(row.ops) / row.wall_s;
     std::vector<double> wall, sim;
@@ -254,11 +265,14 @@ int main(int argc, char** argv) {
     rows.push_back(row);
 
     double speedup = row.ops_per_sec / rows.front().ops_per_sec;
-    std::printf("%-8zu %10.0f %8.2fx %12.0f %12.0f %12.1f %12.1f\n",
-                nthreads, row.ops_per_sec, speedup, row.p50.wall_us,
-                row.p99.wall_us, row.p50.sim_ms, row.p99.sim_ms);
+    std::printf("%-8zu %10.0f %8.2fx %6zu %12.0f %12.0f %12.1f %12.1f\n",
+                nthreads, row.ops_per_sec, speedup, row.nfrac,
+                row.p50.wall_us, row.p99.wall_us, row.p50.sim_ms,
+                row.p99.sim_ms);
     char config[64];
-    std::snprintf(config, sizeof(config), "threads=%zu", nthreads);
+    std::snprintf(config, sizeof(config), "threads=%zu nfrac=%zu pruning=%s",
+                  nthreads, row.nfrac,
+                  stream_opts.enable_pruning ? "on" : "off");
     QueryCost cost;
     cost.sim_ms = row.p99.sim_ms;
     cost.wall_ms = row.wall_s * 1000.0;

@@ -1,0 +1,118 @@
+#include "core/fracture_summary.h"
+
+#include <algorithm>
+
+namespace upi::core {
+
+namespace {
+
+/// FNV-1a 64-bit: deterministic across runs (summaries are compared in
+/// tests), cheap, and good enough for a Bloom fence.
+uint64_t Fnv1a(const void* data, size_t n, uint64_t seed) {
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  uint64_t h = seed ^ 14695981039346656037ull;
+  for (size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+uint64_t HashKey(int column, std::string_view value) {
+  uint64_t seed = Fnv1a(&column, sizeof(column), 0x6b657973ull);  // "keys"
+  return Fnv1a(value.data(), value.size(), seed);
+}
+
+uint64_t HashTupleId(catalog::TupleId id) {
+  return Fnv1a(&id, sizeof(id), 0x74696473ull);  // "tids"
+}
+
+/// Second hash for double hashing, derived by mixing (SplitMix64 finalizer).
+uint64_t Mix(uint64_t h) {
+  h += 0x9e3779b97f4a7c15ull;
+  h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9ull;
+  h = (h ^ (h >> 27)) * 0x94d049bb133111ebull;
+  return h ^ (h >> 31);
+}
+
+}  // namespace
+
+const FractureSummary::ColumnSummary* FractureSummary::column(int col) const {
+  auto it = columns_.find(col);
+  return it == columns_.end() ? nullptr : &it->second;
+}
+
+double FractureSummary::MaxProb(int col) const {
+  const ColumnSummary* c = column(col);
+  return c == nullptr ? 1.0 : c->max_prob;
+}
+
+bool FractureSummary::BloomMayContain(uint64_t hash) const {
+  if (bloom_.empty()) return true;
+  uint64_t h2 = Mix(hash) | 1;  // odd, so probes cycle the whole array
+  size_t bits = bloom_.size() * 64;
+  for (int i = 0; i < bloom_probes_; ++i) {
+    uint64_t bit = (hash + static_cast<uint64_t>(i) * h2) % bits;
+    if ((bloom_[bit >> 6] & (1ull << (bit & 63))) == 0) return false;
+  }
+  return true;
+}
+
+bool FractureSummary::MayContainKey(int col, std::string_view value) const {
+  const ColumnSummary* c = column(col);
+  if (c == nullptr) return true;  // no summary: cannot prune
+  if (c->alternatives == 0) return false;
+  if (value < c->min_key || value > c->max_key) return false;  // zone map
+  return BloomMayContain(HashKey(col, value));
+}
+
+bool FractureSummary::MayContainTupleId(catalog::TupleId id) const {
+  return BloomMayContain(HashTupleId(id));
+}
+
+size_t FractureSummary::size_bytes() const {
+  size_t n = sizeof(*this) + bloom_.size() * sizeof(uint64_t);
+  for (const auto& [col, c] : columns_) {
+    n += sizeof(col) + sizeof(c) + c.min_key.size() + c.max_key.size();
+  }
+  return n;
+}
+
+void FractureSummary::Builder::AddKey(int column, std::string_view value,
+                                      double prob) {
+  ColumnSummary& c = columns_[column];
+  if (c.alternatives == 0 || value < c.min_key) c.min_key = std::string(value);
+  if (c.alternatives == 0 || value > c.max_key) c.max_key = std::string(value);
+  c.max_prob = std::max(c.max_prob, prob);
+  ++c.alternatives;
+  hashes_.push_back(HashKey(column, value));
+}
+
+void FractureSummary::Builder::AddTupleId(catalog::TupleId id) {
+  ++tuple_count_;
+  hashes_.push_back(HashTupleId(id));
+}
+
+std::shared_ptr<const FractureSummary> FractureSummary::Builder::Build() {
+  auto summary = std::shared_ptr<FractureSummary>(new FractureSummary());
+  summary->columns_ = std::move(columns_);
+  summary->tuple_count_ = tuple_count_;
+  // ~10 bits per entry, 7 probes: ~1% false positives. The hash list holds
+  // duplicates (one per alternative), which only oversizes the filter — a
+  // fence that is slightly too precise, never wrong.
+  size_t words = std::max<size_t>(1, (hashes_.size() * 10 + 63) / 64);
+  summary->bloom_.assign(words, 0);
+  summary->bloom_probes_ = 7;
+  size_t bits = words * 64;
+  for (uint64_t h : hashes_) {
+    uint64_t h2 = Mix(h) | 1;
+    for (int i = 0; i < summary->bloom_probes_; ++i) {
+      uint64_t bit = (h + static_cast<uint64_t>(i) * h2) % bits;
+      summary->bloom_[bit >> 6] |= 1ull << (bit & 63);
+    }
+  }
+  hashes_.clear();
+  return summary;
+}
+
+}  // namespace upi::core

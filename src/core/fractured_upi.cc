@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <functional>
+#include <queue>
 
+#include "common/check.h"
 #include "common/coding.h"
 
 namespace upi::core {
@@ -39,6 +41,18 @@ Status MergeTrees(const std::vector<const btree::BTree*>& trees,
   return Status::OK();
 }
 
+/// Result order every fan-out delivers: descending confidence, ties by
+/// TupleId — identical across materialized, streamed, and pruned paths.
+void SortByConfidence(std::vector<PtqMatch>* all) {
+  std::sort(all->begin(), all->end(),
+            [](const PtqMatch& a, const PtqMatch& b) {
+              if (a.confidence != b.confidence) {
+                return a.confidence > b.confidence;
+              }
+              return a.id < b.id;
+            });
+}
+
 }  // namespace
 
 FracturedUpi::FracturedUpi(storage::DbEnv* env, std::string name,
@@ -50,11 +64,38 @@ FracturedUpi::FracturedUpi(storage::DbEnv* env, std::string name,
       options_(options),
       secondary_columns_(std::move(secondary_columns)) {}
 
+std::shared_ptr<const FractureSummary> FracturedUpi::SummarizeTuples(
+    const std::vector<Tuple>& tuples) const {
+  FractureSummary::Builder builder;
+  auto add_column = [&](const Tuple& t, int col) {
+    const Value& v = t.Get(col);
+    if (v.type() != ValueType::kDiscrete) return;
+    for (const auto& alt : v.discrete().alternatives()) {
+      builder.AddKey(col, alt.value, t.existence() * alt.prob);
+    }
+  };
+  for (const Tuple& t : tuples) {
+    builder.AddTupleId(t.id());
+    // Every clustered alternative is reachable (heap entries directly,
+    // cutoff entries through their pointers), so all of them fence.
+    add_column(t, options_.cluster_column);
+    for (int col : secondary_columns_) add_column(t, col);
+  }
+  return builder.Build();
+}
+
+bool FracturedUpi::SkipFracture(const FractureSummary* summary, int column,
+                                std::string_view value, double qt) const {
+  if (!options_.enable_pruning || summary == nullptr) return false;
+  return summary->CanSkip(column, value, qt);
+}
+
 Status FracturedUpi::BuildMain(const std::vector<Tuple>& tuples) {
   std::unique_lock lock(mu_);
   if (main_ != nullptr) return Status::Internal("main fracture already built");
   UPI_ASSIGN_OR_RETURN(main_, Upi::Build(env_, name_ + ".main", schema_,
                                          options_, secondary_columns_, tuples));
+  main_summary_ = SummarizeTuples(tuples);
   main_and_fracture_tuples_ = tuples.size();
   stats_epoch_.fetch_add(1, std::memory_order_relaxed);
   return Status::OK();
@@ -155,6 +196,7 @@ Status FracturedUpi::FlushBufferLocked() {
                          Upi::Build(env_, frac_name, schema_, options_,
                                     secondary_columns_, tuples));
     fractures_.push_back(std::move(frac));
+    fracture_summaries_.push_back(SummarizeTuples(tuples));
     main_and_fracture_tuples_ += buffer_.size();
   }
   if (!buffer_deletes_.empty()) {
@@ -230,35 +272,61 @@ Status FracturedUpi::QueryBufferSecondary(int column, std::string_view value,
   return Status::OK();
 }
 
+PruneSet FracturedUpi::ForQuery(int column, std::string_view value,
+                                double qt) const {
+  std::shared_lock lock(mu_);
+  PruneSet set;
+  const int col = ResolveColumn(column);
+  auto consider = [&](const FractureSummary* s) {
+    bool skip = SkipFracture(s, col, value, qt);
+    set.probe.push_back(!skip);
+    ++(skip ? set.pruned : set.probed);
+  };
+  if (main_ != nullptr) consider(main_summary_.get());
+  for (size_t i = 0; i < fractures_.size(); ++i) {
+    consider(DeltaSummary(i));
+  }
+  return set;
+}
+
+PruneEstimate FracturedUpi::EstimatePrune(int column, std::string_view value,
+                                          double qt) const {
+  std::shared_lock lock(mu_);
+  PruneEstimate pe;
+  const int col = ResolveColumn(column);
+  auto consider = [&](const Upi& u, const FractureSummary* s) {
+    ++pe.total_fractures;
+    if (SkipFracture(s, col, value, qt)) return;
+    pe.probed_fractures += 1.0;
+    pe.probed_bytes += u.heap_tree()->size_bytes();
+  };
+  if (main_ != nullptr) consider(*main_, main_summary_.get());
+  for (size_t i = 0; i < fractures_.size(); ++i) {
+    consider(*fractures_[i], DeltaSummary(i));
+  }
+  if (pe.total_fractures == 0) {
+    pe.total_fractures = 1;  // an empty table still prices one probe
+    pe.probed_fractures = 1.0;
+  }
+  return pe;
+}
+
+FracturedPtqCursor FracturedUpi::OpenPtqCursor(std::string_view value,
+                                               double qt) const {
+  return FracturedPtqCursor(this, value, qt);
+}
+
 Status FracturedUpi::QueryPtq(std::string_view value, double qt,
                               std::vector<PtqMatch>* out) const {
-  // Shared lock for the whole fan-out: a concurrent merge builds without the
-  // lock and blocks only on the final list swap, so queries never see a
-  // half-installed fracture list.
-  std::shared_lock lock(mu_);
+  // The fan-out lives in FracturedPtqCursor (which takes the shared lock and
+  // consults the fracture summaries); the materialized query is its fully
+  // drained stream, confidence-sorted.
+  FracturedPtqCursor c = OpenPtqCursor(value, qt);
   std::vector<PtqMatch> all;
-  UPI_RETURN_NOT_OK(QueryBuffer(value, qt, &all));
-  auto query_one = [&](const Upi& upi) -> Status {
-    // Each fracture is its own set of DB files: pay Costinit per fracture
-    // (the Nfrac * Costinit term of the Section 6.2 model), plus one more for
-    // the fracture's cutoff index when it must be consulted.
-    upi.heap_file_->ChargeOpen();
-    if (qt < upi.options().cutoff) upi.cutoff_->ChargeOpen();
-    std::vector<PtqMatch> part;
-    UPI_RETURN_NOT_OK(upi.QueryPtq(value, qt, &part));
-    for (auto& m : part) {
-      if (!IsDeleted(m.id) && !buffer_deletes_.contains(m.id)) {
-        all.push_back(std::move(m));
-      }
-    }
-    return Status::OK();
-  };
-  if (main_ != nullptr) UPI_RETURN_NOT_OK(query_one(*main_));
-  for (const auto& f : fractures_) UPI_RETURN_NOT_OK(query_one(*f));
-  std::sort(all.begin(), all.end(), [](const PtqMatch& a, const PtqMatch& b) {
-    if (a.confidence != b.confidence) return a.confidence > b.confidence;
-    return a.id < b.id;
-  });
+  PtqMatch m;
+  while (c.Next(&m)) all.push_back(std::move(m));
+  UPI_RETURN_NOT_OK(c.status());
+  SortByConfidence(&all);
   out->insert(out->end(), std::make_move_iterator(all.begin()),
               std::make_move_iterator(all.end()));
   return Status::OK();
@@ -270,7 +338,15 @@ Status FracturedUpi::QueryBySecondary(int column, std::string_view value,
   std::shared_lock lock(mu_);
   std::vector<PtqMatch> all;
   UPI_RETURN_NOT_OK(QueryBufferSecondary(column, value, qt, &all));
-  auto query_one = [&](const Upi& upi) -> Status {
+  size_t probed = 0, pruned = 0;
+  auto query_one = [&](const Upi& upi, const FractureSummary* s) -> Status {
+    // The summary fences cover every secondary alternative, so a fracture
+    // whose zone/Bloom/max-prob summary rules the probe out never opens.
+    if (SkipFracture(s, column, value, qt)) {
+      ++pruned;
+      return Status::OK();
+    }
+    ++probed;
     upi.heap_file_->ChargeOpen();  // per-fracture Costinit, as in QueryPtq
     std::vector<PtqMatch> part;
     UPI_RETURN_NOT_OK(upi.QueryBySecondary(column, value, qt, mode, &part));
@@ -281,12 +357,77 @@ Status FracturedUpi::QueryBySecondary(int column, std::string_view value,
     }
     return Status::OK();
   };
-  if (main_ != nullptr) UPI_RETURN_NOT_OK(query_one(*main_));
-  for (const auto& f : fractures_) UPI_RETURN_NOT_OK(query_one(*f));
-  std::sort(all.begin(), all.end(), [](const PtqMatch& a, const PtqMatch& b) {
-    if (a.confidence != b.confidence) return a.confidence > b.confidence;
-    return a.id < b.id;
-  });
+  if (main_ != nullptr) {
+    UPI_RETURN_NOT_OK(query_one(*main_, main_summary_.get()));
+  }
+  for (size_t i = 0; i < fractures_.size(); ++i) {
+    UPI_RETURN_NOT_OK(query_one(*fractures_[i], DeltaSummary(i)));
+  }
+  fractures_probed_total_.fetch_add(probed, std::memory_order_relaxed);
+  fractures_pruned_total_.fetch_add(pruned, std::memory_order_relaxed);
+  SortByConfidence(&all);
+  out->insert(out->end(), std::make_move_iterator(all.begin()),
+              std::make_move_iterator(all.end()));
+  return Status::OK();
+}
+
+Status FracturedUpi::QueryTopK(std::string_view value, size_t k,
+                               std::vector<PtqMatch>* out) const {
+  std::shared_lock lock(mu_);
+  if (k == 0) return Status::OK();
+  std::vector<PtqMatch> all;
+  // Buffer candidates compete at any confidence (no threshold in top-k).
+  UPI_RETURN_NOT_OK(QueryBuffer(value, 0.0, &all));
+  const int col = options_.cluster_column;
+  // Running k-th-best bound: a min-heap of the k highest confidences seen so
+  // far. A later fracture must beat heap.top() to change the answer.
+  std::priority_queue<double, std::vector<double>, std::greater<double>> best;
+  auto note = [&](double conf) {
+    if (best.size() < k) {
+      best.push(conf);
+    } else if (conf > best.top()) {
+      best.pop();
+      best.push(conf);
+    }
+  };
+  for (const PtqMatch& m : all) note(m.confidence);
+  size_t probed = 0, pruned = 0;
+  auto topk_one = [&](const Upi& upi, const FractureSummary* s) -> Status {
+    if (options_.enable_pruning && s != nullptr) {
+      // Skip when the value cannot be present, or — strictly — when no
+      // alternative can beat the current k-th score (a tie could still win
+      // its id tie-break, so equality must probe).
+      if (!s->MayContainKey(col, value) ||
+          (best.size() >= k && s->MaxProb(col) < best.top())) {
+        ++pruned;
+        return Status::OK();
+      }
+    }
+    ++probed;
+    // Per-fracture Costinit: heap now, the cutoff index if (and when) the
+    // stream actually consults it.
+    upi.heap_file_->ChargeOpen();
+    UpiPtqCursor c = upi.OpenTopKCursor(value, /*charge_open_on_consult=*/true);
+    PtqMatch m;
+    size_t got = 0;
+    // k surviving rows per fracture suffice: the global top-k is contained
+    // in the union of per-fracture (delete-filtered) top-k streams.
+    while (got < k && c.Next(&m)) {
+      if (IsDeleted(m.id) || buffer_deletes_.contains(m.id)) continue;
+      note(m.confidence);
+      all.push_back(std::move(m));
+      ++got;
+    }
+    return c.status();
+  };
+  if (main_ != nullptr) UPI_RETURN_NOT_OK(topk_one(*main_, main_summary_.get()));
+  for (size_t i = 0; i < fractures_.size(); ++i) {
+    UPI_RETURN_NOT_OK(topk_one(*fractures_[i], DeltaSummary(i)));
+  }
+  fractures_probed_total_.fetch_add(probed, std::memory_order_relaxed);
+  fractures_pruned_total_.fetch_add(pruned, std::memory_order_relaxed);
+  SortByConfidence(&all);
+  if (all.size() > k) all.resize(k);
   out->insert(out->end(), std::make_move_iterator(all.begin()),
               std::make_move_iterator(all.end()));
   return Status::OK();
@@ -294,16 +435,36 @@ Status FracturedUpi::QueryBySecondary(int column, std::string_view value,
 
 Status FracturedUpi::ScanTuples(
     const std::function<void(const catalog::Tuple&)>& fn) const {
+  // No filter, no pruning: every fracture can hold live tuples.
+  return ScanTuplesMatching(/*column=*/-1, std::string_view(), /*qt=*/-1.0,
+                            fn);
+}
+
+Status FracturedUpi::ScanTuplesMatching(
+    int column, std::string_view value, double qt,
+    const std::function<void(const catalog::Tuple&)>& fn) const {
   std::shared_lock lock(mu_);
+  // qt < 0 marks the unfiltered sweep (ScanTuples): nothing can be pruned.
+  const bool filtered = qt >= 0.0;
+  const int col = ResolveColumn(column);
   std::set<catalog::TupleId> seen;
   // The RAM buffer first: its tuples shadow nothing (TupleIds are unique),
-  // and emitting them costs no I/O.
+  // and emitting them costs no I/O. It has no summary, so it is never
+  // pruned — the scan-filter caller re-checks the predicate anyway.
   for (const auto& [id, bt] : buffer_) {
     seen.insert(id);
     fn(bt.tuple);
   }
   Status st = Status::OK();
-  auto scan_one = [&](const Upi& upi) {
+  size_t probed = 0, pruned = 0;
+  auto scan_one = [&](const Upi& upi, const FractureSummary* s) {
+    // A fracture that cannot contain a qualifying (value, qt) alternative
+    // contributes nothing to a filtered sweep: skip it, zero pages read.
+    if (filtered && SkipFracture(s, col, value, qt)) {
+      ++pruned;
+      return;
+    }
+    ++probed;
     upi.heap_file_->ChargeOpen();  // per-fracture Costinit, as in QueryPtq
     upi.ScanHeap([&](std::string_view key, std::string_view tuple_bytes) {
       if (!st.ok()) return;
@@ -325,12 +486,82 @@ Status FracturedUpi::ScanTuples(
       fn(std::move(tuple).value());
     });
   };
-  if (main_ != nullptr) scan_one(*main_);
-  for (const auto& f : fractures_) {
+  if (main_ != nullptr) scan_one(*main_, main_summary_.get());
+  for (size_t i = 0; i < fractures_.size(); ++i) {
     if (!st.ok()) break;
-    scan_one(*f);
+    scan_one(*fractures_[i], DeltaSummary(i));
+  }
+  if (filtered) {
+    fractures_probed_total_.fetch_add(probed, std::memory_order_relaxed);
+    fractures_pruned_total_.fetch_add(pruned, std::memory_order_relaxed);
   }
   return st;
+}
+
+// ---------------------------------------------------------------------------
+// Streaming cursor (the pruned fan-out, executed lazily)
+// ---------------------------------------------------------------------------
+
+FracturedPtqCursor::FracturedPtqCursor(const FracturedUpi* table,
+                                       std::string_view value, double qt)
+    : lock_(table->mu_), table_(table), value_(value), qt_(qt) {
+  // The RAM buffer's matches are collected eagerly — they cost no I/O and
+  // stream first.
+  status_ = table_->QueryBuffer(value_, qt_, &buffer_rows_);
+  const int col = table_->options_.cluster_column;
+  auto consider = [&](const Upi* u, const FractureSummary* s) {
+    if (table_->SkipFracture(s, col, value_, qt_)) {
+      ++pruned_;
+    } else {
+      pending_.push_back(u);
+    }
+  };
+  if (table_->main_ != nullptr) {
+    consider(table_->main_.get(), table_->main_summary_.get());
+  }
+  for (size_t i = 0; i < table_->fractures_.size(); ++i) {
+    consider(table_->fractures_[i].get(), table_->DeltaSummary(i));
+  }
+  table_->fractures_probed_total_.fetch_add(pending_.size(),
+                                            std::memory_order_relaxed);
+  table_->fractures_pruned_total_.fetch_add(pruned_,
+                                            std::memory_order_relaxed);
+}
+
+bool FracturedPtqCursor::Deleted(catalog::TupleId id) const {
+  return table_->IsDeleted(id) || table_->buffer_deletes_.contains(id);
+}
+
+bool FracturedPtqCursor::Next(PtqMatch* out) {
+  if (!status_.ok()) return false;
+  if (buf_idx_ < buffer_rows_.size()) {
+    *out = std::move(buffer_rows_[buf_idx_++]);
+    return true;
+  }
+  for (;;) {
+    if (!cur_.has_value()) {
+      if (next_fracture_ >= pending_.size()) return false;
+      const Upi* u = pending_[next_fracture_++];
+      // Opening the fracture is where its Costinit lands (the Section 6.2
+      // Nfrac term): heap file now, cutoff file when the stream actually
+      // consults it (qt < C and the consumer drains past the heap phase).
+      // A consumer that stops before this fracture never pays either.
+      u->heap_tree()->pager()->file()->ChargeOpen();
+      cur_.emplace(u->OpenPtqCursor(value_, qt_,
+                                    /*charge_open_on_consult=*/true));
+    }
+    PtqMatch m;
+    while (cur_->Next(&m)) {
+      if (Deleted(m.id)) continue;
+      *out = std::move(m);
+      return true;
+    }
+    if (!cur_->status().ok()) {
+      status_ = cur_->status();
+      return false;
+    }
+    cur_.reset();
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -340,7 +571,11 @@ Status FracturedUpi::ScanTuples(
 Result<std::unique_ptr<Upi>> FracturedUpi::MergeUpis(
     const std::vector<const Upi*>& sources, const std::string& merged_name,
     const std::set<catalog::TupleId>& deleted,
-    std::set<catalog::TupleId>* filtered_ids) {
+    std::set<catalog::TupleId>* filtered_ids,
+    std::shared_ptr<const FractureSummary>* summary_out) {
+  // The merged fracture's pruning summary accumulates from the same streams
+  // the merge already walks — no extra I/O.
+  FractureSummary::Builder summary;
   // The merged UPI is repartitioned under a single cutoff threshold. Sources
   // may have been built with different per-fracture thresholds (Section 4.2),
   // so the merged C is the maximum of the current setting and every source's:
@@ -413,6 +648,7 @@ Result<std::unique_ptr<Upi>> FracturedUpi::MergeUpis(
               return Status::OK();
             }
           }
+          summary.AddKey(options_.cluster_column, k.attr, k.prob);
           heap_hist.push_back(HistEntry{std::move(k.attr), k.prob, k.id});
           return builder.Add(key, value);
         }));
@@ -435,6 +671,7 @@ Result<std::unique_ptr<Upi>> FracturedUpi::MergeUpis(
       }
     }
     distinct_tuples = best.size();
+    for (const auto& [id, idx] : best) summary.AddTupleId(id);
     for (size_t i = 0; i < heap_hist.size(); ++i) {
       bool is_first = best[heap_hist[i].id] == i;
       merged_hist.Add(heap_hist[i].attr, heap_hist[i].prob, is_first);
@@ -461,6 +698,7 @@ Result<std::unique_ptr<Upi>> FracturedUpi::MergeUpis(
         std::string dkey = EncodeUpiKey(d.attr, d.prob, d.id);
         if (!key.empty() && dkey >= key) break;
         merged_hist.Add(d.attr, d.prob, /*is_first=*/false);
+        summary.AddKey(options_.cluster_column, d.attr, d.prob);
         UPI_RETURN_NOT_OK(builder.Add(d.attr, d.prob, d.id, d.first_key));
         ++next_demotion;
       }
@@ -475,6 +713,7 @@ Result<std::unique_ptr<Upi>> FracturedUpi::MergeUpis(
           UpiKey k;
           UPI_RETURN_NOT_OK(DecodeUpiKey(key, &k));
           merged_hist.Add(k.attr, k.prob, /*is_first=*/false);
+          summary.AddKey(options_.cluster_column, k.attr, k.prob);
           return builder.Add(k.attr, k.prob, k.id, std::string(value));
         }));
     UPI_RETURN_NOT_OK(flush_demotions_below(std::string_view()));
@@ -500,6 +739,7 @@ Result<std::unique_ptr<Upi>> FracturedUpi::MergeUpis(
           UpiKey k;
           UPI_RETURN_NOT_OK(DecodeUpiKey(key, &k));
           sec_hist.Add(k.attr, k.prob, /*is_first=*/false);
+          summary.AddKey(col, k.attr, k.prob);
           std::vector<SecondaryPointer> pointers;
           bool has_cutoff;
           UPI_RETURN_NOT_OK(
@@ -523,6 +763,7 @@ Result<std::unique_ptr<Upi>> FracturedUpi::MergeUpis(
 
   merged->histogram_ = std::move(merged_hist);
   merged->num_tuples_ = distinct_tuples;
+  *summary_out = summary.Build();
   return merged;
 }
 
@@ -547,9 +788,10 @@ Status FracturedUpi::MergeAll() {
   // Phase 2 (no lock): the expensive sort-merge. Concurrent queries keep
   // fanning out over the unchanged source fractures.
   std::set<catalog::TupleId> filtered;
+  std::shared_ptr<const FractureSummary> merged_summary;
   UPI_ASSIGN_OR_RETURN(std::unique_ptr<Upi> merged,
                        MergeUpis(sources, merged_name, deleted_snapshot,
-                                 &filtered));
+                                 &filtered, &merged_summary));
 
   // Phase 3 (exclusive): atomic install. Fractures flushed *during* the
   // build (possible only via a direct caller; the manager serializes
@@ -557,7 +799,15 @@ Status FracturedUpi::MergeAll() {
   {
     std::unique_lock lock(mu_);
     main_ = std::move(merged);
+    main_summary_ = std::move(merged_summary);
+    // The summary list is parallel to the fracture list (DeltaSummary pairs
+    // them by index); a drifted pair would mis-prune and silently drop rows,
+    // so fail fast instead.
+    UPI_CHECK(fracture_summaries_.size() == fractures_.size(),
+              "fracture/summary lists out of lockstep");
     fractures_.erase(fractures_.begin(), fractures_.begin() + delta_count);
+    fracture_summaries_.erase(fracture_summaries_.begin(),
+                              fracture_summaries_.begin() + delta_count);
     main_and_fracture_tuples_ = main_->num_tuples();
     for (const auto& f : fractures_) main_and_fracture_tuples_ += f->num_tuples();
     // TupleIds are never reused, so a filtered id cannot exist elsewhere.
@@ -597,9 +847,10 @@ Status FracturedUpi::MergeOldestFractures(size_t count) {
   }
 
   std::set<catalog::TupleId> filtered;
+  std::shared_ptr<const FractureSummary> merged_summary;
   UPI_ASSIGN_OR_RETURN(std::unique_ptr<Upi> merged,
                        MergeUpis(sources, merged_name, deleted_snapshot,
-                                 &filtered));
+                                 &filtered, &merged_summary));
 
   {
     std::unique_lock lock(mu_);
@@ -613,8 +864,14 @@ Status FracturedUpi::MergeOldestFractures(size_t count) {
     main_and_fracture_tuples_ -= merged_sources_tuples;
     main_and_fracture_tuples_ += merged->num_tuples();
 
+    UPI_CHECK(fracture_summaries_.size() == fractures_.size(),
+              "fracture/summary lists out of lockstep");
     fractures_.erase(fractures_.begin(), fractures_.begin() + count);
     fractures_.insert(fractures_.begin(), std::move(merged));
+    fracture_summaries_.erase(fracture_summaries_.begin(),
+                              fracture_summaries_.begin() + count);
+    fracture_summaries_.insert(fracture_summaries_.begin(),
+                               std::move(merged_summary));
   }
   env_->pool()->FlushAll();
   stats_epoch_.fetch_add(1, std::memory_order_relaxed);

@@ -33,6 +33,7 @@
 #include <atomic>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <set>
 #include <shared_mutex>
 #include <string>
@@ -40,9 +41,58 @@
 #include <vector>
 
 #include "core/advisor.h"
+#include "core/fracture_summary.h"
 #include "core/upi.h"
 
 namespace upi::core {
+
+class FracturedUpi;
+
+/// Pull-based streaming PTQ over a Fractured UPI: the pruned fan-out,
+/// executed lazily. Construction scans the RAM buffer (free) and prunes the
+/// fracture list through the table's FractureSummaries; each surviving
+/// fracture is opened — Costinit charged, cursor seeked — only when the
+/// consumer drains into it, so a LIMIT consumer that stops early never pays
+/// for the fractures behind it, and a pruned fracture costs zero simulated
+/// pages. Delete sets are applied per row. Fully drained, the access
+/// sequence is identical to FracturedUpi::QueryPtq (which is implemented as
+/// this cursor, drained and confidence-sorted).
+///
+/// Holds the table's shared lock for its lifetime: results stay consistent
+/// while background maintenance runs, but a flush/merge *install* (and any
+/// Insert/Delete) blocks until the cursor is destroyed — drain promptly, and
+/// never write to the table from the same thread while one is open.
+class FracturedPtqCursor {
+ public:
+  /// Produces the next match; false at end of stream or on error (check
+  /// status() after a false return).
+  bool Next(PtqMatch* out);
+  const Status& status() const { return status_; }
+
+  /// Fan-out telemetry: fractures this cursor will open at most / skipped
+  /// via summaries (fixed at construction).
+  size_t fractures_probed() const { return pending_.size(); }
+  size_t fractures_pruned() const { return pruned_; }
+
+ private:
+  friend class FracturedUpi;
+  FracturedPtqCursor(const FracturedUpi* table, std::string_view value,
+                     double qt);
+
+  bool Deleted(catalog::TupleId id) const;
+
+  std::shared_lock<std::shared_mutex> lock_;
+  const FracturedUpi* table_;
+  std::string value_;
+  double qt_ = 0.0;
+  std::vector<PtqMatch> buffer_rows_;
+  size_t buf_idx_ = 0;
+  std::vector<const Upi*> pending_;  // post-pruning fan-out, opened lazily
+  size_t next_fracture_ = 0;
+  size_t pruned_ = 0;
+  std::optional<UpiPtqCursor> cur_;
+  Status status_;
+};
 
 class FracturedUpi {
  public:
@@ -94,11 +144,66 @@ class FracturedUpi {
                           SecondaryAccessMode mode,
                           std::vector<PtqMatch>* out) const;
 
+  /// Direct top-k on the clustered attribute across buffer + every fracture:
+  /// each probed fracture contributes its first k surviving (non-deleted)
+  /// rows off a top-k cursor; the union is confidence-sorted (ties by
+  /// TupleId) and truncated to k. Keeps a running k-th-score bound and —
+  /// when pruning is enabled — skips fractures whose summary max probability
+  /// cannot beat it, as well as fractures that cannot contain `value` at
+  /// all. The bound only ever skips fractures that cannot change the answer,
+  /// so rows are identical with pruning on or off.
+  Status QueryTopK(std::string_view value, size_t k,
+                   std::vector<PtqMatch>* out) const;
+
+  /// Streaming PTQ: the pruned fan-out executed lazily (see
+  /// FracturedPtqCursor for ordering and the lock-lifetime contract).
+  FracturedPtqCursor OpenPtqCursor(std::string_view value, double qt) const;
+
   /// Full sequential sweep: RAM-buffered tuples first (no I/O), then main +
   /// every delta fracture in order, deduplicated by TupleId with delete sets
   /// applied — `fn` runs exactly once per live tuple. Charges each fracture's
   /// per-file Costinit like every other fractured read.
   Status ScanTuples(const std::function<void(const catalog::Tuple&)>& fn) const;
+
+  /// ScanTuples for a scan-filter on (column, value, qt): identical
+  /// semantics over the tuples that could match, but fractures whose
+  /// summary proves they cannot contain a qualifying alternative are
+  /// skipped without any I/O. column < 0 means the clustered attribute.
+  Status ScanTuplesMatching(
+      int column, std::string_view value, double qt,
+      const std::function<void(const catalog::Tuple&)>& fn) const;
+
+  // --- Fracture pruning (see core/fracture_summary.h) ---------------------
+
+  /// The prune decision a query fan-out on (column, value, qt) would make
+  /// right now, one slot per on-disk fracture in fan-out order: the main
+  /// fracture first *when one exists*, then the deltas in list order (a
+  /// table grown purely from flushes has no main slot). column < 0 means
+  /// the clustered attribute. Respects options().enable_pruning
+  /// (everything probed when disabled).
+  PruneSet ForQuery(int column, std::string_view value, double qt) const;
+
+  /// Planner-facing expectation for the same decision: fracture count plus
+  /// the probed fractures' heap bytes. RAM-only.
+  PruneEstimate EstimatePrune(int column, std::string_view value,
+                              double qt) const;
+
+  /// Cumulative fractures skipped / opened by query fan-outs since
+  /// construction (bench/test telemetry).
+  uint64_t fractures_pruned_total() const {
+    return fractures_pruned_total_.load(std::memory_order_relaxed);
+  }
+  uint64_t fractures_probed_total() const {
+    return fractures_probed_total_.load(std::memory_order_relaxed);
+  }
+
+  /// Summary snapshots (unsynchronized, like main()/fractures(): only safe
+  /// while no maintenance operation is in flight).
+  const FractureSummary* main_summary() const { return main_summary_.get(); }
+  const std::vector<std::shared_ptr<const FractureSummary>>&
+  fracture_summaries() const {
+    return fracture_summaries_;
+  }
 
   // --- Tuning / introspection ---------------------------------------------
 
@@ -165,17 +270,44 @@ class FracturedUpi {
   const std::string& name() const { return name_; }
 
  private:
+  friend class FracturedPtqCursor;
+
   bool IsDeleted(catalog::TupleId id) const { return deleted_.contains(id); }
   void RetuneFromBuffer();
   /// FlushBuffer body; caller holds the exclusive lock.
   Status FlushBufferLocked();
+  /// True when the summary proves a probe (column, value, qt) cannot match
+  /// anything in the fracture. Caller holds at least the shared lock;
+  /// `column` is a concrete schema column index. Never skips when pruning is
+  /// disabled or the summary is missing.
+  bool SkipFracture(const FractureSummary* summary, int column,
+                    std::string_view value, double qt) const;
+  /// Maps the query convention (column < 0 = clustered attribute) to a
+  /// concrete schema column.
+  int ResolveColumn(int column) const {
+    return column < 0 ? options_.cluster_column : column;
+  }
+  /// Delta fracture i's summary, nullptr when absent. Caller holds at least
+  /// the shared lock.
+  const FractureSummary* DeltaSummary(size_t i) const {
+    return i < fracture_summaries_.size() ? fracture_summaries_[i].get()
+                                          : nullptr;
+  }
+  /// Builds the summary of a fracture about to be flushed/bulk-built: every
+  /// clustered-column alternative (heap *and* cutoff — both are reachable by
+  /// queries), every secondary-column alternative, every TupleId.
+  std::shared_ptr<const FractureSummary> SummarizeTuples(
+      const std::vector<catalog::Tuple>& tuples) const;
   /// Sort-merges `sources` into a fresh Upi, filtering ids in `deleted` (a
   /// snapshot taken under the lock, so the build can run lock-free). Dropped
-  /// ids are added to `filtered_ids`.
+  /// ids are added to `filtered_ids`; the merged fracture's summary is built
+  /// from the merge streams and returned through `summary_out`.
   Result<std::unique_ptr<Upi>> MergeUpis(const std::vector<const Upi*>& sources,
                                          const std::string& merged_name,
                                          const std::set<catalog::TupleId>& deleted,
-                                         std::set<catalog::TupleId>* filtered_ids);
+                                         std::set<catalog::TupleId>* filtered_ids,
+                                         std::shared_ptr<const FractureSummary>*
+                                             summary_out);
   Status QueryBuffer(std::string_view value, double qt,
                      std::vector<PtqMatch>* out) const;
   Status QueryBufferSecondary(int column, std::string_view value, double qt,
@@ -197,6 +329,11 @@ class FracturedUpi {
 
   std::unique_ptr<Upi> main_;
   std::vector<std::unique_ptr<Upi>> fractures_;
+  /// Pruning summaries, parallel to main_/fractures_ and swapped with them
+  /// under the exclusive lock (shared_ptr: an in-flight lazy cursor may
+  /// outlive the list entry it pruned against).
+  std::shared_ptr<const FractureSummary> main_summary_;
+  std::vector<std::shared_ptr<const FractureSummary>> fracture_summaries_;
   int fracture_seq_ = 0;
 
   // Adaptive per-fracture tuning (empty workload = disabled).
@@ -217,6 +354,8 @@ class FracturedUpi {
   uint64_t deleted_count_applied_ = 0;
   uint64_t main_and_fracture_tuples_ = 0;
   std::atomic<uint64_t> stats_epoch_{0};
+  mutable std::atomic<uint64_t> fractures_pruned_total_{0};
+  mutable std::atomic<uint64_t> fractures_probed_total_{0};
 };
 
 }  // namespace upi::core

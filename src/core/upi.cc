@@ -385,21 +385,26 @@ void Upi::ScanHeap(
 // Streaming cursor (pull-based Algorithm 2)
 // ---------------------------------------------------------------------------
 
-UpiPtqCursor Upi::OpenPtqCursor(std::string_view value, double qt) const {
-  return UpiPtqCursor(this, value, qt, /*topk_mode=*/false);
+UpiPtqCursor Upi::OpenPtqCursor(std::string_view value, double qt,
+                                bool charge_open_on_consult) const {
+  return UpiPtqCursor(this, value, qt, /*topk_mode=*/false,
+                      charge_open_on_consult);
 }
 
-UpiPtqCursor Upi::OpenTopKCursor(std::string_view value) const {
-  return UpiPtqCursor(this, value, /*qt=*/0.0, /*topk_mode=*/true);
+UpiPtqCursor Upi::OpenTopKCursor(std::string_view value,
+                                 bool charge_open_on_consult) const {
+  return UpiPtqCursor(this, value, /*qt=*/0.0, /*topk_mode=*/true,
+                      charge_open_on_consult);
 }
 
 UpiPtqCursor::UpiPtqCursor(const Upi* upi, std::string_view value, double qt,
-                           bool topk_mode)
+                           bool topk_mode, bool charge_open_on_consult)
     : upi_(upi),
       value_(value),
       prefix_(UpiKeyPrefix(value)),
       qt_(qt),
-      topk_mode_(topk_mode) {
+      topk_mode_(topk_mode),
+      charge_open_on_consult_(charge_open_on_consult) {
   // Same opening sequence as QueryPtq/QueryTopK: the optional Costinit, then
   // one index descent to the start of the value's clustered region.
   if (upi_->options_.charge_open_per_query) upi_->heap_file_->ChargeOpen();
@@ -462,7 +467,9 @@ void UpiPtqCursor::EnterCutoffPhase() {
     phase_ = Phase::kDone;
     return;
   }
-  if (upi_->options_.charge_open_per_query) upi_->cutoff_->ChargeOpen();
+  if (upi_->options_.charge_open_per_query || charge_open_on_consult_) {
+    upi_->cutoff_->ChargeOpen();
+  }
   Status st = upi_->cutoff_->CollectPointers(value_, topk_mode_ ? 0.0 : qt_,
                                              &pointers_);
   if (!st.ok()) {

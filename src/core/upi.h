@@ -48,6 +48,13 @@ struct UpiOptions {
   /// FracturedUpi charges itself. Figure 3's bench enables this to match the
   /// Cost_cut formula's 2*(Costinit + H*Tseek) term.
   bool charge_open_per_query = false;
+  /// Fractured tables only: consult per-fracture FractureSummary metadata
+  /// (zone maps, Bloom fences, max-probability cutoffs) to skip fractures a
+  /// query cannot match, instead of paying the full Nfrac fan-out tax.
+  /// Summaries are always *built* (they are cheap and immutable); this knob
+  /// only gates consulting them, so flipping it never changes result rows —
+  /// only how many fractures are opened. Plain UPIs ignore it.
+  bool enable_pruning = true;
 };
 
 /// One PTQ result row.
@@ -84,7 +91,7 @@ class UpiPtqCursor {
  private:
   friend class Upi;
   UpiPtqCursor(const Upi* upi, std::string_view value, double qt,
-               bool topk_mode);
+               bool topk_mode, bool charge_open_on_consult);
 
   enum class Phase { kHeap, kCutoff, kDone };
   bool NextHeap(PtqMatch* out);
@@ -98,6 +105,10 @@ class UpiPtqCursor {
   std::string prefix_;
   double qt_ = 0.0;
   bool topk_mode_ = false;
+  /// Charge the cutoff index's Costinit when (and only when) the cutoff
+  /// phase is actually entered — the fractured fan-out's per-file open
+  /// protocol, independent of charge_open_per_query.
+  bool charge_open_on_consult_ = false;
   Phase phase_ = Phase::kHeap;
   btree::Cursor heap_;
   std::vector<CutoffIndex::PointerEntry> pointers_;
@@ -151,11 +162,16 @@ class Upi {
 
   /// Streaming Algorithm 2: QueryPtq's rows, pulled one at a time (the
   /// cutoff phase runs only if the consumer drains past the heap phase).
-  UpiPtqCursor OpenPtqCursor(std::string_view value, double qt) const;
+  /// `charge_open_on_consult` makes the cursor charge the cutoff index's
+  /// Costinit when its phase is entered — how a fractured fan-out pays the
+  /// per-file open for fractures whose own options don't charge opens.
+  UpiPtqCursor OpenPtqCursor(std::string_view value, double qt,
+                             bool charge_open_on_consult = false) const;
 
   /// Streaming top-k: QueryTopK's row stream without the k bound — the
   /// caller stops pulling after k rows, which is what makes it early-exit.
-  UpiPtqCursor OpenTopKCursor(std::string_view value) const;
+  UpiPtqCursor OpenTopKCursor(std::string_view value,
+                              bool charge_open_on_consult = false) const;
 
   // --- Introspection -------------------------------------------------------
 

@@ -29,6 +29,23 @@ class UpiStreamCursor : public ResultCursor {
   core::UpiPtqCursor cursor_;
 };
 
+/// ResultCursor over a core::FracturedPtqCursor: the pruned fan-out executed
+/// lazily. Holds the table's shared lock for the cursor's lifetime.
+class FracturedStreamCursor : public ResultCursor {
+ public:
+  explicit FracturedStreamCursor(core::FracturedPtqCursor cursor)
+      : cursor_(std::move(cursor)) {}
+
+ private:
+  bool Produce(core::PtqMatch* out) override {
+    if (cursor_.Next(out)) return true;
+    status_ = cursor_.status();
+    return false;
+  }
+
+  core::FracturedPtqCursor cursor_;
+};
+
 /// ResultCursor over the PII baseline's probe: the inverted-list entries are
 /// collected up front (one index scan, as QueryPii does), but each tuple's
 /// random heap seek happens only when the consumer pulls its row. A failed
@@ -85,6 +102,18 @@ Status AccessPath::ScanTuples(
 Status AccessPath::QueryRange(prob::Point, double, double,
                               std::vector<core::PtqMatch>*) const {
   return Status::NotSupported(name() + ": no spatial range query");
+}
+
+core::PruneEstimate AccessPath::EstimatePrune(int, std::string_view,
+                                              double) const {
+  // No pruning metadata: every fracture is probed and a sweep transfers the
+  // whole table.
+  PathStats s = Stats();
+  core::PruneEstimate pe;
+  pe.total_fractures = s.table.num_fractures > 0 ? s.table.num_fractures : 1;
+  pe.probed_fractures = static_cast<double>(pe.total_fractures);
+  pe.probed_bytes = s.table.table_bytes;
+  return pe;
 }
 
 // ---------------------------------------------------------------------------
@@ -227,11 +256,13 @@ PathStats FracturedAccessPath::Stats() const {
   s.table.num_fractures = fractures > 0 ? fractures : 1;
   s.num_tuples += table_->buffered_inserts();
   s.avg_entry_bytes = AvgEntryBytes(s.table.table_bytes, s.heap_entries);
-  // Every fractured query pays Costinit per fracture (Section 6.2's
+  // Every fractured query pays Costinit per probed fracture (Section 6.2's
   // Nfrac * Costinit term; FracturedUpi charges it itself).
   s.charges_open_per_query = true;
-  s.supports_scan = true;          // fan-out sweep incl. the RAM buffer
-  s.supports_direct_topk = false;  // the Section 9 TAL scenario
+  s.supports_scan = true;  // fan-out sweep incl. the RAM buffer
+  // Summary-pruned fan-out with a running k-th-score bound (see
+  // FracturedUpi::QueryTopK); each probed fracture streams k rows at most.
+  s.supports_direct_topk = true;
   s.clustered = true;
   return s;
 }
@@ -239,6 +270,11 @@ PathStats FracturedAccessPath::Stats() const {
 Status FracturedAccessPath::QueryPtq(std::string_view value, double qt,
                                      std::vector<core::PtqMatch>* out) const {
   return table_->QueryPtq(value, qt, out);
+}
+
+Status FracturedAccessPath::QueryTopK(std::string_view value, size_t k,
+                                      std::vector<core::PtqMatch>* out) const {
+  return table_->QueryTopK(value, k, out);
 }
 
 Status FracturedAccessPath::QuerySecondary(
@@ -250,6 +286,18 @@ Status FracturedAccessPath::QuerySecondary(
 Status FracturedAccessPath::ScanTuples(
     const std::function<void(const catalog::Tuple&)>& fn) const {
   return table_->ScanTuples(fn);
+}
+
+Status FracturedAccessPath::ScanTuplesMatching(
+    int column, std::string_view value, double qt,
+    const std::function<void(const catalog::Tuple&)>& fn) const {
+  return table_->ScanTuplesMatching(column, value, qt, fn);
+}
+
+std::unique_ptr<ResultCursor> FracturedAccessPath::OpenPtqStream(
+    std::string_view value, double qt) const {
+  return std::make_unique<FracturedStreamCursor>(
+      table_->OpenPtqCursor(value, qt));
 }
 
 bool FracturedAccessPath::HasSecondary(int column) const {

@@ -82,6 +82,17 @@ class AccessPath {
   virtual Status ScanTuples(
       const std::function<void(const catalog::Tuple&)>& fn) const;
 
+  /// Sweep in service of a scan-filter on (column, value, qt): same
+  /// semantics over every tuple that could match, but paths with pruning
+  /// metadata (the Fractured UPI's per-fracture summaries) skip storage
+  /// units that provably cannot contain a qualifying alternative. Defaults
+  /// to the plain ScanTuples. column < 0 means the primary attribute.
+  virtual Status ScanTuplesMatching(
+      int column, std::string_view value, double qt,
+      const std::function<void(const catalog::Tuple&)>& fn) const {
+    return ScanTuples(fn);
+  }
+
   /// Probabilistic spatial range query (continuous paths only).
   virtual Status QueryRange(prob::Point center, double radius, double qt,
                             std::vector<core::PtqMatch>* out) const;
@@ -126,6 +137,15 @@ class AccessPath {
                                           double qt) const {
     return 0.0;
   }
+
+  /// Expected fan-out of a probe on (column, value, qt) after pruning: how
+  /// many fractures the query will actually open, and their heap bytes.
+  /// column < 0 means the primary attribute. The default — probe every
+  /// fracture, full table bytes — is what paths without pruning metadata do;
+  /// the Fractured UPI consults its per-fracture summaries, replacing the
+  /// planner's Nfrac with the expected-probed count.
+  virtual core::PruneEstimate EstimatePrune(int column, std::string_view value,
+                                            double qt) const;
 
   /// Average heap pointers per secondary entry on `column` (>= 1): the
   /// tailored-access overlap opportunity.
@@ -180,9 +200,11 @@ class UpiAccessPath : public AccessPath {
 };
 
 /// Adapter over a Fractured UPI (Section 4). Queries fan out across
-/// fractures; the estimation hooks aggregate per-fracture stats and
-/// histograms under the table's shared lock, so planning (like querying) is
-/// safe while background maintenance workers merge underneath.
+/// fractures — pruned through the per-fracture summaries (zone maps, Bloom
+/// fences, max-probability cutoffs) unless UpiOptions::enable_pruning is
+/// off; the estimation hooks aggregate per-fracture stats and histograms
+/// under the table's shared lock, so planning (like querying) is safe while
+/// background maintenance workers merge underneath.
 class FracturedAccessPath : public AccessPath {
  public:
   explicit FracturedAccessPath(const core::FracturedUpi* table)
@@ -194,13 +216,28 @@ class FracturedAccessPath : public AccessPath {
 
   Status QueryPtq(std::string_view value, double qt,
                   std::vector<core::PtqMatch>* out) const override;
+  Status QueryTopK(std::string_view value, size_t k,
+                   std::vector<core::PtqMatch>* out) const override;
   Status QuerySecondary(int column, std::string_view value, double qt,
                         core::SecondaryAccessMode mode,
                         std::vector<core::PtqMatch>* out) const override;
   Status ScanTuples(
       const std::function<void(const catalog::Tuple&)>& fn) const override;
+  Status ScanTuplesMatching(
+      int column, std::string_view value, double qt,
+      const std::function<void(const catalog::Tuple&)>& fn) const override;
+
+  /// Streaming PTQ over the pruned fan-out, fractures opened lazily. Holds
+  /// the table's shared lock until destroyed (see core::FracturedPtqCursor):
+  /// drain promptly and never write to this table while one is open.
+  std::unique_ptr<ResultCursor> OpenPtqStream(std::string_view value,
+                                              double qt) const override;
 
   uint64_t StatsEpoch() const override { return table_->stats_epoch(); }
+  core::PruneEstimate EstimatePrune(int column, std::string_view value,
+                                    double qt) const override {
+    return table_->EstimatePrune(column, value, qt);
+  }
 
   bool HasSecondary(int column) const override;
   int primary_column() const override {

@@ -56,8 +56,13 @@ class Table {
   /// Lifetime contract: a *streaming* cursor (clustered PTQ / direct top-k
   /// on a plain UPI table) walks live index pages — drain it before any
   /// Insert/Delete on this table, and do not hold it across another
-  /// session's writes. Fan-out and union plans (fractured tables, secondary
-  /// probes, scans) materialize at open and have no such hazard.
+  /// session's writes. A fractured PTQ cursor streams the pruned fan-out
+  /// lazily while *holding the table's shared lock*: results stay
+  /// consistent under background maintenance, but writes and maintenance
+  /// installs on that table block until it is destroyed — drain promptly,
+  /// and never write to the table from the thread holding the cursor.
+  /// Remaining fan-out and union plans (secondary probes, scans, threshold
+  /// top-k) materialize at open and have no such hazard.
   Result<std::unique_ptr<ResultCursor>> OpenCursor(const Query& q) const;
 
   /// Validates and prepares `q` for repeated execution: the plan is cached

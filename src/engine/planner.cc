@@ -37,6 +37,14 @@ std::string Plan::Explain() const {
   std::snprintf(buf, sizeof(buf), "  chosen: %s  predicted=%.1f sim-ms\n",
                 PlanKindName(kind), predicted_ms);
   out += buf;
+  if (fractures_total > 1) {
+    std::snprintf(buf, sizeof(buf),
+                  "  fractures: probing %.0f of %u (%u pruned by summaries)\n",
+                  fractures_probed, fractures_total,
+                  fractures_total - static_cast<uint32_t>(
+                                        fractures_probed + 0.5));
+    out += buf;
+  }
   for (const PlanCandidate& c : candidates()) {
     std::snprintf(buf, sizeof(buf), "  %c %-26s %10.1f ms%s%s%s\n",
                   c.kind == kind ? '*' : ' ', PlanKindName(c.kind),
@@ -75,6 +83,16 @@ double QueryPlanner::ScanMs(const PathStats& s) const {
          params_.ScanMs(s.table.table_bytes);
 }
 
+double QueryPlanner::PrunedScanMs(const PathStats& s,
+                                  const core::PruneEstimate& pe) const {
+  // A value-filtered sweep prunes like every other fan-out: fractures whose
+  // summary rules the value out are never opened and never transfer.
+  double n = pe.probed_fractures > 0 ? pe.probed_fractures : 1.0;
+  return n * ((s.charges_open_per_query ? params_.init_ms : 0.0) +
+              params_.seek_ms) +
+         params_.ScanMs(pe.probed_bytes);
+}
+
 double QueryPlanner::SortedSweepMs(const PathStats& s, double x,
                                    double regions) const {
   if (x <= 0) return 0.0;
@@ -92,15 +110,18 @@ double QueryPlanner::SortedSweepMs(const PathStats& s, double x,
   return std::min(cost, ScanMs(s));
 }
 
-double QueryPlanner::PrimaryProbeMs(const PathStats& s, std::string_view value,
-                                    double qt, std::string* note) const {
+double QueryPlanner::PrimaryProbeMs(const PathStats& s,
+                                    const core::PruneEstimate& pe,
+                                    std::string_view value, double qt,
+                                    std::string* note) const {
   histogram::PtqEstimate est = path_->EstimatePtq(value, qt);
   char buf[96];
   if (s.clustered) {
-    // One lookup + clustered region read per fracture; when QT < C the cutoff
-    // index adds a second lookup plus a sweep over the pointers' (scattered)
-    // home regions.
-    double nfrac = static_cast<double>(s.table.num_fractures);
+    // One lookup + clustered region read per *probed* fracture (the
+    // summaries replace Nfrac with the expected fan-out); when QT < C the
+    // cutoff index adds a second lookup plus a sweep over the pointers'
+    // (scattered) home regions.
+    double nfrac = pe.probed_fractures > 0 ? pe.probed_fractures : 1.0;
     double cost = nfrac * LookupMs(s) +
                   est.selectivity * params_.ScanMs(s.table.table_bytes);
     if (qt < s.cutoff) {
@@ -109,8 +130,9 @@ double QueryPlanner::PrimaryProbeMs(const PathStats& s, std::string_view value,
       cost += nfrac * LookupMs(s) +
               SortedSweepMs(s, est.cutoff_pointers, regions);
     }
-    std::snprintf(buf, sizeof(buf), "sel=%.4f cutoff-ptrs=%.0f nfrac=%u",
-                  est.selectivity, est.cutoff_pointers, s.table.num_fractures);
+    std::snprintf(buf, sizeof(buf), "sel=%.4f cutoff-ptrs=%.0f probe=%.0f/%u",
+                  est.selectivity, est.cutoff_pointers, nfrac,
+                  pe.total_fractures);
     if (note != nullptr) *note = buf;
     return cost;
   }
@@ -141,20 +163,23 @@ Plan QueryPlanner::Choose(std::vector<PlanCandidate> candidates) const {
 
 Plan QueryPlanner::PlanPtq(std::string_view value, double qt) const {
   PathStats s = path_->Stats();
+  core::PruneEstimate pe = path_->EstimatePrune(-1, value, qt);
   std::vector<PlanCandidate> cands;
 
   PlanCandidate probe{PlanKind::kPrimaryProbe};
-  probe.predicted_ms = PrimaryProbeMs(s, value, qt, &probe.note);
+  probe.predicted_ms = PrimaryProbeMs(s, pe, value, qt, &probe.note);
   cands.push_back(std::move(probe));
 
   PlanCandidate scan{PlanKind::kHeapScan};
-  scan.predicted_ms = ScanMs(s);
+  scan.predicted_ms = PrunedScanMs(s, pe);
   scan.feasible = s.supports_scan;
   cands.push_back(std::move(scan));
 
   Plan plan = Choose(std::move(cands));
   plan.value = std::string(value);
   plan.qt = qt;
+  plan.fractures_probed = pe.probed_fractures;
+  plan.fractures_total = pe.total_fractures;
   return plan;
 }
 
@@ -163,7 +188,8 @@ Plan QueryPlanner::PlanSecondary(int column, std::string_view value,
   PathStats s = path_->Stats();
   bool has_secondary = path_->HasSecondary(column);
   double n = path_->EstimateSecondaryMatches(column, value, qt);
-  double nfrac = static_cast<double>(s.table.num_fractures);
+  core::PruneEstimate pe = path_->EstimatePrune(column, value, qt);
+  double nfrac = pe.probed_fractures > 0 ? pe.probed_fractures : 1.0;
   double lookups = 2.0 * nfrac * LookupMs(s);
   char buf[96];
   std::vector<PlanCandidate> cands;
@@ -193,7 +219,8 @@ Plan QueryPlanner::PlanSecondary(int column, std::string_view value,
   }
 
   PlanCandidate scan{PlanKind::kHeapScan};
-  scan.predicted_ms = ScanMs(s);
+  // The scan-filter fallback prunes on the same (column, value, qt).
+  scan.predicted_ms = PrunedScanMs(s, pe);
   scan.feasible = s.supports_scan;
   cands.push_back(std::move(scan));
 
@@ -201,6 +228,8 @@ Plan QueryPlanner::PlanSecondary(int column, std::string_view value,
   plan.column = column;
   plan.value = std::string(value);
   plan.qt = qt;
+  plan.fractures_probed = pe.probed_fractures;
+  plan.fractures_total = pe.total_fractures;
   return plan;
 }
 
@@ -219,13 +248,16 @@ Plan QueryPlanner::PlanQuery(const Query& q) const {
     case Query::Kind::kScanFilter: {
       // Declaratively forced sweep: a one-candidate plan (still explainable).
       PathStats s = path_->Stats();
+      core::PruneEstimate pe = path_->EstimatePrune(q.column, q.value, q.qt);
       PlanCandidate scan{PlanKind::kHeapScan};
-      scan.predicted_ms = ScanMs(s);
+      scan.predicted_ms = PrunedScanMs(s, pe);
       scan.feasible = s.supports_scan;
       plan = Choose({std::move(scan)});
       plan.column = q.column;
       plan.value = q.value;
       plan.qt = q.qt;
+      plan.fractures_probed = pe.probed_fractures;
+      plan.fractures_total = pe.total_fractures;
       break;
     }
   }
@@ -236,21 +268,31 @@ Plan QueryPlanner::PlanQuery(const Query& q) const {
 Plan QueryPlanner::PlanTopK(std::string_view value, size_t k) const {
   PathStats s = path_->Stats();
   double est_qt = path_->EstimateTopKThreshold(value, k);
+  // Presence pruning only (qt = 0): the runtime bound-based skip comes on
+  // top, so this is the conservative fan-out a direct top-k pays at most.
+  core::PruneEstimate pe = path_->EstimatePrune(-1, value, 0.0);
   std::vector<PlanCandidate> cands;
   char buf[96];
 
   PlanCandidate direct{PlanKind::kTopKDirect};
   direct.feasible = s.supports_direct_topk;
-  // One descent, then k entries off the probability-ordered cursor.
+  // Per probed fracture: one descent, then k entries off the
+  // probability-ordered cursor (a single-fracture path keeps its classic
+  // one-lookup price).
+  double probes = pe.probed_fractures > 0 ? pe.probed_fractures : 1.0;
   direct.predicted_ms =
-      LookupMs(s) + params_.ReadMs(static_cast<uint64_t>(
-                        static_cast<double>(k) * s.avg_entry_bytes));
+      probes * (LookupMs(s) + params_.ReadMs(static_cast<uint64_t>(
+                                  static_cast<double>(k) * s.avg_entry_bytes)));
+  std::snprintf(buf, sizeof(buf), "probe=%.0f/%u", probes, pe.total_fractures);
+  direct.note = buf;
   cands.push_back(std::move(direct));
 
   PlanCandidate estimated{PlanKind::kTopKEstimatedThreshold};
   // One PTQ at the histogram-estimated k-th threshold; the 1.25 margin prices
   // the occasional halving retry when the estimate lands too high.
-  estimated.predicted_ms = 1.25 * PrimaryProbeMs(s, value, est_qt, nullptr);
+  estimated.predicted_ms =
+      1.25 * PrimaryProbeMs(s, path_->EstimatePrune(-1, value, est_qt), value,
+                            est_qt, nullptr);
   std::snprintf(buf, sizeof(buf), "est-qt=%.2f", est_qt);
   estimated.note = buf;
   cands.push_back(std::move(estimated));
@@ -261,7 +303,8 @@ Plan QueryPlanner::PlanTopK(std::string_view value, size_t k) const {
   double qt = 0.5;
   int rounds = 0;
   for (;;) {
-    cost += PrimaryProbeMs(s, value, qt, nullptr);
+    cost += PrimaryProbeMs(s, path_->EstimatePrune(-1, value, qt), value, qt,
+                           nullptr);
     ++rounds;
     histogram::PtqEstimate e = path_->EstimatePtq(value, qt);
     if (e.heap_entries + e.cutoff_pointers >= static_cast<double>(k) ||
@@ -278,6 +321,8 @@ Plan QueryPlanner::PlanTopK(std::string_view value, size_t k) const {
   Plan plan = Choose(std::move(cands));
   plan.value = std::string(value);
   plan.k = k;
+  plan.fractures_probed = pe.probed_fractures;
+  plan.fractures_total = pe.total_fractures;
   // Each strategy starts where its cost model assumed it starts: the
   // estimated-threshold strategy at the histogram's k-th probability, the
   // decreasing-threshold strategy at its fixed 0.5.

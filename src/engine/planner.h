@@ -73,6 +73,12 @@ struct Plan {
   /// Starting threshold for kTopKEstimatedThreshold / kTopKDecreasingThreshold.
   double initial_qt = 0.0;
   double predicted_ms = 0.0;
+  /// Expected fan-out after fracture pruning (see core/fracture_summary.h):
+  /// the planner prices probes with `fractures_probed` instead of Nfrac, and
+  /// Explain() reports probed vs pruned. Equal when the path has no pruning
+  /// metadata or pruning is disabled.
+  double fractures_probed = 1.0;
+  uint32_t fractures_total = 1;
   /// Every costed alternative, chosen first. Shared and immutable.
   std::shared_ptr<const std::vector<PlanCandidate>> shared_candidates;
 
@@ -113,10 +119,15 @@ class QueryPlanner {
   /// One index descent: Costinit (when the path charges opens) + a random
   /// seek to the file + short hops down the remaining levels.
   double LookupMs(const PathStats& s) const;
-  /// Predicted cost of the path's native PTQ at (value, qt).
-  double PrimaryProbeMs(const PathStats& s, std::string_view value,
-                        double qt, std::string* note) const;
+  /// Predicted cost of the path's native PTQ at (value, qt); `pe` is the
+  /// expected post-pruning fan-out for that probe.
+  double PrimaryProbeMs(const PathStats& s, const core::PruneEstimate& pe,
+                        std::string_view value, double qt,
+                        std::string* note) const;
   double ScanMs(const PathStats& s) const;
+  /// Scan priced over the pruned fan-out: only probed fractures pay their
+  /// open + seek, only their bytes transfer.
+  double PrunedScanMs(const PathStats& s, const core::PruneEstimate& pe) const;
   /// Sorted sweep dereferencing `x` targets that coalesce into `regions`
   /// contiguous heap regions; saturates at ScanMs (Section 6.3).
   double SortedSweepMs(const PathStats& s, double x, double regions) const;

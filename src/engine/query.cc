@@ -3,6 +3,7 @@
 #include <cmath>
 #include <map>
 #include <mutex>
+#include <tuple>
 #include <utility>
 
 #include "engine/access_path.h"
@@ -120,10 +121,14 @@ struct PreparedState {
   const QueryPlanner* planner = nullptr;
   Query query;
 
-  /// Cache key: (quantized threshold, parameter histogram bucket). Guarded
-  /// by mu; cleared wholesale when the table's stats epoch moves.
+  /// Cache key: (quantized threshold, parameter histogram bucket, expected
+  /// probed-fracture count). The prune coordinate keeps a plan priced for a
+  /// heavily-pruned value from being reused by a same-cardinality value
+  /// that probes every fracture (and vice versa). Guarded by mu; cleared
+  /// wholesale when the table's stats epoch moves.
   mutable std::mutex mu;
-  mutable std::map<std::pair<int, int>, std::shared_ptr<const Plan>> cache;
+  mutable std::map<std::tuple<int, int, int>, std::shared_ptr<const Plan>>
+      cache;
   mutable uint64_t epoch = 0;
   mutable uint64_t plans = 0;
   mutable uint64_t hits = 0;
@@ -150,26 +155,38 @@ std::shared_ptr<const Plan> detail::PreparedState::PlanFor(
   // planning pass (no Stats() assembly, no candidate sweep math).
   int bucket = -1;
   double topk_qt = 0.0;
+  int prune = 0;
   switch (query.kind) {
     case Query::Kind::kPtq: {
       histogram::PtqEstimate est = path->EstimatePtq(value, qt);
       bucket = CardinalityBucket(est.heap_entries + est.cutoff_pointers);
+      prune = static_cast<int>(
+          std::lround(path->EstimatePrune(-1, value, qt).probed_fractures));
       break;
     }
     case Query::Kind::kScanFilter:
-      bucket = 0;  // a forced sweep's plan is parameter-independent
+      // A forced sweep's plan shape is parameter-independent, but its
+      // pruned fan-out (and Explain numbers) are not.
+      bucket = 0;
+      prune = static_cast<int>(std::lround(
+          path->EstimatePrune(query.column, value, qt).probed_fractures));
       break;
     case Query::Kind::kSecondary:
       bucket = CardinalityBucket(
           path->EstimateSecondaryMatches(query.column, value, qt));
+      prune = static_cast<int>(std::lround(
+          path->EstimatePrune(query.column, value, qt).probed_fractures));
       break;
     case Query::Kind::kTopK:
       // Top-k plans embed the starting threshold, so bucket on it directly.
       topk_qt = path->EstimateTopKThreshold(value, query.k);
       bucket = static_cast<int>(std::lround(topk_qt * 32.0));
+      prune = static_cast<int>(
+          std::lround(path->EstimatePrune(-1, value, 0.0).probed_fractures));
       break;
   }
-  std::pair<int, int> key{static_cast<int>(std::lround(qt * 32.0)), bucket};
+  std::tuple<int, int, int> key{static_cast<int>(std::lround(qt * 32.0)),
+                                bucket, prune};
 
   uint64_t now = path->StatsEpoch();
   std::shared_ptr<const Plan> base;

@@ -14,7 +14,11 @@ Status ScanFilter(const engine::AccessPath& path, int column,
   if (column < 0) {
     return Status::InvalidArgument("scan-filter needs a concrete column");
   }
-  return path.ScanTuples([&](const catalog::Tuple& tuple) {
+  // The filter predicate rides along so paths with pruning metadata can
+  // skip storage units that cannot contain a qualifying alternative; the
+  // exact per-tuple check below still decides every emitted row.
+  return path.ScanTuplesMatching(column, value, qt,
+                                 [&](const catalog::Tuple& tuple) {
     double conf = tuple.ConfidenceOf(static_cast<size_t>(column), value);
     if (conf < qt || conf <= 0.0) return;
     core::PtqMatch m;

@@ -29,9 +29,38 @@ double MergePolicy::Selectivity(const core::FracturedUpi& table) const {
                                    options_.reference_qt);
 }
 
+double MergePolicy::ExpectedProbed(const core::FracturedUpi& table) const {
+  // With pruning enabled and a concrete reference query, the fracture tax is
+  // paid only by the fractures the summaries cannot rule out. Without a
+  // reference value there is nothing to prune against: fall back to Nfrac.
+  double nfrac = static_cast<double>(table.num_fractures());
+  if (!table.options().enable_pruning || options_.reference_value.empty()) {
+    return nfrac;
+  }
+  core::PruneEstimate pe = table.EstimatePrune(-1, options_.reference_value,
+                                               options_.reference_qt);
+  // Floor at one probe, never at Nfrac: a reference query every summary
+  // rules out (probed == 0) is the *cheapest* layout, not the most
+  // deteriorated one.
+  return pe.probed_fractures > 0 ? pe.probed_fractures : 1.0;
+}
+
+namespace {
+
+/// The one pruning-aware Cost_frac formula both PredictQueryMs and
+/// DecideMerge price with: Costscan * Selectivity + probed * (Costinit +
+/// H * Tseek).
+double QueryMs(const core::CostModel& model, double selectivity,
+               double probed_fractures) {
+  return model.CostScanMs() * selectivity +
+         probed_fractures * model.LookupOverheadMs();
+}
+
+}  // namespace
+
 double MergePolicy::PredictQueryMs(const core::FracturedUpi& table) const {
   core::CostModel model(params_, core::TableStats::Of(table));
-  return model.FracturedQueryMs(Selectivity(table));
+  return QueryMs(model, Selectivity(table), ExpectedProbed(table));
 }
 
 Decision MergePolicy::DecideMerge(const core::FracturedUpi& table) const {
@@ -39,8 +68,11 @@ Decision MergePolicy::DecideMerge(const core::FracturedUpi& table) const {
   core::TableStats stats = core::TableStats::Of(table);
   core::CostModel model(params_, stats);
   double sel = Selectivity(table);
-  d.predicted_query_ms = model.FracturedQueryMs(sel);
-  d.overhead_ms = stats.num_fractures * model.LookupOverheadMs();
+  d.expected_probed = ExpectedProbed(table);
+  // Cost_frac with the pruning-aware fan-out: the second term is the tax a
+  // query actually pays, not the tax the layout could charge.
+  d.overhead_ms = d.expected_probed * model.LookupOverheadMs();
+  d.predicted_query_ms = QueryMs(model, sel, d.expected_probed);
   core::TableStats merged_stats = stats;
   merged_stats.num_fractures = 1;
   d.merged_query_ms =

@@ -21,6 +21,13 @@
 //     relative to the ideal single-fracture layout — the knee the Figure 9 /
 //     Table 8 trade-off implies, where repaying the whole debt beats another
 //     round of partial repayments.
+//
+// Pruning-aware deterioration: when the table's fracture summaries are
+// consulted (UpiOptions::enable_pruning), a query does not pay Nfrac
+// lookups — it pays one per *expected probed* fracture for the reference
+// query. The policy prices the tax with that expected fan-out, so a table
+// whose fractures are mostly prunable deteriorates slower and merges can be
+// deferred longer at the same query cost.
 #pragma once
 
 #include <string>
@@ -72,8 +79,11 @@ struct Decision {
   ActionKind action = ActionKind::kNone;
   size_t merge_count = 0;         // kMergePartial: fan-in
   double predicted_query_ms = 0;  // Cost_frac at decision time
-  double overhead_ms = 0;         // Nfrac * (Costinit + H*Tseek)
+  double overhead_ms = 0;         // expected_probed * (Costinit + H*Tseek)
   double merged_query_ms = 0;     // Cost_frac with Nfrac = 1
+  /// Fractures the reference query is expected to open (= Nfrac when the
+  /// table does not prune or no reference value is configured).
+  double expected_probed = 0;
   const char* reason = "";
 };
 
@@ -98,6 +108,9 @@ class MergePolicy {
 
  private:
   double Selectivity(const core::FracturedUpi& table) const;
+  /// Fractures the reference query is expected to open under the table's
+  /// pruning summaries; Nfrac when pruning is off or no reference value.
+  double ExpectedProbed(const core::FracturedUpi& table) const;
 
   MergePolicyOptions options_;
   sim::CostParams params_;

@@ -239,7 +239,7 @@ TEST(PlannerTest, TinyTablePrefersScanForSecondaryQuery) {
 // Top-k planning over different paths
 // ---------------------------------------------------------------------------
 
-TEST(PlannerTest, TopKUsesDirectCursorOnUpiAndThresholdQueriesOnFractured) {
+TEST(PlannerTest, TopKUsesDirectCursorOnUpiAndPrunedFanOutOnFractured) {
   DblpFx fx;
   std::string inst = fx.gen->PopularInstitution();
   Plan plan = fx.author_table->planner().PlanTopK(inst, 10);
@@ -248,9 +248,10 @@ TEST(PlannerTest, TopKUsesDirectCursorOnUpiAndThresholdQueriesOnFractured) {
   ASSERT_TRUE(exec::Execute(*fx.author_table->path(), plan, &direct).ok());
   ASSERT_EQ(direct.size(), 10u);
 
-  // A fractured table has no direct cursor (the Section 9 TAL scenario):
-  // the planner must fall back to a threshold-query strategy that still
-  // produces the same answer.
+  // A fractured table answers top-k with the summary-pruned fan-out (each
+  // probed fracture streams at most k rows; a running k-th-score bound skips
+  // fractures that cannot compete), so the direct strategy is both available
+  // and the cheapest — and produces the same answer as the plain UPI.
   core::UpiOptions fopt;
   fopt.cluster_column = AuthorCols::kInstitution;
   fopt.cutoff = 0.1;
@@ -260,13 +261,21 @@ TEST(PlannerTest, TopKUsesDirectCursorOnUpiAndThresholdQueriesOnFractured) {
                                  {}, fx.authors)
           .ValueOrDie();
   Plan fplan = fractured->planner().PlanTopK(inst, 10);
-  EXPECT_NE(fplan.kind, PlanKind::kTopKDirect) << fplan.Explain();
-  EXPECT_TRUE(fplan.kind == PlanKind::kTopKEstimatedThreshold ||
-              fplan.kind == PlanKind::kTopKDecreasingThreshold)
-      << fplan.Explain();
+  EXPECT_EQ(fplan.kind, PlanKind::kTopKDirect) << fplan.Explain();
+  std::vector<core::PtqMatch> via_fanout;
+  ASSERT_TRUE(exec::Execute(*fractured->path(), fplan, &via_fanout).ok());
+  ASSERT_EQ(via_fanout.size(), 10u);
+  for (size_t i = 0; i < 10; ++i) {
+    EXPECT_NEAR(direct[i].confidence, via_fanout[i].confidence, 1e-8);
+  }
+
+  // The Section 9 threshold strategies still exist as candidates and still
+  // agree on the rows.
+  Plan tplan = fplan;
+  tplan.kind = PlanKind::kTopKEstimatedThreshold;
+  tplan.initial_qt = 0.5;
   std::vector<core::PtqMatch> via_threshold;
-  ASSERT_TRUE(
-      exec::Execute(*fractured->path(), fplan, &via_threshold).ok());
+  ASSERT_TRUE(exec::Execute(*fractured->path(), tplan, &via_threshold).ok());
   ASSERT_EQ(via_threshold.size(), 10u);
   for (size_t i = 0; i < 10; ++i) {
     EXPECT_NEAR(direct[i].confidence, via_threshold[i].confidence, 1e-8);

@@ -281,6 +281,63 @@ TEST(FracturedUpiTest, PartialMergeNoOpWithFewDeltas) {
   EXPECT_EQ(fx.table->num_fractures(), 2u);
 }
 
+TEST(FracturedUpiTest, ScanTuplesDedupsAndSubtractsDeleteSetsAcrossFractures) {
+  // The coverage gap: a tuple's life across three fractures — inserted and
+  // flushed (fracture A), deleted with the delete set flushed alongside a
+  // second batch (fracture B), then a third batch flushed (fracture C) while
+  // another delete is still RAM-buffered. ScanTuples must emit every live
+  // tuple exactly once (the heap duplicates multi-alternative tuples within
+  // a fracture) and never a deleted one, whether its delete set is on disk
+  // or still buffered. TupleIds never resurrect, so "re-inserting" the
+  // deleted id into fracture C must be rejected rather than re-emitted.
+  Fx fx;
+  std::vector<Tuple> extras;
+  // Fracture A.
+  for (TupleId id = 910000; id < 910040; ++id) {
+    extras.push_back(fx.gen->MakeAuthor(id));
+    ASSERT_TRUE(fx.table->Insert(extras.back()).ok());
+  }
+  ASSERT_TRUE(fx.table->FlushBuffer().ok());
+  // Delete one fracture-A tuple and one main-fracture tuple; their delete
+  // set is persisted with fracture B's flush.
+  const TupleId victim_a = 910007, victim_main = 42;
+  ASSERT_TRUE(fx.table->Delete(victim_a).ok());
+  ASSERT_TRUE(fx.table->Delete(victim_main).ok());
+  for (TupleId id = 920000; id < 920040; ++id) {
+    extras.push_back(fx.gen->MakeAuthor(id));
+    ASSERT_TRUE(fx.table->Insert(extras.back()).ok());
+  }
+  ASSERT_TRUE(fx.table->FlushBuffer().ok());
+  // The deleted id cannot be re-flushed into fracture C: reuse is rejected.
+  EXPECT_FALSE(fx.table->Insert(fx.gen->MakeAuthor(victim_a)).ok());
+  // Fracture C, plus a delete that stays RAM-buffered (no flush after).
+  for (TupleId id = 930000; id < 930040; ++id) {
+    extras.push_back(fx.gen->MakeAuthor(id));
+    ASSERT_TRUE(fx.table->Insert(extras.back()).ok());
+  }
+  ASSERT_TRUE(fx.table->FlushBuffer().ok());
+  ASSERT_EQ(fx.table->num_fractures(), 4u);  // main + A + B + C
+  const TupleId victim_buffered = 920011;
+  ASSERT_TRUE(fx.table->Delete(victim_buffered).ok());
+  ASSERT_EQ(fx.table->buffered_deletes(), 1u);
+
+  std::set<TupleId> deleted = {victim_a, victim_main, victim_buffered};
+  std::map<TupleId, int> seen;
+  ASSERT_TRUE(
+      fx.table->ScanTuples([&](const Tuple& t) { ++seen[t.id()]; }).ok());
+  for (const auto& [id, count] : seen) {
+    EXPECT_EQ(count, 1) << "tuple " << id << " emitted more than once";
+    EXPECT_FALSE(deleted.contains(id)) << "deleted tuple " << id << " emitted";
+  }
+  // Exactly the live population: base + extras - the three victims.
+  EXPECT_EQ(seen.size(), fx.tuples.size() + extras.size() - deleted.size());
+  for (const Tuple& t : extras) {
+    if (!deleted.contains(t.id())) {
+      EXPECT_TRUE(seen.contains(t.id())) << "live tuple " << t.id() << " missing";
+    }
+  }
+}
+
 TEST(FracturedUpiTest, AdaptiveTuningRetunesPerFracture) {
   Fx fx;
   double main_cutoff = fx.table->main()->options().cutoff;
