@@ -54,6 +54,19 @@ int main(int argc, char** argv) {
       }
       std::printf("\n");
     }
+    // Per-device totals via the engine's snapshot API (the deprecated
+    // DiskStats::ToString replacement); opt-in so default rows stay
+    // bit-identical.
+    if (flags::GetBool("metrics", false)) {
+      obs::MetricsSnapshot snap = env.metrics()->Snapshot();
+      std::printf("# metrics C=%.2f: reads=%.0f seeks=%.0f seek_ms=%.1f "
+                  "opens=%.0f sim_ms=%.1f\n",
+                  c, snap.SumOf("upi_disk_reads_total"),
+                  snap.SumOf("upi_disk_seeks_total"),
+                  snap.SumOf("upi_disk_seek_ms_total"),
+                  snap.SumOf("upi_disk_file_opens_total"),
+                  snap.SumOf("upi_disk_sim_ms_total"));
+    }
   }
   return 0;
 }

@@ -52,5 +52,22 @@ int main(int argc, char** argv) {
                 pii.sim_ms / 1000.0, upic.sim_ms / 1000.0,
                 pii.sim_ms / upic.sim_ms, upic.rows, upic.wall_ms);
   }
+  // Per-side device totals via the engine's snapshot API (the deprecated
+  // DiskStats::ToString replacement); opt-in so default rows stay
+  // bit-identical.
+  if (flags::GetBool("metrics", false)) {
+    for (const auto& [label, dbp] :
+         {std::pair<const char*, engine::Database*>{"pii", &pii_db},
+          {"upi", &upi_db}}) {
+      obs::MetricsSnapshot snap = dbp->MetricsSnapshot();
+      std::printf("# metrics %s: reads=%.0f seeks=%.0f seek_ms=%.1f "
+                  "opens=%.0f sim_ms=%.1f\n",
+                  label, snap.SumOf("upi_disk_reads_total"),
+                  snap.SumOf("upi_disk_seeks_total"),
+                  snap.SumOf("upi_disk_seek_ms_total"),
+                  snap.SumOf("upi_disk_file_opens_total"),
+                  snap.SumOf("upi_disk_sim_ms_total"));
+    }
+  }
   return 0;
 }

@@ -24,6 +24,14 @@
 //   ./bench_throughput [--scale=0.3] [--seed=42] [--threads=1,2,4,8]
 //                      [--ops=300] [--pool_mb=256] [--sleep_us_per_ms=10]
 //                      [--json=BENCH_throughput.json] [--no-pruning]
+//                      [--metrics] [--smoke]
+//
+// --metrics appends an observability section: a metrics-on vs metrics-off
+// overhead comparison (realtime sleeps disabled so the engine's CPU path
+// dominates — the registry's striped counters must be within noise of the
+// compiled-in-but-disabled path) followed by the full Prometheus text dump
+// of the engine's MetricsSnapshot. --smoke shrinks the sweep (2 client
+// counts, a few dozen ops) for CI.
 //
 // The nfrac column reports the ingest-fed fractured table's fracture count
 // at the end of each sweep — the fan-out every stream-table probe would pay
@@ -77,8 +85,10 @@ catalog::Tuple CloneWithId(const catalog::Tuple& src, catalog::TupleId id) {
 
 int main(int argc, char** argv) {
   flags::Parse(argc, argv);
+  const bool smoke = flags::GetBool("smoke", false);
+  const bool dump_metrics = flags::GetBool("metrics", false);
   const size_t ops_per_client =
-      static_cast<size_t>(flags::GetInt64("ops", 300));
+      static_cast<size_t>(flags::GetInt64("ops", smoke ? 60 : 300));
   const uint64_t pool_mb =
       static_cast<uint64_t>(flags::GetInt64("pool_mb", 256));
   const double sleep_us_per_ms = flags::GetDouble("sleep_us_per_ms", 40.0);
@@ -86,7 +96,7 @@ int main(int argc, char** argv) {
 
   std::vector<size_t> thread_counts;
   {
-    std::string spec = flags::GetString("threads", "1,2,4,8");
+    std::string spec = flags::GetString("threads", smoke ? "1,2" : "1,2,4,8");
     size_t pos = 0;
     while (pos < spec.size()) {
       size_t comma = spec.find(',', pos);
@@ -306,6 +316,46 @@ int main(int argc, char** argv) {
       std::printf("FAIL: expected >= 3x\n");
       return 1;
     }
+  }
+
+  if (dump_metrics) {
+    // Observability overhead: the identical closed-loop client with the
+    // registry recording vs runtime-disabled. Realtime sleeps off so the
+    // engine's CPU path (where the counters live) dominates the measurement.
+    db.env()->disk()->SetRealtimeScale(0.0);
+    auto run_ops = [&](size_t n) {
+      Rng rng(seed + 17);
+      engine::Session session(&db);
+      auto t0 = std::chrono::steady_clock::now();
+      for (size_t op = 0; op < n; ++op) {
+        auto fut = session.Submit(
+            prep_ptq, institutions[rng.Uniform(institutions.size())],
+            kQts[rng.Uniform(3)]);
+        CheckOk(fut.get().status());
+      }
+      auto t1 = std::chrono::steady_clock::now();
+      return static_cast<double>(n) /
+             std::chrono::duration<double>(t1 - t0).count();
+    };
+    const size_t overhead_ops = smoke ? 300 : 3000;
+    run_ops(overhead_ops / 4);  // warm both code paths
+    double on_ops = run_ops(overhead_ops);
+    db.metrics()->set_enabled(false);
+    double off_ops = run_ops(overhead_ops);
+    db.metrics()->set_enabled(true);
+    std::printf("# metrics overhead: on=%.0f ops/s  off=%.0f ops/s  "
+                "(on/off = %.3f)\n",
+                on_ops, off_ops, on_ops / off_ops);
+    QueryCost on_cost, off_cost;
+    on_cost.wall_ms = 1e3 * static_cast<double>(overhead_ops) / on_ops;
+    on_cost.rows = static_cast<size_t>(on_ops);
+    off_cost.wall_ms = 1e3 * static_cast<double>(overhead_ops) / off_ops;
+    off_cost.rows = static_cast<size_t>(off_ops);
+    json.AddRow("obs=on", on_cost);
+    json.AddRow("obs=off", off_cost);
+
+    std::printf("\n");
+    std::printf("%s", db.MetricsSnapshot().ToPrometheus().c_str());
   }
   return 0;
 }

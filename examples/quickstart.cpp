@@ -128,7 +128,22 @@ int main() {
     return 1;
   }
 
-  std::printf("\nSimulated I/O so far: %s\n",
-              db.env()->disk()->stats().ToString(db.params()).c_str());
+  // The engine's unified metrics replace hand-rolled DiskStats printing:
+  // one snapshot covers the device, the pool, the planner, and the queries.
+  obs::MetricsSnapshot snap = db.MetricsSnapshot();
+  std::printf("\nSimulated I/O so far: reads=%.0f writes=%.0f seeks=%.0f "
+              "seek_ms=%.2f opens=%.0f sim=%.2f ms\n",
+              snap.SumOf("upi_disk_reads_total"),
+              snap.SumOf("upi_disk_writes_total"),
+              snap.SumOf("upi_disk_seeks_total"),
+              snap.SumOf("upi_disk_seek_ms_total"),
+              snap.SumOf("upi_disk_file_opens_total"),
+              snap.SumOf("upi_disk_sim_ms_total"));
+  std::printf("Engine counters: queries=%.0f plans=%.0f pool_hits=%.0f "
+              "pool_misses=%.0f\n",
+              snap.SumOf("upi_query_executions_total"),
+              snap.SumOf("upi_planner_plans_total"),
+              snap.SumOf("upi_bufferpool_hits_total"),
+              snap.SumOf("upi_bufferpool_misses_total"));
   return 0;
 }

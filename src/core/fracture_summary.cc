@@ -70,6 +70,21 @@ bool FractureSummary::MayContainTupleId(catalog::TupleId id) const {
   return BloomMayContain(HashTupleId(id));
 }
 
+FractureSummary::SkipReason FractureSummary::WhySkip(int col,
+                                                     std::string_view value,
+                                                     double qt) const {
+  if (MaxProb(col) < qt) return SkipReason::kCutoff;
+  const ColumnSummary* c = column(col);
+  if (c == nullptr) return SkipReason::kNone;
+  // An empty column and a value outside the fences are both zone-map
+  // decisions; only a hash probe that misses counts as a Bloom reject.
+  if (c->alternatives == 0 || value < c->min_key || value > c->max_key) {
+    return SkipReason::kZone;
+  }
+  return BloomMayContain(HashKey(col, value)) ? SkipReason::kNone
+                                              : SkipReason::kBloom;
+}
+
 size_t FractureSummary::size_bytes() const {
   size_t n = sizeof(*this) + bloom_.size() * sizeof(uint64_t);
   for (const auto& [col, c] : columns_) {

@@ -87,6 +87,12 @@ class FractureSummary {
     return MaxProb(column) < qt || !MayContainKey(column, value);
   }
 
+  /// Which fence fired, checked in CanSkip's order (cutoff, zone, Bloom).
+  /// kNone means the fracture must be probed. Metrics separate Bloom rejects
+  /// (the fence that costs RAM) from the free zone/cutoff skips.
+  enum class SkipReason { kNone, kCutoff, kZone, kBloom };
+  SkipReason WhySkip(int column, std::string_view value, double qt) const;
+
   /// Bloom check over the fracture's TupleIDs (salted separately from
   /// attribute keys). False means the id is definitely not in the fracture.
   bool MayContainTupleId(catalog::TupleId id) const;

@@ -62,7 +62,13 @@ FracturedUpi::FracturedUpi(storage::DbEnv* env, std::string name,
       name_(std::move(name)),
       schema_(std::move(schema)),
       options_(options),
-      secondary_columns_(std::move(secondary_columns)) {}
+      secondary_columns_(std::move(secondary_columns)),
+      m_fractures_probed_(
+          env->metrics()->counter("upi_pruning_fractures_probed_total")),
+      m_fractures_pruned_(
+          env->metrics()->counter("upi_pruning_fractures_pruned_total")),
+      m_bloom_rejects_(
+          env->metrics()->counter("upi_pruning_bloom_rejects_total")) {}
 
 std::shared_ptr<const FractureSummary> FracturedUpi::SummarizeTuples(
     const std::vector<Tuple>& tuples) const {
@@ -87,7 +93,18 @@ std::shared_ptr<const FractureSummary> FracturedUpi::SummarizeTuples(
 bool FracturedUpi::SkipFracture(const FractureSummary* summary, int column,
                                 std::string_view value, double qt) const {
   if (!options_.enable_pruning || summary == nullptr) return false;
-  return summary->CanSkip(column, value, qt);
+  FractureSummary::SkipReason r = summary->WhySkip(column, value, qt);
+  if (r == FractureSummary::SkipReason::kBloom && m_bloom_rejects_ != nullptr) {
+    m_bloom_rejects_->Add();
+  }
+  return r != FractureSummary::SkipReason::kNone;
+}
+
+void FracturedUpi::BumpFanout(uint64_t probed, uint64_t pruned) const {
+  fractures_probed_total_.fetch_add(probed, std::memory_order_relaxed);
+  fractures_pruned_total_.fetch_add(pruned, std::memory_order_relaxed);
+  if (m_fractures_probed_ != nullptr) m_fractures_probed_->Add(probed);
+  if (m_fractures_pruned_ != nullptr) m_fractures_pruned_->Add(pruned);
 }
 
 Status FracturedUpi::BuildMain(const std::vector<Tuple>& tuples) {
@@ -363,8 +380,7 @@ Status FracturedUpi::QueryBySecondary(int column, std::string_view value,
   for (size_t i = 0; i < fractures_.size(); ++i) {
     UPI_RETURN_NOT_OK(query_one(*fractures_[i], DeltaSummary(i)));
   }
-  fractures_probed_total_.fetch_add(probed, std::memory_order_relaxed);
-  fractures_pruned_total_.fetch_add(pruned, std::memory_order_relaxed);
+  BumpFanout(probed, pruned);
   SortByConfidence(&all);
   out->insert(out->end(), std::make_move_iterator(all.begin()),
               std::make_move_iterator(all.end()));
@@ -424,8 +440,7 @@ Status FracturedUpi::QueryTopK(std::string_view value, size_t k,
   for (size_t i = 0; i < fractures_.size(); ++i) {
     UPI_RETURN_NOT_OK(topk_one(*fractures_[i], DeltaSummary(i)));
   }
-  fractures_probed_total_.fetch_add(probed, std::memory_order_relaxed);
-  fractures_pruned_total_.fetch_add(pruned, std::memory_order_relaxed);
+  BumpFanout(probed, pruned);
   SortByConfidence(&all);
   if (all.size() > k) all.resize(k);
   out->insert(out->end(), std::make_move_iterator(all.begin()),
@@ -448,6 +463,7 @@ Status FracturedUpi::ScanTuplesMatching(
   const bool filtered = qt >= 0.0;
   const int col = ResolveColumn(column);
   std::set<catalog::TupleId> seen;
+  obs::QueryTrace* trace = obs::CurrentTrace();
   // The RAM buffer first: its tuples shadow nothing (TupleIds are unique),
   // and emitting them costs no I/O. It has no summary, so it is never
   // pruned — the scan-filter caller re-checks the predicate anyway.
@@ -455,16 +471,30 @@ Status FracturedUpi::ScanTuplesMatching(
     seen.insert(id);
     fn(bt.tuple);
   }
+  if (trace != nullptr && !buffer_.empty()) {
+    obs::TraceOp op;
+    op.label = name_ + ".buffer";
+    op.rows = buffer_.size();  // RAM scan: no I/O by construction
+    trace->ops.push_back(std::move(op));
+  }
   Status st = Status::OK();
   size_t probed = 0, pruned = 0;
+  obs::TraceOpScope op_scope;  // one re-arming scope spans the fan-out
   auto scan_one = [&](const Upi& upi, const FractureSummary* s) {
     // A fracture that cannot contain a qualifying (value, qt) alternative
     // contributes nothing to a filtered sweep: skip it, zero pages read.
     if (filtered && SkipFracture(s, col, value, qt)) {
       ++pruned;
+      if (trace != nullptr) {
+        obs::TraceOp op;
+        op.label = upi.name();
+        op.pruned = true;
+        trace->ops.push_back(std::move(op));
+      }
       return;
     }
     ++probed;
+    uint64_t emitted = 0;
     upi.heap_file_->ChargeOpen();  // per-fracture Costinit, as in QueryPtq
     upi.ScanHeap([&](std::string_view key, std::string_view tuple_bytes) {
       if (!st.ok()) return;
@@ -484,17 +514,16 @@ Status FracturedUpi::ScanTuplesMatching(
         return;
       }
       fn(std::move(tuple).value());
+      ++emitted;
     });
+    if (op_scope.active()) op_scope.Finish(upi.name(), emitted);
   };
   if (main_ != nullptr) scan_one(*main_, main_summary_.get());
   for (size_t i = 0; i < fractures_.size(); ++i) {
     if (!st.ok()) break;
     scan_one(*fractures_[i], DeltaSummary(i));
   }
-  if (filtered) {
-    fractures_probed_total_.fetch_add(probed, std::memory_order_relaxed);
-    fractures_pruned_total_.fetch_add(pruned, std::memory_order_relaxed);
-  }
+  if (filtered) BumpFanout(probed, pruned);
   return st;
 }
 
@@ -509,9 +538,17 @@ FracturedPtqCursor::FracturedPtqCursor(const FracturedUpi* table,
   // stream first.
   status_ = table_->QueryBuffer(value_, qt_, &buffer_rows_);
   const int col = table_->options_.cluster_column;
+  obs::QueryTrace* trace = obs::CurrentTrace();
   auto consider = [&](const Upi* u, const FractureSummary* s) {
     if (table_->SkipFracture(s, col, value_, qt_)) {
       ++pruned_;
+      if (trace != nullptr) {
+        // A pruned fracture is a real plan node with provably-zero actuals.
+        obs::TraceOp op;
+        op.label = u->name();
+        op.pruned = true;
+        trace->ops.push_back(std::move(op));
+      }
     } else {
       pending_.push_back(u);
     }
@@ -522,10 +559,13 @@ FracturedPtqCursor::FracturedPtqCursor(const FracturedUpi* table,
   for (size_t i = 0; i < table_->fractures_.size(); ++i) {
     consider(table_->fractures_[i].get(), table_->DeltaSummary(i));
   }
-  table_->fractures_probed_total_.fetch_add(pending_.size(),
-                                            std::memory_order_relaxed);
-  table_->fractures_pruned_total_.fetch_add(pruned_,
-                                            std::memory_order_relaxed);
+  table_->BumpFanout(pending_.size(), pruned_);
+  if (trace != nullptr && !buffer_rows_.empty()) {
+    obs::TraceOp op;
+    op.label = table_->name_ + ".buffer";
+    op.rows = buffer_rows_.size();  // RAM scan: no I/O by construction
+    trace->ops.push_back(std::move(op));
+  }
 }
 
 bool FracturedPtqCursor::Deleted(catalog::TupleId id) const {
@@ -549,17 +589,23 @@ bool FracturedPtqCursor::Next(PtqMatch* out) {
       u->heap_tree()->pager()->file()->ChargeOpen();
       cur_.emplace(u->OpenPtqCursor(value_, qt_,
                                     /*charge_open_on_consult=*/true));
+      cur_upi_ = u;
+      cur_rows_ = 0;
     }
     PtqMatch m;
     while (cur_->Next(&m)) {
       if (Deleted(m.id)) continue;
       *out = std::move(m);
+      ++cur_rows_;
       return true;
     }
     if (!cur_->status().ok()) {
       status_ = cur_->status();
       return false;
     }
+    // Fracture drained: its open + descent + heap reads since the previous
+    // boundary become one trace op (no-op when no trace is installed).
+    if (op_scope_.active()) op_scope_.Finish(cur_upi_->name(), cur_rows_);
     cur_.reset();
   }
 }

@@ -43,6 +43,8 @@
 #include "core/advisor.h"
 #include "core/fracture_summary.h"
 #include "core/upi.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace upi::core {
 
@@ -92,6 +94,12 @@ class FracturedPtqCursor {
   size_t pruned_ = 0;
   std::optional<UpiPtqCursor> cur_;
   Status status_;
+  // Per-fracture trace attribution (inert when no QueryTrace is installed):
+  // the scope re-arms at each fracture boundary, so each drained fracture
+  // becomes one TraceOp carrying exactly its own thread-stats delta.
+  obs::TraceOpScope op_scope_;
+  const Upi* cur_upi_ = nullptr;
+  uint64_t cur_rows_ = 0;
 };
 
 class FracturedUpi {
@@ -282,6 +290,9 @@ class FracturedUpi {
   /// disabled or the summary is missing.
   bool SkipFracture(const FractureSummary* summary, int column,
                     std::string_view value, double qt) const;
+  /// Adds one fan-out's probe/prune counts to the table atomics and the
+  /// engine-wide registry counters.
+  void BumpFanout(uint64_t probed, uint64_t pruned) const;
   /// Maps the query convention (column < 0 = clustered attribute) to a
   /// concrete schema column.
   int ResolveColumn(int column) const {
@@ -356,6 +367,11 @@ class FracturedUpi {
   std::atomic<uint64_t> stats_epoch_{0};
   mutable std::atomic<uint64_t> fractures_pruned_total_{0};
   mutable std::atomic<uint64_t> fractures_probed_total_{0};
+  // Engine-wide pruning counters, cached from env_->metrics() at
+  // construction (the registry outlives every table of its environment).
+  obs::Counter* m_fractures_probed_ = nullptr;
+  obs::Counter* m_fractures_pruned_ = nullptr;
+  obs::Counter* m_bloom_rejects_ = nullptr;
 };
 
 }  // namespace upi::core

@@ -1,5 +1,7 @@
 #include "engine/database.h"
 
+#include <cmath>
+#include <cstdio>
 #include <utility>
 
 #include "exec/cursor.h"
@@ -14,7 +16,8 @@ namespace upi::engine {
 Result<Plan> Table::Run(const Query& q, std::vector<core::PtqMatch>* out) const {
   UPI_RETURN_NOT_OK(q.Validate(*path_));
   Plan plan = planner_->PlanQuery(q);
-  UPI_RETURN_NOT_OK(exec::Execute(*path_, plan, out, q.predicate));
+  UPI_RETURN_NOT_OK(InstrumentedExecute(*path_, plan, instruments_,
+                                        q.predicate, out));
   return plan;
 }
 
@@ -26,7 +29,117 @@ Result<std::unique_ptr<ResultCursor>> Table::OpenCursor(const Query& q) const {
 
 Result<PreparedQuery> Table::Prepare(Query q) const {
   UPI_RETURN_NOT_OK(q.Validate(*path_));
-  return PreparedQuery(path_.get(), planner_.get(), std::move(q));
+  return PreparedQuery(path_.get(), planner_.get(), std::move(q),
+                       instruments_);
+}
+
+// ---------------------------------------------------------------------------
+// EXPLAIN ANALYZE
+// ---------------------------------------------------------------------------
+
+namespace {
+
+std::string FormatAnalyzeOp(const obs::TraceOp& op) {
+  char buf[192];
+  char est[64] = "";
+  if (op.est_pages >= 0.0) {
+    std::snprintf(est, sizeof(est), "  (est rows=%.0f pages=%.0f)",
+                  op.est_rows, op.est_pages);
+  }
+  std::snprintf(buf, sizeof(buf),
+                "  -> %-28s rows=%-6llu pages=%-5llu seeks=%-4llu %9.2f ms%s%s\n",
+                op.label.c_str(), static_cast<unsigned long long>(op.rows),
+                static_cast<unsigned long long>(op.io.reads),
+                static_cast<unsigned long long>(op.io.seeks), op.sim_ms,
+                op.pruned ? "  [pruned]" : "", est);
+  return buf;
+}
+
+}  // namespace
+
+Result<Table::AnalyzeResult> Table::AnalyzeQuery(const Query& q) const {
+  UPI_RETURN_NOT_OK(q.Validate(*path_));
+  AnalyzeResult r;
+  r.plan = planner_->PlanQuery(q);
+
+  const sim::SimDisk* disk = db_->env()->disk();
+  r.trace.disk = disk;
+  {
+    obs::TraceScope scope(&r.trace);
+    sim::ThreadStatsWindow window(disk);
+    UPI_RETURN_NOT_OK(exec::Execute(*path_, r.plan, &r.rows, q.predicate));
+    r.trace.total = window.Delta();
+  }
+  r.trace.total_sim_ms = r.trace.total.SimMs(disk->params());
+  r.trace.rows = r.rows.size();
+
+  // The planner's whole-query expectations, from the same RAM statistics the
+  // plan was priced with.
+  PathStats s = path_->Stats();
+  const double page_size = s.table.page_size > 0 ? s.table.page_size : 8192.0;
+  const uint32_t height = s.table.btree_height > 0 ? s.table.btree_height : 1;
+  const double qt = q.kind == Query::Kind::kTopK ? r.plan.initial_qt : q.qt;
+  histogram::PtqEstimate est = path_->EstimatePtq(q.value, qt);
+  core::PruneEstimate pe = path_->EstimatePrune(q.column, q.value, qt);
+  switch (q.kind) {
+    case Query::Kind::kPtq:
+      r.est_rows = est.heap_entries + est.cutoff_pointers;
+      r.est_pages = pe.probed_fractures * height +
+                    est.heap_entries * s.avg_entry_bytes / page_size +
+                    est.cutoff_pointers;
+      break;
+    case Query::Kind::kSecondary:
+      r.est_rows = path_->EstimateSecondaryMatches(q.column, q.value, q.qt);
+      r.est_pages = pe.probed_fractures * height +
+                    r.est_rows * s.avg_entry_bytes / page_size;
+      break;
+    case Query::Kind::kTopK:
+      r.est_rows = static_cast<double>(q.k);
+      r.est_pages = pe.probed_fractures * height +
+                    r.est_rows * s.avg_entry_bytes / page_size;
+      break;
+    case Query::Kind::kScanFilter:
+      r.est_rows = est.heap_entries + est.cutoff_pointers;
+      r.est_pages = static_cast<double>(pe.probed_bytes) / page_size;
+      break;
+  }
+
+  // Spread the whole-query expectation uniformly over the probed operators
+  // (the planner's own uniformity assumption); pruned nodes expect zero.
+  size_t probed_ops = 0;
+  for (const obs::TraceOp& op : r.trace.ops) {
+    if (!op.pruned && (op.io.reads > 0 || op.io.seeks > 0)) ++probed_ops;
+  }
+  for (obs::TraceOp& op : r.trace.ops) {
+    if (op.pruned) {
+      op.est_rows = 0.0;
+      op.est_pages = 0.0;
+    } else if (probed_ops > 0 && (op.io.reads > 0 || op.io.seeks > 0)) {
+      op.est_rows = r.est_rows / static_cast<double>(probed_ops);
+      op.est_pages = r.est_pages / static_cast<double>(probed_ops);
+    }
+  }
+
+  std::string text = r.plan.Explain();
+  text += "ANALYZE\n";
+  for (const obs::TraceOp& op : r.trace.ops) text += FormatAnalyzeOp(op);
+  char buf[192];
+  std::snprintf(buf, sizeof(buf),
+                "  total: rows=%llu pages=%llu seeks=%llu sim=%.2f ms  "
+                "(est rows=%.0f pages=%.0f, predicted=%.1f ms)\n",
+                static_cast<unsigned long long>(r.trace.rows),
+                static_cast<unsigned long long>(r.trace.total.reads),
+                static_cast<unsigned long long>(r.trace.total.seeks),
+                r.trace.total_sim_ms, r.est_rows, r.est_pages,
+                r.plan.predicted_ms);
+  text += buf;
+  r.text = std::move(text);
+  return r;
+}
+
+Result<std::string> Table::ExplainAnalyze(const Query& q) const {
+  UPI_ASSIGN_OR_RETURN(AnalyzeResult r, AnalyzeQuery(q));
+  return std::move(r.text);
 }
 
 #ifndef UPI_NO_LEGACY_QUERY_API
@@ -83,7 +196,14 @@ Status Table::Delete(const catalog::Tuple& tuple) {
 Database::Database(DatabaseOptions options)
     : params_(options.params),
       env_(options.pool_bytes, options.params, options.pool_shards),
-      manager_(&env_, options.maintenance) {}
+      slow_log_(options.slow_query_log_capacity),
+      manager_(&env_, options.maintenance) {
+  env_.metrics()->set_enabled(options.enable_metrics);
+  instruments_.disk = env_.disk();
+  instruments_.slow_log = &slow_log_;
+  instruments_.slow_query_ms = options.slow_query_ms;
+  instruments_.RegisterMetrics(env_.metrics());
+}
 
 Database::~Database() {
   // Stop maintenance before any table goes away (the manager's destructor
@@ -117,7 +237,9 @@ Result<Table*> Database::CreateUpiTable(
       table->upi_, core::Upi::Build(&env_, name, std::move(schema), options,
                                     std::move(secondary_columns), tuples));
   table->path_ = std::make_unique<UpiAccessPath>(table->upi_.get());
-  table->planner_ = std::make_unique<QueryPlanner>(table->path_.get(), params_);
+  table->planner_ = std::make_unique<QueryPlanner>(table->path_.get(), params_,
+                                                   env_.metrics());
+  table->instruments_ = &instruments_;
   return Install(std::move(table));
 }
 
@@ -138,7 +260,9 @@ Result<Table*> Database::CreateFracturedTable(
     UPI_RETURN_NOT_OK(table->fractured_->BuildMain(tuples));
   }
   table->path_ = std::make_unique<FracturedAccessPath>(table->fractured_.get());
-  table->planner_ = std::make_unique<QueryPlanner>(table->path_.get(), params_);
+  table->planner_ = std::make_unique<QueryPlanner>(table->path_.get(), params_,
+                                                   env_.metrics());
+  table->instruments_ = &instruments_;
   manager_.Register(table->fractured_.get());
   return Install(std::move(table));
 }
@@ -161,7 +285,9 @@ Result<Table*> Database::CreateUnclusteredTable(
                                                       primary_column);
   path->BuildStatistics(tuples);
   table->path_ = std::move(path);
-  table->planner_ = std::make_unique<QueryPlanner>(table->path_.get(), params_);
+  table->planner_ = std::make_unique<QueryPlanner>(table->path_.get(), params_,
+                                                   env_.metrics());
+  table->instruments_ = &instruments_;
   return Install(std::move(table));
 }
 

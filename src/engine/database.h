@@ -25,6 +25,8 @@
 #include "engine/planner.h"
 #include "engine/query.h"
 #include "maintenance/manager.h"
+#include "obs/slow_query_log.h"
+#include "obs/trace.h"
 #include "storage/db_env.h"
 
 namespace upi::engine {
@@ -76,6 +78,30 @@ class Table {
   /// The planner's snapshot of the table's physical shape (RAM-only).
   PathStats stats() const { return path_->Stats(); }
 
+  // --- EXPLAIN ANALYZE (see obs/trace.h). ---------------------------------
+
+  /// One analyzed execution: the chosen plan, the per-operator trace with
+  /// estimates filled in, the rows, and the rendered report.
+  struct AnalyzeResult {
+    Plan plan;
+    obs::QueryTrace trace;
+    std::vector<core::PtqMatch> rows;
+    double est_rows = 0.0;   // planner's expectation for the whole query
+    double est_pages = 0.0;
+    std::string text;        // the EXPLAIN ANALYZE report
+  };
+
+  /// Plans and executes `q` under a QueryTrace, reconciling per-operator
+  /// actuals (pages/seeks/rows/simulated ms from scoped thread-stats deltas)
+  /// against the planner's estimates. Charges the query's normal simulated
+  /// I/O — run it as you would the query itself.
+  Result<AnalyzeResult> AnalyzeQuery(const Query& q) const;
+
+  /// AnalyzeQuery rendered as text: Plan::Explain() followed by the
+  /// per-operator actual rows/pages/seeks/sim-ms and the estimated vs.
+  /// actual totals.
+  Result<std::string> ExplainAnalyze(const Query& q) const;
+
 #ifndef UPI_NO_LEGACY_QUERY_API
   // --- Deprecated pre-Query shims (one release; see Run/Prepare). ---------
   [[deprecated("use Run(Query::Ptq(value, qt), out)")]]
@@ -106,6 +132,7 @@ class Table {
   std::string name_;
   Kind kind_ = Kind::kUpi;
   Database* db_ = nullptr;
+  const ExecInstruments* instruments_ = nullptr;  // owned by the Database
   std::unique_ptr<core::Upi> upi_;
   std::unique_ptr<core::FracturedUpi> fractured_;
   std::unique_ptr<baseline::UnclusteredTable> unclustered_;
@@ -122,6 +149,14 @@ struct DatabaseOptions {
   /// Maintenance setup; num_workers == 0 keeps maintenance synchronous
   /// (drain with RunMaintenance()), > 0 runs it on background threads.
   maintenance::MaintenanceManagerOptions maintenance{};
+  /// Runtime metrics switch (MetricsRegistry::set_enabled). Snapshots still
+  /// work when off — native counters just stop moving.
+  bool enable_metrics = true;
+  /// Simulated-ms threshold above which executions are recorded in the
+  /// slow-query log; 0 disables the log entirely.
+  double slow_query_ms = 0.0;
+  /// Entries the slow-query log retains (oldest drop first).
+  size_t slow_query_log_capacity = 128;
 };
 
 class Database {
@@ -162,6 +197,20 @@ class Database {
   storage::DbEnv* env() { return &env_; }
   maintenance::MaintenanceManager* maintenance() { return &manager_; }
 
+  // --- Observability (see obs/metrics.h). ---------------------------------
+
+  obs::MetricsRegistry* metrics() const { return env_.metrics(); }
+  /// Point-in-time copy of every engine metric: native counters, disk and
+  /// buffer-pool exports. Serialize with ToJson()/ToPrometheus().
+  obs::MetricsSnapshot MetricsSnapshot() const {
+    return env_.metrics()->Snapshot();
+  }
+  obs::SlowQueryLog* slow_query_log() { return &slow_log_; }
+  /// Adjusts the slow-query threshold (0 disarms). Not synchronized against
+  /// in-flight queries — set it between workloads, not during one.
+  void set_slow_query_ms(double ms) { instruments_.slow_query_ms = ms; }
+  const ExecInstruments& instruments() const { return instruments_; }
+
   /// Synchronous maintenance: drains pending flush/merge tasks on the calling
   /// thread. Returns tasks executed.
   size_t RunMaintenance() { return manager_.RunPending(); }
@@ -176,6 +225,8 @@ class Database {
 
   sim::CostParams params_;
   storage::DbEnv env_;
+  obs::SlowQueryLog slow_log_;
+  ExecInstruments instruments_;  // handed by pointer to every table
   // Tables are declared before the manager so the manager (whose destructor
   // stops workers and waits for in-flight tasks) is destroyed first.
   std::map<std::string, std::unique_ptr<Table>> tables_;

@@ -147,6 +147,7 @@ double QueryPlanner::PrimaryProbeMs(const PathStats& s,
 }
 
 Plan QueryPlanner::Choose(std::vector<PlanCandidate> candidates) const {
+  if (plans_total_ != nullptr) plans_total_->Add();
   std::stable_sort(candidates.begin(), candidates.end(),
                    [](const PlanCandidate& a, const PlanCandidate& b) {
                      if (a.feasible != b.feasible) return a.feasible;

@@ -30,6 +30,7 @@
 
 #include "engine/access_path.h"
 #include "engine/query.h"
+#include "obs/metrics.h"
 #include "sim/cost_params.h"
 
 namespace upi::engine {
@@ -96,9 +97,16 @@ class QueryPlanner {
  public:
   /// `path` must outlive the planner. `params` are the device constants the
   /// predictions are denominated in (defaults to the paper's Table 6).
+  /// `metrics`, when non-null, receives `upi_planner_plans_total` (one per
+  /// planning decision) and must outlive the planner.
   explicit QueryPlanner(const AccessPath* path,
-                        sim::CostParams params = sim::CostParams{})
-      : path_(path), params_(params) {}
+                        sim::CostParams params = sim::CostParams{},
+                        obs::MetricsRegistry* metrics = nullptr)
+      : path_(path),
+        params_(params),
+        plans_total_(metrics != nullptr
+                         ? metrics->counter("upi_planner_plans_total")
+                         : nullptr) {}
 
   /// SELECT * WHERE primary_attr = value THRESHOLD qt.
   Plan PlanPtq(std::string_view value, double qt) const;
@@ -136,6 +144,7 @@ class QueryPlanner {
 
   const AccessPath* path_;
   sim::CostParams params_;
+  obs::Counter* plans_total_ = nullptr;  // null = unregistered planner
 };
 
 }  // namespace upi::engine

@@ -1,8 +1,10 @@
 #include "engine/query.h"
 
 #include <cmath>
+#include <cstdio>
 #include <map>
 #include <mutex>
+#include <optional>
 #include <tuple>
 #include <utility>
 
@@ -10,8 +12,92 @@
 #include "engine/planner.h"
 #include "exec/cursor.h"
 #include "exec/operators.h"
+#include "obs/slow_query_log.h"
+#include "obs/trace.h"
+#include "sim/sim_disk.h"
 
 namespace upi::engine {
+
+// ---------------------------------------------------------------------------
+// ExecInstruments / InstrumentedExecute
+// ---------------------------------------------------------------------------
+
+void ExecInstruments::RegisterMetrics(obs::MetricsRegistry* registry) {
+  queries_total = registry->counter("upi_query_executions_total");
+  slow_queries_total = registry->counter("upi_query_slow_total");
+  plan_cache_hits = registry->counter("upi_plan_cache_hits_total");
+  plan_cache_misses = registry->counter("upi_plan_cache_misses_total");
+  plan_cache_invalidations =
+      registry->counter("upi_plan_cache_invalidations_total");
+  query_sim_ms = registry->histogram("upi_query_sim_ms");
+}
+
+namespace {
+
+/// The query shape + bound value, as the slow-query log prints it.
+std::string DescribeBoundQuery(const Plan& plan) {
+  char buf[160];
+  if (plan.k > 0) {
+    std::snprintf(buf, sizeof(buf), "top-%zu(\"%s\")", plan.k,
+                  plan.value.c_str());
+  } else if (plan.column >= 0) {
+    std::snprintf(buf, sizeof(buf), "secondary(col=%d, \"%s\", qt=%.2f)",
+                  plan.column, plan.value.c_str(), plan.qt);
+  } else {
+    std::snprintf(buf, sizeof(buf), "ptq(\"%s\", qt=%.2f)", plan.value.c_str(),
+                  plan.qt);
+  }
+  return buf;
+}
+
+}  // namespace
+
+Status InstrumentedExecute(const AccessPath& path, const Plan& plan,
+                           const ExecInstruments* ins,
+                           std::function<bool(const catalog::Tuple&)> predicate,
+                           std::vector<core::PtqMatch>* out) {
+  if (ins == nullptr || ins->disk == nullptr) {
+    return exec::Execute(path, plan, out, std::move(predicate));
+  }
+  if (ins->queries_total != nullptr) ins->queries_total->Add();
+  // The slow log wants per-operator actuals, which only exist if a trace was
+  // active while the query ran — but a slow query is only known to be slow
+  // afterwards. So when armed, run every execution under a local trace (the
+  // recording cost is a few thread-stats snapshots); an already-active outer
+  // trace (ExplainAnalyze) is left in place and the entry skipped — that
+  // caller owns the trace.
+  const bool arm_slow = ins->slow_log != nullptr && ins->slow_query_ms > 0.0 &&
+                        obs::CurrentTrace() == nullptr;
+  obs::QueryTrace trace;
+  trace.disk = ins->disk;
+  std::optional<obs::TraceScope> scope;
+  if (arm_slow) scope.emplace(&trace);
+
+  sim::ThreadStatsWindow window(ins->disk);
+  const size_t rows_before = out->size();
+  Status st = exec::Execute(path, plan, out, std::move(predicate));
+  const sim::DiskStats delta = window.Delta();
+  const double sim_ms = delta.SimMs(ins->disk->params());
+  if (ins->query_sim_ms != nullptr) ins->query_sim_ms->Record(sim_ms);
+
+  if (st.ok() && arm_slow && sim_ms >= ins->slow_query_ms) {
+    if (ins->slow_queries_total != nullptr) ins->slow_queries_total->Add();
+    trace.total = delta;
+    trace.total_sim_ms = sim_ms;
+    trace.rows = out->size() - rows_before;
+    obs::SlowQueryEntry entry;
+    entry.table = plan.table;
+    entry.query = DescribeBoundQuery(plan);
+    entry.plan = PlanKindName(plan.kind);
+    entry.predicted_ms = plan.predicted_ms;
+    entry.sim_ms = sim_ms;
+    entry.threshold_ms = ins->slow_query_ms;
+    entry.rows = trace.rows;
+    entry.trace = std::move(trace);
+    ins->slow_log->Record(std::move(entry));
+  }
+  return st;
+}
 
 // ---------------------------------------------------------------------------
 // Query
@@ -119,6 +205,7 @@ namespace detail {
 struct PreparedState {
   const AccessPath* path = nullptr;
   const QueryPlanner* planner = nullptr;
+  const ExecInstruments* instruments = nullptr;  // null = uninstrumented
   Query query;
 
   /// Cache key: (quantized threshold, parameter histogram bucket, expected
@@ -197,11 +284,20 @@ std::shared_ptr<const Plan> detail::PreparedState::PlanFor(
       // every cached plan is potentially wrong. Re-plan on demand.
       cache.clear();
       epoch = now;
+      if (instruments != nullptr &&
+          instruments->plan_cache_invalidations != nullptr) {
+        instruments->plan_cache_invalidations->Add();
+      }
     }
     if (auto it = cache.find(key); it != cache.end()) {
       ++hits;
       base = it->second;
     }
+  }
+  if (instruments != nullptr) {
+    obs::Counter* c = base != nullptr ? instruments->plan_cache_hits
+                                      : instruments->plan_cache_misses;
+    if (c != nullptr) c->Add();
   }
   if (base == nullptr) {
     // Plan outside the lock: a full planning pass reads table stats and
@@ -238,10 +334,11 @@ std::shared_ptr<const Plan> detail::PreparedState::PlanFor(
 }
 
 PreparedQuery::PreparedQuery(const AccessPath* path, const QueryPlanner* planner,
-                             Query q)
+                             Query q, const ExecInstruments* instruments)
     : impl_(std::make_shared<detail::PreparedState>()) {
   impl_->path = path;
   impl_->planner = planner;
+  impl_->instruments = instruments;
   impl_->query = std::move(q);
   impl_->epoch = path->StatsEpoch();
 }
@@ -271,8 +368,9 @@ uint64_t PreparedQuery::hits() const {
 // ---------------------------------------------------------------------------
 
 Result<Plan> BoundQuery::Execute(std::vector<core::PtqMatch>* out) const {
-  UPI_RETURN_NOT_OK(
-      exec::Execute(*state_->path, *plan_, out, state_->query.predicate));
+  UPI_RETURN_NOT_OK(InstrumentedExecute(*state_->path, *plan_,
+                                        state_->instruments,
+                                        state_->query.predicate, out));
   return *plan_;
 }
 

@@ -28,12 +28,55 @@
 #include "catalog/tuple.h"
 #include "common/status.h"
 #include "core/upi.h"  // core::PtqMatch
+#include "obs/metrics.h"
+
+namespace upi::sim {
+class SimDisk;
+}
+namespace upi::obs {
+class SlowQueryLog;
+}
 
 namespace upi::engine {
 
 class AccessPath;
 class QueryPlanner;
 struct Plan;
+
+/// Shared observability hooks for query execution, owned by the Database and
+/// handed by pointer to every Table and PreparedQuery it creates. All fields
+/// are optional (null/0 disables that hook), so paths constructed without a
+/// Database — unit tests, hand-built benches — run uninstrumented with zero
+/// overhead. Configure before serving traffic; the hot path reads these
+/// fields unsynchronized.
+struct ExecInstruments {
+  /// Device whose thread stripes time query executions.
+  const sim::SimDisk* disk = nullptr;
+  /// Slow-query sink; armed only when slow_query_ms > 0.
+  obs::SlowQueryLog* slow_log = nullptr;
+  double slow_query_ms = 0.0;
+
+  obs::Counter* queries_total = nullptr;
+  obs::Counter* slow_queries_total = nullptr;
+  obs::Counter* plan_cache_hits = nullptr;
+  obs::Counter* plan_cache_misses = nullptr;
+  obs::Counter* plan_cache_invalidations = nullptr;
+  obs::Histogram* query_sim_ms = nullptr;
+
+  /// Fills the metric pointers from `registry` (names upi_query_* /
+  /// upi_plan_cache_*).
+  void RegisterMetrics(obs::MetricsRegistry* registry);
+};
+
+/// exec::Execute wrapped in the engine's instrumentation: counts the query,
+/// attributes its simulated cost via a scoped thread-stats delta, and — when
+/// the slow-query log is armed and no outer trace is active — records a
+/// per-operator QueryTrace for entries that cross the threshold. With
+/// `ins == nullptr` this is exactly exec::Execute.
+Status InstrumentedExecute(const AccessPath& path, const Plan& plan,
+                           const ExecInstruments* ins,
+                           std::function<bool(const catalog::Tuple&)> predicate,
+                           std::vector<core::PtqMatch>* out);
 
 /// One declarative query. Build with the factories; chain WithLimit/Where.
 struct Query {
@@ -182,7 +225,8 @@ class PreparedQuery {
 
  private:
   friend class Table;
-  PreparedQuery(const AccessPath* path, const QueryPlanner* planner, Query q);
+  PreparedQuery(const AccessPath* path, const QueryPlanner* planner, Query q,
+                const ExecInstruments* instruments = nullptr);
 
   std::shared_ptr<detail::PreparedState> impl_;
 };

@@ -4,7 +4,10 @@
 
 namespace upi::engine {
 
-Session::Session(Database* db) : db_(db) {
+Session::Session(Database* db)
+    : db_(db),
+      m_ops_(db->metrics()->counter("upi_session_ops_total")),
+      m_sim_ms_(db->metrics()->histogram("upi_session_sim_ms")) {
   worker_ = std::thread([this] { WorkerLoop(); });
 }
 
@@ -47,11 +50,12 @@ Result<QueryResult> Session::Measure(
     const {
   // The worker's own SimDisk stripe delimits exactly this operation's
   // simulated device time (nothing else runs on this thread).
-  const sim::SimDisk* disk = db_->env()->disk();
-  sim::DiskStats before = disk->thread_stats();
+  sim::ThreadStatsWindow window(db_->env()->disk());
   QueryResult result;
   UPI_ASSIGN_OR_RETURN(result.plan, run(&result.rows));
-  result.sim_ms = (disk->thread_stats() - before).SimMs(db_->params());
+  result.sim_ms = window.ElapsedMs();
+  if (m_ops_ != nullptr) m_ops_->Add();
+  if (m_sim_ms_ != nullptr) m_sim_ms_->Record(result.sim_ms);
   return result;
 }
 

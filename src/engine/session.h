@@ -67,6 +67,8 @@ class Session {
   void WorkerLoop();
 
   Database* db_;
+  obs::Counter* m_ops_ = nullptr;            // upi_session_ops_total
+  obs::Histogram* m_sim_ms_ = nullptr;       // upi_session_sim_ms
   mutable std::mutex mu_;
   std::condition_variable cv_;
   std::deque<Task> queue_;

@@ -5,6 +5,7 @@
 
 #include "exec/cursor.h"
 #include "exec/ptq.h"
+#include "obs/trace.h"
 
 namespace upi::exec {
 
@@ -37,6 +38,9 @@ Status Execute(const engine::AccessPath& path, const engine::Plan& plan,
   // a streaming cursor would truncate in storage order, which can differ
   // once a PTQ spills into the cutoff phase. Early-exit LIMIT execution is
   // OpenCursor()'s job; top-k stays pushed down (its stream is the k bound).
+  obs::QueryTrace* trace = obs::CurrentTrace();
+  const size_t trace_ops_before = trace != nullptr ? trace->ops.size() : 0;
+  obs::TraceOpScope whole_op;
   std::unique_ptr<engine::ResultCursor> stream;
   if (plan.kind == engine::PlanKind::kPrimaryProbe) {
     stream = path.OpenPtqStream(plan.value, plan.qt);
@@ -57,6 +61,12 @@ Status Execute(const engine::AccessPath& path, const engine::Plan& plan,
   }
   if (plan.k > 0 && rows.size() > plan.k) rows.resize(plan.k);
   if (plan.limit > 0 && rows.size() > plan.limit) rows.resize(plan.limit);
+  // Plans with no finer-grained instrumentation (clustered probes, scans,
+  // union plans) still get one operator record covering the execution.
+  if (trace != nullptr && trace->ops.size() == trace_ops_before &&
+      whole_op.active()) {
+    whole_op.Finish(engine::PlanKindName(plan.kind), rows.size());
+  }
   if (out->empty()) {
     *out = std::move(rows);
   } else {

@@ -9,7 +9,14 @@ MaintenanceManager::MaintenanceManager(storage::DbEnv* env,
                                        MaintenanceManagerOptions options)
     : env_(env),
       options_(options),
-      policy_(options.policy, env->params()) {
+      policy_(options.policy, env->params()),
+      m_flushes_(env->metrics()->counter("upi_maintenance_flushes_total")),
+      m_partial_merges_(
+          env->metrics()->counter("upi_maintenance_partial_merges_total")),
+      m_full_merges_(
+          env->metrics()->counter("upi_maintenance_full_merges_total")),
+      m_task_sim_ms_(env->metrics()->histogram("upi_maintenance_task_sim_ms")),
+      m_queue_depth_(env->metrics()->gauge("upi_maintenance_queue_depth")) {
   workers_.reserve(options_.num_workers);
   for (size_t i = 0; i < options_.num_workers; ++i) {
     workers_.emplace_back([this] { WorkerLoop(); });
@@ -58,6 +65,7 @@ bool MaintenanceManager::TryEnqueue(core::FracturedUpi* table, TaskKind kind,
     idle_cv_.notify_all();
     return false;
   }
+  UpdateQueueGauge();
   return true;
 }
 
@@ -89,9 +97,11 @@ Status MaintenanceManager::Execute(const MaintenanceTask& task) {
 }
 
 void MaintenanceManager::ExecuteAndFollowUp(const MaintenanceTask& task) {
+  UpdateQueueGauge();
   sim::StatsWindow window(env_->disk());
   Status st = Execute(task);
   double sim_ms = window.ElapsedMs();
+  if (m_task_sim_ms_ != nullptr) m_task_sim_ms_->Record(sim_ms);
 
   bool forced = false;
   TaskKind forced_kind = TaskKind::kFlush;
@@ -101,14 +111,17 @@ void MaintenanceManager::ExecuteAndFollowUp(const MaintenanceTask& task) {
       case TaskKind::kFlush:
         ++stats_.flushes;
         stats_.flush_sim_ms += sim_ms;
+        if (m_flushes_ != nullptr) m_flushes_->Add();
         break;
       case TaskKind::kMergePartial:
         ++stats_.partial_merges;
         stats_.merge_sim_ms += sim_ms;
+        if (m_partial_merges_ != nullptr) m_partial_merges_->Add();
         break;
       case TaskKind::kMergeAll:
         ++stats_.full_merges;
         stats_.merge_sim_ms += sim_ms;
+        if (m_full_merges_ != nullptr) m_full_merges_->Add();
         break;
     }
     if (!st.ok() && last_error_.ok()) last_error_ = st;
@@ -160,6 +173,7 @@ void MaintenanceManager::ExecuteAndFollowUp(const MaintenanceTask& task) {
         have_next = true;
       }
       if (have_next && queue_.Push(next)) {
+        UpdateQueueGauge();
         return;  // table stays active: the slot passes to the successor task
       }
       it->second.active = false;

@@ -29,6 +29,7 @@
 #include "common/status.h"
 #include "maintenance/merge_policy.h"
 #include "maintenance/task_queue.h"
+#include "obs/metrics.h"
 
 namespace upi::storage {
 class DbEnv;
@@ -115,6 +116,12 @@ class MaintenanceManager {
   /// false). Caller must NOT hold mu_.
   bool TryEnqueue(core::FracturedUpi* table, TaskKind kind, size_t merge_count,
                   bool force);
+  /// Publishes the current queue length to the registry gauge.
+  void UpdateQueueGauge() {
+    if (m_queue_depth_ != nullptr) {
+      m_queue_depth_->Set(static_cast<double>(queue_.size()));
+    }
+  }
 
   storage::DbEnv* env_;
   MaintenanceManagerOptions options_;
@@ -130,6 +137,14 @@ class MaintenanceManager {
 
   std::atomic<bool> stopped_{false};
   std::vector<std::thread> workers_;
+
+  // Registry metrics, cached from env->metrics() at construction (the env
+  // outlives the manager; Database destroys the manager first).
+  obs::Counter* m_flushes_ = nullptr;
+  obs::Counter* m_partial_merges_ = nullptr;
+  obs::Counter* m_full_merges_ = nullptr;
+  obs::Histogram* m_task_sim_ms_ = nullptr;
+  obs::Gauge* m_queue_depth_ = nullptr;
 };
 
 }  // namespace upi::maintenance

@@ -1,0 +1,51 @@
+#include "obs/slow_query_log.h"
+
+#include <cstdio>
+#include <utility>
+
+namespace upi::obs {
+
+std::string SlowQueryEntry::ToString() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "SLOW %.2f sim-ms (threshold %.2f) on '%s': %s\n  plan: %s  "
+                "predicted=%.2f ms  rows=%llu\n",
+                sim_ms, threshold_ms, table.c_str(), query.c_str(),
+                plan.c_str(), predicted_ms,
+                static_cast<unsigned long long>(rows));
+  std::string out = buf;
+  for (const TraceOp& op : trace.ops) {
+    std::snprintf(buf, sizeof(buf),
+                  "  op %-28s rows=%-6llu pages=%-5llu seeks=%-4llu %8.2f ms%s\n",
+                  op.label.c_str(), static_cast<unsigned long long>(op.rows),
+                  static_cast<unsigned long long>(op.io.reads),
+                  static_cast<unsigned long long>(op.io.seeks), op.sim_ms,
+                  op.pruned ? "  (pruned)" : "");
+    out += buf;
+  }
+  return out;
+}
+
+void SlowQueryLog::Record(SlowQueryEntry entry) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++total_;
+  ring_.push_back(std::move(entry));
+  while (ring_.size() > capacity_) ring_.pop_front();
+}
+
+std::vector<SlowQueryEntry> SlowQueryLog::entries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return {ring_.begin(), ring_.end()};
+}
+
+uint64_t SlowQueryLog::total_recorded() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_;
+}
+
+void SlowQueryLog::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ring_.clear();
+}
+
+}  // namespace upi::obs

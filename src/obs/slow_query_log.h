@@ -1,0 +1,60 @@
+// Slow-query log: a bounded in-memory ring of queries whose simulated device
+// time crossed the configured threshold (DatabaseOptions::slow_query_ms).
+//
+// Each entry records what an operator would ask for first: the query shape,
+// the bound parameter value, the plan the planner chose (with its predicted
+// cost), the measured simulated cost, and the per-operator trace of the
+// offending execution — enough to see *which fracture / which phase* paid
+// the pages without re-running anything. Recording is off the hot path by
+// construction: entries are only assembled for executions that already
+// crossed the threshold, and the ring is capped (oldest entries drop).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/trace.h"
+
+namespace upi::obs {
+
+struct SlowQueryEntry {
+  std::string table;
+  std::string query;  // human-readable shape + bound value, e.g. ptq("MIT", 0.5)
+  std::string plan;   // chosen plan kind + predicted cost
+  double predicted_ms = 0.0;
+  double sim_ms = 0.0;       // measured simulated device time
+  double threshold_ms = 0.0; // the threshold in force when recorded
+  uint64_t rows = 0;
+  QueryTrace trace;          // per-operator actuals of the offending run
+
+  std::string ToString() const;
+};
+
+class SlowQueryLog {
+ public:
+  explicit SlowQueryLog(size_t capacity = 128) : capacity_(capacity) {}
+
+  SlowQueryLog(const SlowQueryLog&) = delete;
+  SlowQueryLog& operator=(const SlowQueryLog&) = delete;
+
+  void Record(SlowQueryEntry entry);
+
+  /// Snapshot of the retained entries, oldest first.
+  std::vector<SlowQueryEntry> entries() const;
+
+  /// Entries ever recorded (including ones the ring has since dropped).
+  uint64_t total_recorded() const;
+
+  void Clear();
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::deque<SlowQueryEntry> ring_;
+  uint64_t total_ = 0;
+};
+
+}  // namespace upi::obs

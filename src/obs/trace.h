@@ -1,0 +1,88 @@
+// Per-query tracing: the runtime analogue of the paper's Figures 10-12.
+//
+// A QueryTrace collects per-operator actuals — rows produced, pages read,
+// seeks paid, simulated milliseconds — attributed via scoped
+// SimDisk::thread_stats() deltas while one query executes. Execution is
+// single-threaded per query (the caller's thread or a Session worker), so
+// the active trace is a thread-local: instrumented code deep in the stack
+// (the fractured fan-out cursor, the executor) appends operator records
+// without any plumbing through the intermediate interfaces, and code running
+// with no trace installed pays exactly one thread-local load.
+//
+// Table::ExplainAnalyze() installs a TraceScope, runs the plan, and prints
+// the Plan::Explain() tree annotated with estimated vs. actual rows/pages
+// per node — "why was this query slow / did pruning fire" answered at
+// runtime instead of by adding printf to a bench. The slow-query log reuses
+// the same trace to record the offending operators.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/sim_disk.h"
+
+namespace upi::obs {
+
+/// One executed operator (a probed fracture, a pruned fracture, the RAM
+/// buffer, or a whole access-path operator for plans with no finer
+/// instrumentation). Estimates are filled by the ExplainAnalyze layer where
+/// the planner's statistics speak to the node; < 0 means "no estimate".
+struct TraceOp {
+  std::string label;
+  uint64_t rows = 0;
+  bool pruned = false;     // skipped via fracture summaries: zero I/O
+  sim::DiskStats io;       // this operator's thread-stats delta
+  double sim_ms = 0.0;     // io priced under the device's params
+  double est_rows = -1.0;
+  double est_pages = -1.0;
+};
+
+/// The whole query's actuals: operator records plus the end-to-end delta.
+struct QueryTrace {
+  /// Device whose thread stripe delimits the operators (set by the scope
+  /// installer; instrumented code reads it instead of plumbing a disk).
+  const sim::SimDisk* disk = nullptr;
+  std::vector<TraceOp> ops;
+  sim::DiskStats total;
+  double total_sim_ms = 0.0;
+  uint64_t rows = 0;
+
+  /// Sum of non-pruned operator page reads (the per-node actuals a test can
+  /// reconcile against the end-to-end delta).
+  uint64_t OpReads() const;
+};
+
+/// The trace the current thread is executing under; nullptr almost always.
+QueryTrace* CurrentTrace();
+
+/// RAII installer. Nesting restores the outer trace on destruction; code
+/// that wants "append to whatever trace is active" just uses CurrentTrace().
+class TraceScope {
+ public:
+  explicit TraceScope(QueryTrace* trace);
+  ~TraceScope();
+  TraceScope(const TraceScope&) = delete;
+  TraceScope& operator=(const TraceScope&) = delete;
+
+ private:
+  QueryTrace* prev_;
+};
+
+/// Scoped thread-stats delta for one operator: captures the calling thread's
+/// stripe at construction; Finish() appends a TraceOp with the delta since.
+/// Inert (no snapshot taken) when no trace is active — constructing one in
+/// untraced code costs a thread-local load and a branch.
+class TraceOpScope {
+ public:
+  TraceOpScope();
+  /// Appends the op and re-arms for the next one (the fan-out cursor records
+  /// consecutive fractures through one scope).
+  void Finish(std::string label, uint64_t rows, bool pruned = false);
+  bool active() const { return trace_ != nullptr; }
+
+ private:
+  QueryTrace* trace_;
+  sim::DiskStats start_;
+};
+
+}  // namespace upi::obs

@@ -57,6 +57,9 @@ struct DiskStats {
   DiskStats& operator+=(const DiskStats& rhs);
   /// Simulated elapsed time for these counters under `p`.
   double SimMs(const CostParams& p) const;
+  [[deprecated(
+      "pretty-print via obs::MetricsSnapshot (DbEnv::metrics()->Snapshot()) "
+      "instead")]]
   std::string ToString(const CostParams& p) const;
 };
 
@@ -148,6 +151,24 @@ class StatsWindow {
       : disk_(disk), start_(disk->stats()) {}
 
   DiskStats Delta() const { return disk_->stats() - start_; }
+  double ElapsedMs() const { return Delta().SimMs(disk_->params()); }
+
+ private:
+  const SimDisk* disk_;
+  DiskStats start_;
+};
+
+/// \brief RAII window over the *calling thread's* stripe: the I/O this thread
+/// issued since construction. This is the one sanctioned way to attribute
+/// simulated cost to a unit of work on a shared device (Session latencies,
+/// per-operator query traces) — all other traffic lands in other stripes and
+/// never pollutes the delta. Must be read from the constructing thread.
+class ThreadStatsWindow {
+ public:
+  explicit ThreadStatsWindow(const SimDisk* disk)
+      : disk_(disk), start_(disk->thread_stats()) {}
+
+  DiskStats Delta() const { return disk_->thread_stats() - start_; }
   double ElapsedMs() const { return Delta().SimMs(disk_->params()); }
 
  private:

@@ -84,11 +84,13 @@ std::vector<BufferPool::Victim> BufferPool::DetachVictimsLocked(Shard& s) {
     (victim->hot ? s.hot : s.cold).erase(victim->lru_it);
     s.bytes -= victim->page_bytes;
     cached_bytes_.fetch_sub(victim->page_bytes, std::memory_order_relaxed);
+    ++s.evictions;
     if (victim->dirty) {
       // Keep the frame mapped (kWriting) until the write-back lands, so a
       // concurrent re-fetch can't read stale bytes from the file.
       victim->state = Frame::State::kWriting;
       ++s.transients;
+      ++s.writebacks;
       victims.push_back(Victim{victim_key, std::move(victim->data)});
     } else {
       s.frames.erase(victim_key);
@@ -244,6 +246,7 @@ void BufferPool::WriteBackOne(const Key& k) {
     UPI_CHECK(it != s.frames.end() && it->second.flush_pins > 0,
               "flush-pinned frame disappeared");
     --it->second.flush_pins;
+    ++s.writebacks;
     s.cv.notify_all();  // a Discard may be waiting the flush out
   }
 }
@@ -325,6 +328,24 @@ uint64_t BufferPool::misses() const {
   for (size_t i = 0; i < shards_count_; ++i) {
     std::lock_guard<std::mutex> lock(shards_[i].mu);
     total += shards_[i].misses;
+  }
+  return total;
+}
+
+BufferPool::PoolCounters BufferPool::shard_counters(size_t shard) const {
+  const Shard& s = shards_[shard];
+  std::lock_guard<std::mutex> lock(s.mu);
+  return PoolCounters{s.hits, s.misses, s.evictions, s.writebacks};
+}
+
+BufferPool::PoolCounters BufferPool::counters() const {
+  PoolCounters total;
+  for (size_t i = 0; i < shards_count_; ++i) {
+    PoolCounters c = shard_counters(i);
+    total.hits += c.hits;
+    total.misses += c.misses;
+    total.evictions += c.evictions;
+    total.writebacks += c.writebacks;
   }
   return total;
 }

@@ -94,8 +94,22 @@ class BufferPool {
   /// Drops the frame for a page being freed, discarding dirty data.
   void Discard(PageFile* file, PageId id);
 
+  /// One shard's (or the whole pool's) served/eviction traffic. `writebacks`
+  /// counts pages written to the device from the pool: dirty eviction
+  /// victims plus flush write-backs.
+  struct PoolCounters {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t evictions = 0;
+    uint64_t writebacks = 0;
+  };
+
   uint64_t hits() const;
   uint64_t misses() const;
+  /// Sum across shards.
+  PoolCounters counters() const;
+  /// One shard's counters (metrics export labels these by shard index).
+  PoolCounters shard_counters(size_t shard) const;
   uint64_t cached_bytes() const {
     return cached_bytes_.load(std::memory_order_relaxed);
   }
@@ -149,6 +163,8 @@ class BufferPool {
     uint32_t transients = 0;  // frames in kLoading or kWriting
     uint64_t hits = 0;
     uint64_t misses = 0;
+    uint64_t evictions = 0;   // frames pushed out by capacity pressure
+    uint64_t writebacks = 0;  // device writes issued for this shard's frames
   };
 
   /// A dirty frame detached for eviction: written back outside the latch.

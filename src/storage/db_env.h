@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "obs/metrics.h"
 #include "sim/sim_disk.h"
 #include "storage/buffer_pool.h"
 #include "storage/page_file.h"
@@ -29,7 +30,14 @@ class DbEnv {
   explicit DbEnv(uint64_t pool_bytes = 32ull << 20,
                  sim::CostParams params = sim::CostParams{},
                  size_t pool_shards = BufferPool::kDefaultShards)
-      : disk_(params), pool_(pool_bytes, pool_shards) {}
+      : disk_(params), pool_(pool_bytes, pool_shards) {
+    // Export the counters disk and pool already maintain for themselves as
+    // snapshot-time hooks — zero hot-path cost, no double accounting. The
+    // hook captures `this`; registry and subjects share this DbEnv's
+    // lifetime.
+    registry_.AddSnapshotHook(
+        [this](obs::MetricsSnapshot* snap) { ExportStorageMetrics(snap); });
+  }
 
   /// Creates a new page file on this environment's disk. Thread-safe:
   /// background maintenance workers create fracture files while other
@@ -70,6 +78,7 @@ class DbEnv {
   sim::SimDisk* disk() { return &disk_; }
   const sim::SimDisk* disk() const { return &disk_; }
   BufferPool* pool() { return &pool_; }
+  obs::MetricsRegistry* metrics() const { return &registry_; }
   const sim::CostParams& params() const { return disk_.params(); }
 
   /// Total footprint of all files (the paper's "DB size").
@@ -81,6 +90,38 @@ class DbEnv {
   }
 
  private:
+  void ExportStorageMetrics(obs::MetricsSnapshot* snap) const {
+    const sim::DiskStats d = disk_.stats();
+    auto counter = [snap](const char* name, double v) {
+      snap->counters.push_back({name, "", v});
+    };
+    counter("upi_disk_reads_total", static_cast<double>(d.reads));
+    counter("upi_disk_writes_total", static_cast<double>(d.writes));
+    counter("upi_disk_seeks_total", static_cast<double>(d.seeks));
+    counter("upi_disk_seek_ms_total", d.seek_ms);
+    counter("upi_disk_bytes_read_total", static_cast<double>(d.bytes_read));
+    counter("upi_disk_bytes_written_total",
+            static_cast<double>(d.bytes_written));
+    counter("upi_disk_file_opens_total", static_cast<double>(d.file_opens));
+    counter("upi_disk_sim_ms_total", d.SimMs(disk_.params()));
+    for (size_t i = 0; i < pool_.num_shards(); ++i) {
+      BufferPool::PoolCounters c = pool_.shard_counters(i);
+      std::string label = "shard=\"" + std::to_string(i) + "\"";
+      auto sharded = [snap, &label](const char* name, uint64_t v) {
+        snap->counters.push_back({name, label, static_cast<double>(v)});
+      };
+      sharded("upi_bufferpool_hits_total", c.hits);
+      sharded("upi_bufferpool_misses_total", c.misses);
+      sharded("upi_bufferpool_evictions_total", c.evictions);
+      sharded("upi_bufferpool_writebacks_total", c.writebacks);
+    }
+    snap->gauges.push_back({"upi_bufferpool_cached_bytes", "",
+                            static_cast<double>(pool_.cached_bytes())});
+  }
+
+  // Declared first so every other member (whose instrumentation holds
+  // pointers into the registry) is destroyed before it.
+  mutable obs::MetricsRegistry registry_;
   sim::SimDisk disk_;
   // Declared before pool_ so the pool (whose destructor flushes dirty pages
   // back to these files) is destroyed first.
