@@ -49,6 +49,11 @@ struct PathStats {
   /// True when the primary probe reads one clustered region (UPI); false when
   /// it random-fetches through an inverted list (PII baseline).
   bool clustered = true;
+  /// Concurrent shard probes a scatter-gather path can overlap (>= 1).
+  /// Single-index paths report 1; a partitioned path reports its gather
+  /// parallelism so the planner divides index-probe candidates by the
+  /// per-query fan-out actually running in parallel.
+  double gather_width = 1.0;
 };
 
 class AccessPath {
@@ -150,6 +155,21 @@ class AccessPath {
   /// Average heap pointers per secondary entry on `column` (>= 1): the
   /// tailored-access overlap opportunity.
   virtual double SecondaryAvgPointers(int column) const { return 1.0; }
+
+  /// Horizontal-shard fan-out of a probe on (column, value, qt): how many
+  /// shards it must touch after zone-map admissibility, out of how many.
+  /// Single-index paths are one shard probing itself; the partitioned path
+  /// consults its per-shard summaries. column < 0 means the primary
+  /// attribute.
+  struct ShardFanout {
+    double probed = 1.0;
+    uint32_t total = 1;
+  };
+  virtual ShardFanout EstimateShards(int column, std::string_view value,
+                                     double qt) const {
+    (void)column, (void)value, (void)qt;
+    return {};
+  }
 
   /// Histogram-suggested threshold of the k-th best answer (Section 9's
   /// estimated-threshold top-k strategy); 0 when unknown.

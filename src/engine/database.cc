@@ -1,7 +1,9 @@
 #include "engine/database.h"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <thread>
 #include <utility>
 
 #include "exec/cursor.h"
@@ -170,6 +172,9 @@ Status Table::Insert(const catalog::Tuple& tuple) {
     }
     case Kind::kUnclustered:
       return unclustered_->Insert(tuple);
+    case Kind::kPartitioned:
+      // Routed to the owning shard; the table notifies maintenance itself.
+      return partitioned_->Insert(tuple);
   }
   return Status::Internal("unknown table kind");
 }
@@ -185,6 +190,8 @@ Status Table::Delete(const catalog::Tuple& tuple) {
     }
     case Kind::kUnclustered:
       return unclustered_->Delete(tuple.id());
+    case Kind::kPartitioned:
+      return partitioned_->Delete(tuple);
   }
   return Status::Internal("unknown table kind");
 }
@@ -194,7 +201,8 @@ Status Table::Delete(const catalog::Tuple& tuple) {
 // ---------------------------------------------------------------------------
 
 Database::Database(DatabaseOptions options)
-    : params_(options.params),
+    : options_(options),
+      params_(options.params),
       env_(options.pool_bytes, options.params, options.pool_shards),
       slow_log_(options.slow_query_log_capacity),
       manager_(&env_, options.maintenance) {
@@ -210,8 +218,21 @@ Database::~Database() {
   // would do it too, but being explicit keeps the ordering obvious).
   for (auto& [name, table] : tables_) {
     if (table->fractured() != nullptr) manager_.Unregister(table->fractured());
+    if (table->partitioned() != nullptr) table->partitioned()->UnregisterShards();
   }
   manager_.Stop();
+}
+
+GatherPool* Database::EnsureGatherPool() {
+  if (gather_pool_ == nullptr && options_.gather_workers > 0) {
+    size_t workers = options_.gather_workers;
+    if (workers == kGatherWorkersAuto) {
+      size_t hw = std::thread::hardware_concurrency();
+      workers = std::clamp<size_t>(hw, 4, 16);
+    }
+    gather_pool_ = std::make_unique<GatherPool>(workers, env_.metrics());
+  }
+  return gather_pool_.get();
 }
 
 Result<Table*> Database::Install(std::unique_ptr<Table> table) {
@@ -264,6 +285,30 @@ Result<Table*> Database::CreateFracturedTable(
                                                    env_.metrics());
   table->instruments_ = &instruments_;
   manager_.Register(table->fractured_.get());
+  return Install(std::move(table));
+}
+
+Result<Table*> Database::CreatePartitionedTable(
+    const std::string& name, catalog::Schema schema, core::UpiOptions options,
+    std::vector<int> secondary_columns, PartitionOptions popts,
+    const std::vector<catalog::Tuple>& tuples) {
+  if (tables_.contains(name)) {
+    return Status::AlreadyExists("table '" + name + "' already exists");
+  }
+  auto table = std::unique_ptr<Table>(new Table());
+  table->name_ = name;
+  table->kind_ = Table::Kind::kPartitioned;
+  table->db_ = this;
+  UPI_ASSIGN_OR_RETURN(
+      table->partitioned_,
+      PartitionedTable::Create(&env_, &manager_, EnsureGatherPool(), name,
+                               std::move(schema), options,
+                               std::move(secondary_columns), popts, tuples));
+  table->path_ =
+      std::make_unique<PartitionedAccessPath>(table->partitioned_.get());
+  table->planner_ = std::make_unique<QueryPlanner>(table->path_.get(), params_,
+                                                   env_.metrics());
+  table->instruments_ = &instruments_;
   return Install(std::move(table));
 }
 

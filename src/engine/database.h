@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "engine/access_path.h"
+#include "engine/partition.h"
 #include "engine/planner.h"
 #include "engine/query.h"
 #include "maintenance/manager.h"
@@ -33,11 +34,15 @@ namespace upi::engine {
 
 class Database;
 
+/// DatabaseOptions::gather_workers sentinel: size the gather pool from
+/// std::thread::hardware_concurrency (clamped to [4, 16]).
+inline constexpr size_t kGatherWorkersAuto = static_cast<size_t>(-1);
+
 /// A named table: one underlying physical design, its AccessPath view, and a
 /// QueryPlanner. Created and owned by a Database.
 class Table {
  public:
-  enum class Kind { kUpi, kFractured, kUnclustered };
+  enum class Kind { kUpi, kFractured, kUnclustered, kPartitioned };
 
   const std::string& name() const { return name_; }
   Kind kind() const { return kind_; }
@@ -124,6 +129,7 @@ class Table {
   core::Upi* upi() const { return upi_.get(); }
   core::FracturedUpi* fractured() const { return fractured_.get(); }
   baseline::UnclusteredTable* unclustered() const { return unclustered_.get(); }
+  PartitionedTable* partitioned() const { return partitioned_.get(); }
 
  private:
   friend class Database;
@@ -136,6 +142,7 @@ class Table {
   std::unique_ptr<core::Upi> upi_;
   std::unique_ptr<core::FracturedUpi> fractured_;
   std::unique_ptr<baseline::UnclusteredTable> unclustered_;
+  std::unique_ptr<PartitionedTable> partitioned_;
   std::unique_ptr<AccessPath> path_;
   std::unique_ptr<QueryPlanner> planner_;
 };
@@ -157,6 +164,11 @@ struct DatabaseOptions {
   double slow_query_ms = 0.0;
   /// Entries the slow-query log retains (oldest drop first).
   size_t slow_query_log_capacity = 128;
+  /// Scatter-gather worker threads shared by every partitioned table (see
+  /// engine/partition.h). kGatherWorkersAuto sizes from the hardware; 0 runs
+  /// shard probes serially on the querying thread. The pool is spawned
+  /// lazily, on the first CreatePartitionedTable().
+  size_t gather_workers = kGatherWorkersAuto;
 };
 
 class Database {
@@ -181,6 +193,19 @@ class Database {
                                       std::vector<int> secondary_columns,
                                       const std::vector<catalog::Tuple>& tuples);
 
+  /// Creates a horizontally partitioned table (see engine/partition.h): N
+  /// independent UPI / Fractured-UPI shards behind one logical name, writes
+  /// routed by `popts`'s scheme on the clustered attribute, reads scatter-
+  /// gathered across the shards the per-shard summaries admit. Fractured
+  /// shards register with the maintenance manager individually, so their
+  /// flushes and merges interleave instead of serializing behind one lock.
+  Result<Table*> CreatePartitionedTable(const std::string& name,
+                                        catalog::Schema schema,
+                                        core::UpiOptions options,
+                                        std::vector<int> secondary_columns,
+                                        PartitionOptions popts,
+                                        const std::vector<catalog::Tuple>& tuples);
+
   /// Bulk-builds an unclustered baseline table with PII indexes on
   /// `pii_columns`; `primary_column` is the attribute PTQs probe.
   Result<Table*> CreateUnclusteredTable(const std::string& name,
@@ -196,6 +221,9 @@ class Database {
 
   storage::DbEnv* env() { return &env_; }
   maintenance::MaintenanceManager* maintenance() { return &manager_; }
+  /// The shared scatter-gather pool; nullptr until the first partitioned
+  /// table is created (or forever, when gather_workers == 0).
+  GatherPool* gather_pool() const { return gather_pool_.get(); }
 
   // --- Observability (see obs/metrics.h). ---------------------------------
 
@@ -222,13 +250,19 @@ class Database {
 
  private:
   Result<Table*> Install(std::unique_ptr<Table> table);
+  /// Spawns the shared gather pool on first use (per options_.gather_workers).
+  GatherPool* EnsureGatherPool();
 
+  DatabaseOptions options_;
   sim::CostParams params_;
   storage::DbEnv env_;
   obs::SlowQueryLog slow_log_;
   ExecInstruments instruments_;  // handed by pointer to every table
-  // Tables are declared before the manager so the manager (whose destructor
-  // stops workers and waits for in-flight tasks) is destroyed first.
+  // The gather pool is declared before the tables so in-flight shard probes
+  // can never outlive it... and the tables before the manager so the manager
+  // (whose destructor stops workers and waits for in-flight tasks) is
+  // destroyed first.
+  std::unique_ptr<GatherPool> gather_pool_;
   std::map<std::string, std::unique_ptr<Table>> tables_;
   maintenance::MaintenanceManager manager_;
 };

@@ -1,0 +1,758 @@
+#include "engine/partition.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <utility>
+
+#include "exec/gather.h"
+#include "exec/ptq.h"
+#include "obs/trace.h"
+
+namespace upi::engine {
+
+namespace {
+
+double AvgEntryBytes(uint64_t table_bytes, uint64_t entries) {
+  return entries == 0 ? 0.0
+                      : static_cast<double>(table_bytes) /
+                            static_cast<double>(entries);
+}
+
+constexpr uint64_t kBloomMix = 0x9e3779b97f4a7c15ull;
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Partitioner
+// ---------------------------------------------------------------------------
+
+uint64_t Partitioner::HashKey(std::string_view key) {
+  // FNV-1a 64: stable across platforms, so hash placement (and therefore
+  // on-disk shard contents) never depends on the standard library.
+  uint64_t h = 1469598103934665603ull;
+  for (unsigned char c : key) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+Result<Partitioner> Partitioner::Make(const PartitionOptions& options) {
+  if (options.num_shards == 0) {
+    return Status::InvalidArgument("partitioning needs at least one shard");
+  }
+  Partitioner p;
+  p.scheme_ = options.scheme;
+  p.num_shards_ = options.num_shards;
+  if (options.scheme == PartitionOptions::Scheme::kHash) {
+    if (!options.range_splits.empty()) {
+      return Status::InvalidArgument(
+          "hash partitioning takes no range splits");
+    }
+    return p;
+  }
+  if (options.range_splits.size() != options.num_shards - 1) {
+    return Status::InvalidArgument(
+        "range partitioning over " + std::to_string(options.num_shards) +
+        " shards needs exactly " + std::to_string(options.num_shards - 1) +
+        " splits, got " + std::to_string(options.range_splits.size()));
+  }
+  for (size_t i = 1; i < options.range_splits.size(); ++i) {
+    if (options.range_splits[i - 1] >= options.range_splits[i]) {
+      return Status::InvalidArgument(
+          "range splits must be strictly ascending ('" +
+          options.range_splits[i - 1] + "' >= '" + options.range_splits[i] +
+          "')");
+    }
+  }
+  p.splits_ = options.range_splits;
+  return p;
+}
+
+size_t Partitioner::ShardOf(std::string_view key) const {
+  if (scheme_ == PartitionOptions::Scheme::kHash) {
+    return HashKey(key) % num_shards_;
+  }
+  // Shard i covers [splits[i-1], splits[i]): the owning shard is the number
+  // of splits <= key, so a key equal to a boundary goes to the next shard.
+  auto it = std::upper_bound(splits_.begin(), splits_.end(), key,
+                             [](std::string_view k, const std::string& s) {
+                               return k < std::string_view(s);
+                             });
+  return static_cast<size_t>(it - splits_.begin());
+}
+
+Status Partitioner::CheckCompatible(const Partitioner& other) const {
+  if (other.num_shards_ != num_shards_) {
+    return Status::InvalidArgument(
+        "partition router mismatch: router routes over " +
+        std::to_string(other.num_shards_) + " shards but the table has " +
+        std::to_string(num_shards_) +
+        " — rejected, re-routing would misplace writes (data loss)");
+  }
+  if (other.scheme_ != scheme_) {
+    return Status::InvalidArgument(
+        "partition router mismatch: routing scheme differs from the table's "
+        "— rejected, re-routing would misplace writes (data loss)");
+  }
+  if (other.splits_ != splits_) {
+    return Status::InvalidArgument(
+        "partition router mismatch: range splits differ from the table's — "
+        "rejected, re-routing would misplace writes (data loss)");
+  }
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// ShardSummary
+// ---------------------------------------------------------------------------
+
+ShardSummary::ShardSummary() : bloom_(kBloomWords, 0) {}
+
+void ShardSummary::AddTuple(const catalog::Tuple& tuple,
+                            const std::vector<int>& summary_columns) {
+  std::unique_lock lock(mu_);
+  ++tuples_;
+  for (int col : summary_columns) {
+    const catalog::Value& v = tuple.Get(col);
+    if (v.type() != catalog::ValueType::kDiscrete) continue;
+    ColumnZone& zone = columns_[col];
+    for (const auto& alt : v.discrete().alternatives()) {
+      double prob = tuple.existence() * alt.prob;
+      if (zone.alternatives == 0 || alt.value < zone.min_key) {
+        zone.min_key = alt.value;
+      }
+      if (zone.alternatives == 0 || alt.value > zone.max_key) {
+        zone.max_key = alt.value;
+      }
+      zone.max_prob = std::max(zone.max_prob, prob);
+      ++zone.alternatives;
+      uint64_t h =
+          Partitioner::HashKey(alt.value) ^ (kBloomMix * (col + 1));
+      uint64_t h2 = h * 0xff51afd7ed558ccdull;
+      const uint64_t bits = kBloomWords * 64;
+      for (uint64_t bit : {h % bits, h2 % bits}) {
+        bloom_[bit / 64] |= 1ull << (bit % 64);
+      }
+    }
+  }
+}
+
+bool ShardSummary::MayMatch(int column, std::string_view value,
+                            double qt) const {
+  std::shared_lock lock(mu_);
+  if (tuples_ == 0) return false;  // empty shard: pruning is exact
+  auto it = columns_.find(column);
+  // A column that was never summarized on a non-empty shard cannot prune.
+  if (it == columns_.end() || it->second.alternatives == 0) return true;
+  const ColumnZone& zone = it->second;
+  if (zone.max_prob < qt) return false;
+  if (value < std::string_view(zone.min_key) ||
+      value > std::string_view(zone.max_key)) {
+    return false;
+  }
+  uint64_t h = Partitioner::HashKey(value) ^ (kBloomMix * (column + 1));
+  uint64_t h2 = h * 0xff51afd7ed558ccdull;
+  const uint64_t bits = kBloomWords * 64;
+  for (uint64_t bit : {h % bits, h2 % bits}) {
+    if ((bloom_[bit / 64] & (1ull << (bit % 64))) == 0) return false;
+  }
+  return true;
+}
+
+std::optional<ShardSummary::ColumnZone> ShardSummary::zone(int column) const {
+  std::shared_lock lock(mu_);
+  auto it = columns_.find(column);
+  if (it == columns_.end()) return std::nullopt;
+  return it->second;
+}
+
+uint64_t ShardSummary::tuples() const {
+  std::shared_lock lock(mu_);
+  return tuples_;
+}
+
+// ---------------------------------------------------------------------------
+// GatherPool
+// ---------------------------------------------------------------------------
+
+GatherPool::GatherPool(size_t workers, obs::MetricsRegistry* metrics) {
+  if (metrics != nullptr) {
+    m_queue_depth_ = metrics->gauge("upi_partition_gather_queue_depth");
+  }
+  workers_.reserve(workers);
+  for (size_t i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+GatherPool::~GatherPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopped_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+std::function<void()> GatherPool::PopTask() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (queue_.empty()) return nullptr;
+  std::function<void()> task = std::move(queue_.front());
+  queue_.pop_front();
+  if (m_queue_depth_ != nullptr) {
+    m_queue_depth_->Set(static_cast<double>(queue_.size()));
+  }
+  return task;
+}
+
+void GatherPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stopped_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopped and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      if (m_queue_depth_ != nullptr) {
+        m_queue_depth_->Set(static_cast<double>(queue_.size()));
+      }
+    }
+    task();
+  }
+}
+
+void GatherPool::RunAll(std::vector<std::function<void()>> tasks) {
+  if (tasks.empty()) return;
+  if (workers_.empty()) {
+    for (auto& task : tasks) task();
+    return;
+  }
+  auto batch = std::make_shared<Batch>();
+  batch->remaining = tasks.size();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto& t : tasks) {
+      queue_.push_back([task = std::move(t), batch] {
+        task();
+        std::lock_guard<std::mutex> lock(batch->mu);
+        if (--batch->remaining == 0) batch->cv.notify_all();
+      });
+    }
+    if (m_queue_depth_ != nullptr) {
+      m_queue_depth_->Set(static_cast<double>(queue_.size()));
+    }
+  }
+  cv_.notify_all();
+  // Lend a hand: the caller drains queued probes (its own or a concurrent
+  // gather's) instead of idling, so RunAll never deadlocks no matter how
+  // many sessions gather at once.
+  for (;;) {
+    {
+      std::lock_guard<std::mutex> lock(batch->mu);
+      if (batch->remaining == 0) return;
+    }
+    std::function<void()> task = PopTask();
+    if (task == nullptr) break;
+    task();
+  }
+  std::unique_lock<std::mutex> lock(batch->mu);
+  batch->cv.wait(lock, [&] { return batch->remaining == 0; });
+}
+
+// ---------------------------------------------------------------------------
+// PartitionedTable
+// ---------------------------------------------------------------------------
+
+Result<std::unique_ptr<PartitionedTable>> PartitionedTable::Create(
+    storage::DbEnv* env, maintenance::MaintenanceManager* manager,
+    GatherPool* pool, std::string name, catalog::Schema schema,
+    core::UpiOptions options, std::vector<int> secondary_columns,
+    PartitionOptions popts, const std::vector<catalog::Tuple>& tuples) {
+  UPI_ASSIGN_OR_RETURN(Partitioner partitioner, Partitioner::Make(popts));
+
+  auto table = std::unique_ptr<PartitionedTable>(new PartitionedTable());
+  table->env_ = env;
+  table->manager_ = manager;
+  table->pool_ = pool;
+  table->name_ = std::move(name);
+  table->schema_ = schema;
+  table->options_ = options;
+  table->popts_ = popts;
+  table->partitioner_ = std::move(partitioner);
+  table->summary_columns_.push_back(options.cluster_column);
+  for (int col : secondary_columns) {
+    if (col != options.cluster_column) table->summary_columns_.push_back(col);
+  }
+  obs::MetricsRegistry* metrics = env->metrics();
+  table->m_shards_probed_ =
+      metrics->counter("upi_partition_shards_probed_total");
+  table->m_shards_pruned_ =
+      metrics->counter("upi_partition_shards_pruned_total");
+  table->m_rows_routed_ = metrics->counter("upi_partition_rows_routed_total");
+  // Set before any shard registers, so a mid-build failure still unregisters
+  // the shards that made it in.
+  table->registered_ = manager != nullptr && popts.fractured;
+
+  // Route the bulk data.
+  const size_t n = table->partitioner_.num_shards();
+  std::vector<std::vector<catalog::Tuple>> parts(n);
+  for (const catalog::Tuple& t : tuples) {
+    UPI_ASSIGN_OR_RETURN(size_t shard, table->RouteOf(t));
+    parts[shard].push_back(t);
+  }
+
+  for (size_t i = 0; i < n; ++i) {
+    std::string shard_name = table->name_ + ".s" + std::to_string(i);
+    auto shard = std::make_unique<Shard>();
+    if (popts.fractured) {
+      shard->fractured = std::make_unique<core::FracturedUpi>(
+          env, shard_name, schema, options, secondary_columns);
+      if (!parts[i].empty()) {
+        UPI_RETURN_NOT_OK(shard->fractured->BuildMain(parts[i]));
+      }
+      shard->path =
+          std::make_unique<FracturedAccessPath>(shard->fractured.get());
+      if (manager != nullptr) manager->Register(shard->fractured.get());
+    } else {
+      UPI_ASSIGN_OR_RETURN(
+          shard->upi, core::Upi::Build(env, shard_name, schema, options,
+                                       secondary_columns, parts[i]));
+      shard->path = std::make_unique<UpiAccessPath>(shard->upi.get());
+    }
+    for (const catalog::Tuple& t : parts[i]) {
+      shard->summary.AddTuple(t, table->summary_columns_);
+    }
+    table->shards_.push_back(std::move(shard));
+  }
+  return table;
+}
+
+PartitionedTable::~PartitionedTable() { UnregisterShards(); }
+
+void PartitionedTable::UnregisterShards() {
+  if (!registered_ || manager_ == nullptr) return;
+  registered_ = false;
+  for (auto& shard : shards_) {
+    if (shard->fractured != nullptr) manager_->Unregister(shard->fractured.get());
+  }
+}
+
+Result<std::string_view> PartitionedTable::RoutingKeyOf(
+    const catalog::Tuple& tuple) const {
+  const catalog::Value& v = tuple.Get(options_.cluster_column);
+  if (v.type() != catalog::ValueType::kDiscrete || v.discrete().empty()) {
+    return Status::InvalidArgument("tuple " + std::to_string(tuple.id()) +
+                                   " lacks clustered alternatives");
+  }
+  return std::string_view(v.discrete().First().value);
+}
+
+Result<size_t> PartitionedTable::RouteOf(const catalog::Tuple& tuple) const {
+  UPI_ASSIGN_OR_RETURN(std::string_view key, RoutingKeyOf(tuple));
+  size_t shard = partitioner_.ShardOf(key);
+  if (shard >= partitioner_.num_shards()) {
+    return Status::Internal("partition router produced shard " +
+                            std::to_string(shard) + " of " +
+                            std::to_string(partitioner_.num_shards()));
+  }
+  return shard;
+}
+
+Status PartitionedTable::Insert(const catalog::Tuple& tuple) {
+  UPI_ASSIGN_OR_RETURN(size_t idx, RouteOf(tuple));
+  if (idx >= shards_.size()) {
+    // Never write to a shard the table doesn't own — a mismatched route must
+    // fail loudly, not scribble somewhere recoverable-looking.
+    return Status::Internal("route to shard " + std::to_string(idx) +
+                            " but table has " +
+                            std::to_string(shards_.size()));
+  }
+  Shard& shard = *shards_[idx];
+  if (shard.fractured != nullptr) {
+    UPI_RETURN_NOT_OK(shard.fractured->Insert(tuple));
+    if (manager_ != nullptr) manager_->NotifyWrite(shard.fractured.get());
+  } else {
+    UPI_RETURN_NOT_OK(shard.upi->Insert(tuple));
+  }
+  shard.summary.AddTuple(tuple, summary_columns_);
+  if (m_rows_routed_ != nullptr) m_rows_routed_->Add();
+  return Status::OK();
+}
+
+Status PartitionedTable::Delete(const catalog::Tuple& tuple) {
+  UPI_ASSIGN_OR_RETURN(size_t idx, RouteOf(tuple));
+  if (idx >= shards_.size()) {
+    return Status::Internal("route to shard " + std::to_string(idx) +
+                            " but table has " +
+                            std::to_string(shards_.size()));
+  }
+  Shard& shard = *shards_[idx];
+  if (shard.fractured != nullptr) {
+    UPI_RETURN_NOT_OK(shard.fractured->Delete(tuple.id()));
+    if (manager_ != nullptr) manager_->NotifyWrite(shard.fractured.get());
+    return Status::OK();
+  }
+  return shard.upi->Delete(tuple);
+  // Summaries never shrink on delete — conservative, like fracture
+  // summaries: a stale fence costs one extra probe, never a lost row.
+}
+
+bool PartitionedTable::Admissible(size_t i, int column, std::string_view value,
+                                  double qt) const {
+  if (!popts_.enable_pruning) return true;
+  return shards_[i]->summary.MayMatch(column, value, qt);
+}
+
+Status PartitionedTable::Scatter(
+    int column, std::string_view value, double qt, const char* op,
+    const std::function<Status(const Shard&, std::vector<core::PtqMatch>*)>&
+        probe,
+    std::vector<ShardRun>* runs) const {
+  const int col = ResolveColumn(column);
+  const size_t n = shards_.size();
+  runs->clear();
+  runs->resize(n);
+  sim::SimDisk* disk = env_->disk();
+
+  std::vector<std::function<void()>> tasks;
+  size_t probed = 0;
+  for (size_t i = 0; i < n; ++i) {
+    ShardRun& run = (*runs)[i];
+    if (!Admissible(i, col, value, qt)) {
+      run.pruned = true;
+      continue;
+    }
+    ++probed;
+    const Shard* shard = shards_[i].get();
+    tasks.push_back([disk, shard, &run, &probe] {
+      // Suppress any inner trace (per-fracture ops) so the per-shard record
+      // below is the one operator EXPLAIN ANALYZE reconciles; measure the
+      // probe's I/O on this thread's stripe and withdraw it — the gather
+      // deposits it back on the calling thread, keeping per-thread
+      // attribution (Session latency, slow-query log) exact and the global
+      // totals unchanged.
+      obs::TraceScope no_inner_trace(nullptr);
+      sim::ThreadStatsWindow window(disk);
+      run.status = probe(*shard, &run.rows);
+      run.io = window.Delta();
+      disk->WithdrawThreadStats(run.io);
+    });
+  }
+  if (pool_ != nullptr) {
+    pool_->RunAll(std::move(tasks));
+  } else {
+    for (auto& task : tasks) task();
+  }
+
+  Status st = Status::OK();
+  obs::QueryTrace* trace = obs::CurrentTrace();
+  for (size_t i = 0; i < n; ++i) {
+    ShardRun& run = (*runs)[i];
+    if (!run.pruned) {
+      disk->DepositThreadStats(run.io);
+      if (st.ok() && !run.status.ok()) st = run.status;
+    }
+    if (trace != nullptr) {
+      obs::TraceOp top;
+      char label[64];
+      std::snprintf(label, sizeof(label), "%s shard[%zu]", op, i);
+      top.label = label;
+      top.rows = run.rows.size();
+      top.pruned = run.pruned;
+      top.io = run.io;
+      top.sim_ms = run.io.SimMs(disk->params());
+      trace->ops.push_back(std::move(top));
+    }
+  }
+  shards_probed_total_.fetch_add(probed, std::memory_order_relaxed);
+  shards_pruned_total_.fetch_add(n - probed, std::memory_order_relaxed);
+  if (m_shards_probed_ != nullptr) m_shards_probed_->Add(probed);
+  if (m_shards_pruned_ != nullptr) m_shards_pruned_->Add(n - probed);
+  return st;
+}
+
+namespace {
+
+/// One shard's PTQ, through the exact code path an unpartitioned execution
+/// takes (stream when the path offers one, materialized otherwise) — so a
+/// partitioned gather is bit-identical to the flat table, row for row.
+Status ProbeShardPtq(const AccessPath& path, std::string_view value, double qt,
+                     std::vector<core::PtqMatch>* rows) {
+  std::unique_ptr<ResultCursor> stream = path.OpenPtqStream(value, qt);
+  if (stream == nullptr) return path.QueryPtq(value, qt, rows);
+  core::PtqMatch m;
+  while (stream->TakeNext(&m)) rows->push_back(std::move(m));
+  return stream->status();
+}
+
+}  // namespace
+
+Status PartitionedTable::QueryPtq(std::string_view value, double qt,
+                                  std::vector<core::PtqMatch>* out) const {
+  std::vector<ShardRun> runs;
+  UPI_RETURN_NOT_OK(Scatter(
+      -1, value, qt, "ptq",
+      [&](const Shard& s, std::vector<core::PtqMatch>* rows) {
+        return ProbeShardPtq(*s.path, value, qt, rows);
+      },
+      &runs));
+  for (ShardRun& run : runs) {
+    out->insert(out->end(), std::make_move_iterator(run.rows.begin()),
+                std::make_move_iterator(run.rows.end()));
+  }
+  exec::SortByConfidenceDesc(out);
+  return Status::OK();
+}
+
+Status PartitionedTable::QueryTopK(std::string_view value, size_t k,
+                                   std::vector<core::PtqMatch>* out) const {
+  if (k == 0) return Status::OK();
+  exec::GlobalTopKBound bound(k);
+  const bool use_bound = popts_.topk_global_bound;
+  std::vector<ShardRun> runs;
+  UPI_RETURN_NOT_OK(Scatter(
+      -1, value, /*qt=*/0.0, "topk",
+      [&](const Shard& s, std::vector<core::PtqMatch>* rows) {
+        std::unique_ptr<ResultCursor> stream = s.path->OpenTopKStream(value);
+        if (stream == nullptr) {
+          // Fractured shards run their own internally-bounded top-k; their
+          // scores still feed the global bound so streaming shards that race
+          // them can exit earlier.
+          UPI_RETURN_NOT_OK(s.path->QueryTopK(value, k, rows));
+          if (use_bound) {
+            for (const core::PtqMatch& m : *rows) bound.Offer(m.confidence);
+          }
+          return Status::OK();
+        }
+        // The stream descends in confidence: once the global bound is
+        // saturated and a row falls strictly below the k-th score, nothing
+        // later in this shard can contribute — stop without paying for the
+        // pages behind it (deferred cutoff-pointer fetches included).
+        core::PtqMatch m;
+        while (rows->size() < k && stream->TakeNext(&m)) {
+          if (use_bound && !bound.Offer(m.confidence)) break;
+          rows->push_back(std::move(m));
+        }
+        return stream->status();
+      },
+      &runs));
+  std::vector<core::PtqMatch> merged;
+  for (ShardRun& run : runs) {
+    merged.insert(merged.end(), std::make_move_iterator(run.rows.begin()),
+                  std::make_move_iterator(run.rows.end()));
+  }
+  exec::SortByConfidenceDesc(&merged);
+  if (merged.size() > k) merged.resize(k);
+  out->insert(out->end(), std::make_move_iterator(merged.begin()),
+              std::make_move_iterator(merged.end()));
+  return Status::OK();
+}
+
+Status PartitionedTable::QuerySecondary(int column, std::string_view value,
+                                        double qt,
+                                        core::SecondaryAccessMode mode,
+                                        std::vector<core::PtqMatch>* out) const {
+  std::vector<ShardRun> runs;
+  UPI_RETURN_NOT_OK(Scatter(
+      column, value, qt, "secondary",
+      [&](const Shard& s, std::vector<core::PtqMatch>* rows) {
+        return s.path->QuerySecondary(column, value, qt, mode, rows);
+      },
+      &runs));
+  for (ShardRun& run : runs) {
+    out->insert(out->end(), std::make_move_iterator(run.rows.begin()),
+                std::make_move_iterator(run.rows.end()));
+  }
+  exec::SortByConfidenceDesc(out);
+  return Status::OK();
+}
+
+Status PartitionedTable::ScanTuples(
+    const std::function<void(const catalog::Tuple&)>& fn) const {
+  // Serial: the tuple callback isn't thread-safe, and a sweep is bandwidth-
+  // bound on the single simulated spindle anyway.
+  for (const auto& shard : shards_) {
+    UPI_RETURN_NOT_OK(shard->path->ScanTuples(fn));
+  }
+  return Status::OK();
+}
+
+Status PartitionedTable::ScanTuplesMatching(
+    int column, std::string_view value, double qt,
+    const std::function<void(const catalog::Tuple&)>& fn) const {
+  const int col = ResolveColumn(column);
+  size_t probed = 0;
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    if (!Admissible(i, col, value, qt)) continue;
+    ++probed;
+    UPI_RETURN_NOT_OK(shards_[i]->path->ScanTuplesMatching(column, value, qt, fn));
+  }
+  shards_probed_total_.fetch_add(probed, std::memory_order_relaxed);
+  shards_pruned_total_.fetch_add(shards_.size() - probed,
+                                 std::memory_order_relaxed);
+  if (m_shards_probed_ != nullptr) m_shards_probed_->Add(probed);
+  if (m_shards_pruned_ != nullptr) {
+    m_shards_pruned_->Add(shards_.size() - probed);
+  }
+  return Status::OK();
+}
+
+std::unique_ptr<ResultCursor> PartitionedTable::OpenPtqStream(
+    std::string_view value, double qt) const {
+  // The scatter happens at open (the shard runs come back sorted); only the
+  // k-way merge is lazy. A shard failure rides in the cursor's status — the
+  // I/O is already charged, so falling back to materialized execution would
+  // double it.
+  std::vector<ShardRun> runs;
+  Status st = Scatter(
+      -1, value, qt, "ptq",
+      [&](const Shard& s, std::vector<core::PtqMatch>* rows) {
+        return ProbeShardPtq(*s.path, value, qt, rows);
+      },
+      &runs);
+  std::vector<std::vector<core::PtqMatch>> sorted_runs;
+  sorted_runs.reserve(runs.size());
+  for (ShardRun& run : runs) {
+    if (run.rows.empty()) continue;
+    // Streams return heap rows in confidence order but the cutoff-pointer
+    // tail in storage order; the merge needs fully sorted runs.
+    exec::SortByConfidenceDesc(&run.rows);
+    sorted_runs.push_back(std::move(run.rows));
+  }
+  return std::make_unique<exec::MergedRunsCursor>(std::move(sorted_runs),
+                                                  std::move(st));
+}
+
+PathStats PartitionedTable::Stats() const {
+  PathStats s;
+  s.cutoff = options_.cutoff;
+  s.table.page_size = options_.page_size;
+  s.table.num_fractures = 0;
+  uint64_t seek_span = 0;
+  for (const auto& shard : shards_) {
+    PathStats ss = shard->path->Stats();
+    s.table.table_bytes += ss.table.table_bytes;
+    s.table.num_leaf_pages += ss.table.num_leaf_pages;
+    s.table.btree_height = std::max(s.table.btree_height, ss.table.btree_height);
+    s.table.num_fractures += ss.table.num_fractures;
+    s.heap_entries += ss.heap_entries;
+    s.num_tuples += ss.num_tuples;
+    seek_span = std::max(seek_span, ss.seek_span_bytes);
+    // Routing partitions the primary values across shards, so the sum (not
+    // the max) approximates the logical distinct count.
+    s.distinct_primary_values += ss.distinct_primary_values;
+    s.charges_open_per_query |= ss.charges_open_per_query;
+  }
+  if (s.table.num_fractures == 0) s.table.num_fractures = 1;
+  s.seek_span_bytes = seek_span;
+  s.avg_entry_bytes = AvgEntryBytes(s.table.table_bytes, s.heap_entries);
+  s.supports_scan = true;
+  s.supports_direct_topk = true;
+  s.clustered = true;
+  // The caller participates in its own gather, hence workers + 1.
+  s.gather_width =
+      pool_ != nullptr
+          ? std::min<double>(static_cast<double>(shards_.size()),
+                             static_cast<double>(pool_->workers() + 1))
+          : 1.0;
+  return s;
+}
+
+uint64_t PartitionedTable::StatsEpoch() const {
+  uint64_t epoch = 0;
+  for (const auto& shard : shards_) epoch += shard->path->StatsEpoch();
+  return epoch;
+}
+
+void PartitionedTable::ForEachShardPath(
+    const std::function<void(const AccessPath&)>& fn) const {
+  for (const auto& shard : shards_) fn(*shard->path);
+}
+
+histogram::PtqEstimate PartitionedTable::EstimatePtq(std::string_view value,
+                                                     double qt) const {
+  histogram::PtqEstimate est;
+  double total_heap = 0.0;
+  ForEachShardPath([&](const AccessPath& p) {
+    histogram::PtqEstimate e = p.EstimatePtq(value, qt);
+    est.heap_entries += e.heap_entries;
+    est.cutoff_pointers += e.cutoff_pointers;
+    total_heap += static_cast<double>(p.Stats().heap_entries);
+  });
+  est.selectivity =
+      total_heap > 0 ? std::min(1.0, est.heap_entries / total_heap) : 0.0;
+  return est;
+}
+
+double PartitionedTable::EstimateSecondaryMatches(int column,
+                                                  std::string_view value,
+                                                  double qt) const {
+  double n = 0.0;
+  ForEachShardPath([&](const AccessPath& p) {
+    n += p.EstimateSecondaryMatches(column, value, qt);
+  });
+  return n;
+}
+
+core::PruneEstimate PartitionedTable::EstimatePrune(int column,
+                                                    std::string_view value,
+                                                    double qt) const {
+  const int col = ResolveColumn(column);
+  core::PruneEstimate pe;
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    core::PruneEstimate inner =
+        shards_[i]->path->EstimatePrune(column, value, qt);
+    pe.total_fractures += inner.total_fractures;
+    if (Admissible(i, col, value, qt)) {
+      pe.probed_fractures += inner.probed_fractures;
+      pe.probed_bytes += inner.probed_bytes;
+    }
+  }
+  return pe;
+}
+
+double PartitionedTable::SecondaryAvgPointers(int column) const {
+  // Tuple-weighted mean over shards (shards share one secondary design).
+  double weighted = 0.0, tuples = 0.0;
+  ForEachShardPath([&](const AccessPath& p) {
+    double n = static_cast<double>(p.Stats().num_tuples);
+    weighted += p.SecondaryAvgPointers(column) * n;
+    tuples += n;
+  });
+  return tuples > 0 ? weighted / tuples : 1.0;
+}
+
+double PartitionedTable::EstimateTopKThreshold(std::string_view value,
+                                               size_t k) const {
+  // The union holds at least each shard's entries, so the union's k-th
+  // threshold is at least the best per-shard one.
+  double best = 0.0;
+  ForEachShardPath([&](const AccessPath& p) {
+    best = std::max(best, p.EstimateTopKThreshold(value, k));
+  });
+  return best;
+}
+
+AccessPath::ShardFanout PartitionedTable::EstimateShards(
+    int column, std::string_view value, double qt) const {
+  const int col = ResolveColumn(column);
+  AccessPath::ShardFanout sf;
+  sf.total = static_cast<uint32_t>(shards_.size());
+  sf.probed = 0.0;
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    if (Admissible(i, col, value, qt)) sf.probed += 1.0;
+  }
+  return sf;
+}
+
+bool PartitionedTable::HasSecondary(int column) const {
+  for (const auto& shard : shards_) {
+    if (shard->path->HasSecondary(column)) return true;
+  }
+  return false;
+}
+
+}  // namespace upi::engine

@@ -1,0 +1,417 @@
+// Horizontally partitioned tables: scatter-gather over independent UPIs.
+//
+// A PartitionedTable splits one logical table into N shards — each a full
+// `Upi` or `FracturedUpi` with its own heap, cutoff index, secondary indexes,
+// and (for fractured shards) its own MaintenanceManager registration — by
+// hash or key-range on the clustered attribute's *highest-probability*
+// alternative. Writes route to the owning shard, so the single-index ceiling
+// (one latch, one maintenance domain, one flush blocking every reader) turns
+// into N independent domains that flush and merge in parallel.
+//
+// Reads generalize PR 5's fracture pruning to shard granularity: the router
+// keeps an incremental per-shard summary (zone map + Bloom fence + max
+// combined probability, one slot per indexed column) fed by every bulk build
+// and insert, and a probe consults only these summaries to pick the
+// *admissible* shards. Because a tuple's lower-probability alternatives can
+// land on a shard other than the one that owns its routing key, admissibility
+// comes from the summaries — which see every alternative — never from the
+// routing function. Deletes don't shrink summaries (conservative, like
+// fracture summaries: a stale fence only costs an extra probe, never a lost
+// row).
+//
+// Admitted shards execute concurrently on a small shared GatherPool; each
+// probe measures its simulated I/O on the worker's SimDisk stripe and the
+// gather re-attributes it to the calling thread (SimDisk::Withdraw/Deposit),
+// so Session latencies, the slow-query log, and EXPLAIN ANALYZE totals stay
+// exact. Merging: PTQ/secondary runs concatenate then confidence-sort (or
+// k-way-merge into a stream, exec/gather.h); top-k shares a global k-th-score
+// bound so lagging shards stop as soon as their descending streams fall below
+// it — results are identical with the bound on or off.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <shared_mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "engine/access_path.h"
+#include "maintenance/manager.h"
+#include "obs/metrics.h"
+#include "storage/db_env.h"
+
+namespace upi::engine {
+
+struct PartitionOptions {
+  enum class Scheme { kHash, kRange };
+  Scheme scheme = Scheme::kHash;
+  size_t num_shards = 4;
+  /// Range scheme only: ascending split keys, one fewer than num_shards.
+  /// Shard i covers [splits[i-1], splits[i]) — a key equal to a split
+  /// boundary belongs to the *next* shard.
+  std::vector<std::string> range_splits;
+  /// Shard design: FracturedUpi (writable, maintenance-managed) or plain Upi.
+  bool fractured = true;
+  /// Consult per-shard summaries to skip inadmissible shards. Off = every
+  /// query probes all shards (results identical; see ShardSummary).
+  bool enable_pruning = true;
+  /// Top-k shares a global k-th-score bound across shard streams (early
+  /// exit). Off = every admitted shard streams its full k rows.
+  bool topk_global_bound = true;
+};
+
+/// The routing function: key -> owning shard. Deterministic and stateless,
+/// so clients may hold their own copy — but a copy built against a different
+/// shard layout must be rejected, not silently re-route (see
+/// CheckCompatible / PartitionedTable::ValidateRouter).
+class Partitioner {
+ public:
+  /// Validates the spec: num_shards >= 1; range scheme needs exactly
+  /// num_shards - 1 strictly ascending splits (hash must pass none).
+  static Result<Partitioner> Make(const PartitionOptions& options);
+
+  size_t ShardOf(std::string_view key) const;
+
+  size_t num_shards() const { return num_shards_; }
+  PartitionOptions::Scheme scheme() const { return scheme_; }
+  const std::vector<std::string>& splits() const { return splits_; }
+
+  /// InvalidArgument when `other` can place any key differently than this
+  /// partitioner (different shard count, scheme, or splits): accepting a
+  /// mismatched router would send writes to the wrong shard — silent data
+  /// loss for every later read.
+  Status CheckCompatible(const Partitioner& other) const;
+
+  /// FNV-1a, the stable cross-platform key hash (also feeds Bloom fences).
+  static uint64_t HashKey(std::string_view key);
+
+ private:
+  friend class PartitionedTable;  // default-routes until Create() configures it
+  Partitioner() = default;
+
+  PartitionOptions::Scheme scheme_ = PartitionOptions::Scheme::kHash;
+  size_t num_shards_ = 1;
+  std::vector<std::string> splits_;
+};
+
+/// One shard's pruning metadata, generalizing core::FractureSummary from
+/// per-fracture to per-shard granularity — but *incremental*: fractures are
+/// immutable once written, shards live as long as the table, so the summary
+/// grows in place under every insert. Per indexed column it fences the
+/// min/max attribute key, the max combined probability, and a Bloom filter
+/// over exact keys. Grows-only: deletes never shrink it, so MayMatch is
+/// conservative (false only when the shard provably cannot match).
+class ShardSummary {
+ public:
+  ShardSummary();
+
+  /// Folds every alternative of `tuple`'s summarized columns in.
+  void AddTuple(const catalog::Tuple& tuple,
+                const std::vector<int>& summary_columns);
+
+  /// False when no alternative of `column` in this shard can match `value`
+  /// at threshold `qt`: outside the zone fences, rejected by the Bloom
+  /// fence, or with max probability below qt. Columns never summarized on a
+  /// non-empty shard cannot prune (returns true); an empty shard always
+  /// prunes.
+  bool MayMatch(int column, std::string_view value, double qt) const;
+
+  struct ColumnZone {
+    std::string min_key;
+    std::string max_key;
+    double max_prob = 0.0;
+    uint64_t alternatives = 0;
+  };
+  /// Snapshot of one column's fences (tests/diagnostics).
+  std::optional<ColumnZone> zone(int column) const;
+  uint64_t tuples() const;
+
+ private:
+  static constexpr size_t kBloomWords = 1u << 12;  // 2^18 bits, 32 KiB
+
+  mutable std::shared_mutex mu_;
+  std::map<int, ColumnZone> columns_;
+  std::vector<uint64_t> bloom_;
+  uint64_t tuples_ = 0;
+};
+
+/// A small shared pool the gather side scatters shard probes onto. The
+/// caller participates: RunAll drains queued work itself until its own batch
+/// completes, so any number of Sessions can gather concurrently without
+/// idling or deadlocking, and `workers == 0` degrades to pure serial
+/// execution on the calling thread (deterministic — what unit tests use).
+class GatherPool {
+ public:
+  explicit GatherPool(size_t workers, obs::MetricsRegistry* metrics = nullptr);
+  ~GatherPool();
+
+  GatherPool(const GatherPool&) = delete;
+  GatherPool& operator=(const GatherPool&) = delete;
+
+  /// Runs every task, returning when all have finished. Tasks must not call
+  /// RunAll themselves.
+  void RunAll(std::vector<std::function<void()>> tasks);
+
+  size_t workers() const { return workers_.size(); }
+
+ private:
+  struct Batch {
+    std::mutex mu;
+    std::condition_variable cv;
+    size_t remaining = 0;
+  };
+
+  /// Pops one queued task (nullptr when empty). Updates the depth gauge.
+  std::function<void()> PopTask();
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stopped_ = false;
+  obs::Gauge* m_queue_depth_ = nullptr;  // upi_partition_gather_queue_depth
+  std::vector<std::thread> workers_;
+};
+
+/// The logical table: N shards plus the router, summaries, and gather logic.
+/// Database owns one per partitioned table and exposes it through the usual
+/// Table/AccessPath surface (PartitionedAccessPath below), so Query /
+/// Prepare / EXPLAIN work unchanged against the logical name.
+class PartitionedTable {
+ public:
+  /// Bulk-builds N shards named `name.s<i>` from `tuples` (routed by the
+  /// clustered attribute's highest-probability alternative). Fractured
+  /// shards register with `manager` (may be null: no background
+  /// maintenance). `pool` may be null: shard probes run serially on the
+  /// calling thread.
+  static Result<std::unique_ptr<PartitionedTable>> Create(
+      storage::DbEnv* env, maintenance::MaintenanceManager* manager,
+      GatherPool* pool, std::string name, catalog::Schema schema,
+      core::UpiOptions options, std::vector<int> secondary_columns,
+      PartitionOptions popts, const std::vector<catalog::Tuple>& tuples);
+
+  ~PartitionedTable();
+
+  PartitionedTable(const PartitionedTable&) = delete;
+  PartitionedTable& operator=(const PartitionedTable&) = delete;
+
+  // --- Writes (routed) ------------------------------------------------------
+
+  Status Insert(const catalog::Tuple& tuple);
+  Status Delete(const catalog::Tuple& tuple);
+
+  /// Rejects a client-held router that disagrees with this table's layout
+  /// (see Partitioner::CheckCompatible) — the guard against re-routing after
+  /// a shard-count mismatch.
+  Status ValidateRouter(const Partitioner& router) const {
+    return partitioner_.CheckCompatible(router);
+  }
+
+  // --- Reads (scatter-gather) ----------------------------------------------
+
+  Status QueryPtq(std::string_view value, double qt,
+                  std::vector<core::PtqMatch>* out) const;
+  Status QueryTopK(std::string_view value, size_t k,
+                   std::vector<core::PtqMatch>* out) const;
+  Status QuerySecondary(int column, std::string_view value, double qt,
+                        core::SecondaryAccessMode mode,
+                        std::vector<core::PtqMatch>* out) const;
+  Status ScanTuples(
+      const std::function<void(const catalog::Tuple&)>& fn) const;
+  Status ScanTuplesMatching(
+      int column, std::string_view value, double qt,
+      const std::function<void(const catalog::Tuple&)>& fn) const;
+  /// Gathers the admissible shards' sorted PTQ runs (concurrently), merged
+  /// into one descending-confidence stream.
+  std::unique_ptr<ResultCursor> OpenPtqStream(std::string_view value,
+                                              double qt) const;
+
+  // --- Estimation (RAM only) -----------------------------------------------
+
+  PathStats Stats() const;
+  uint64_t StatsEpoch() const;
+  histogram::PtqEstimate EstimatePtq(std::string_view value, double qt) const;
+  double EstimateSecondaryMatches(int column, std::string_view value,
+                                  double qt) const;
+  core::PruneEstimate EstimatePrune(int column, std::string_view value,
+                                    double qt) const;
+  double SecondaryAvgPointers(int column) const;
+  double EstimateTopKThreshold(std::string_view value, size_t k) const;
+  AccessPath::ShardFanout EstimateShards(int column, std::string_view value,
+                                         double qt) const;
+  bool HasSecondary(int column) const;
+
+  // --- Introspection --------------------------------------------------------
+
+  const std::string& name() const { return name_; }
+  const catalog::Schema& schema() const { return schema_; }
+  const core::UpiOptions& options() const { return options_; }
+  const Partitioner& partitioner() const { return partitioner_; }
+  const PartitionOptions& partition_options() const { return popts_; }
+  size_t num_shards() const { return shards_.size(); }
+  AccessPath* shard_path(size_t i) const { return shards_[i]->path.get(); }
+  core::FracturedUpi* shard_fractured(size_t i) const {
+    return shards_[i]->fractured.get();
+  }
+  const ShardSummary& shard_summary(size_t i) const {
+    return shards_[i]->summary;
+  }
+  /// Cumulative shards probed / pruned by query fan-outs (test telemetry).
+  uint64_t shards_probed_total() const {
+    return shards_probed_total_.load(std::memory_order_relaxed);
+  }
+  uint64_t shards_pruned_total() const {
+    return shards_pruned_total_.load(std::memory_order_relaxed);
+  }
+
+  /// Unregisters fractured shards from the maintenance manager (idempotent).
+  /// Database calls this in its destructor before stopping the manager.
+  void UnregisterShards();
+
+ private:
+  struct Shard {
+    std::unique_ptr<core::Upi> upi;                 // plain design
+    std::unique_ptr<core::FracturedUpi> fractured;  // fractured design
+    std::unique_ptr<AccessPath> path;
+    ShardSummary summary;
+  };
+
+  /// One shard's slot in a scatter.
+  struct ShardRun {
+    bool pruned = false;
+    std::vector<core::PtqMatch> rows;
+    sim::DiskStats io;
+    Status status;
+  };
+
+  PartitionedTable() = default;
+
+  int ResolveColumn(int column) const {
+    return column < 0 ? options_.cluster_column : column;
+  }
+  /// The routing key: the clustered attribute's highest-probability
+  /// alternative.
+  Result<std::string_view> RoutingKeyOf(const catalog::Tuple& tuple) const;
+  Result<size_t> RouteOf(const catalog::Tuple& tuple) const;
+  /// Summary admissibility of shard `i` for a probe (resolved column).
+  bool Admissible(size_t i, int column, std::string_view value,
+                  double qt) const;
+  /// Runs `probe` on every admissible shard (concurrently when a pool is
+  /// attached), re-attributes each run's simulated I/O to the calling
+  /// thread, appends per-shard TraceOps to any active query trace, and bumps
+  /// the fan-out metrics. `op` labels the trace ops. Returns the first
+  /// shard error.
+  Status Scatter(
+      int column, std::string_view value, double qt, const char* op,
+      const std::function<Status(const Shard&, std::vector<core::PtqMatch>*)>&
+          probe,
+      std::vector<ShardRun>* runs) const;
+  void ForEachShardPath(const std::function<void(const AccessPath&)>& fn) const;
+
+  storage::DbEnv* env_ = nullptr;
+  maintenance::MaintenanceManager* manager_ = nullptr;  // null = none
+  GatherPool* pool_ = nullptr;                          // null = serial
+  std::string name_;
+  catalog::Schema schema_;
+  core::UpiOptions options_;
+  std::vector<int> summary_columns_;  // cluster column + secondary columns
+  PartitionOptions popts_;
+  Partitioner partitioner_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  bool registered_ = false;
+
+  mutable std::atomic<uint64_t> shards_probed_total_{0};
+  mutable std::atomic<uint64_t> shards_pruned_total_{0};
+  obs::Counter* m_shards_probed_ = nullptr;  // upi_partition_shards_probed_total
+  obs::Counter* m_shards_pruned_ = nullptr;  // upi_partition_shards_pruned_total
+  obs::Counter* m_rows_routed_ = nullptr;    // upi_partition_rows_routed_total
+};
+
+/// Thin AccessPath adapter over a PartitionedTable — the same shape
+/// UpiAccessPath/FracturedAccessPath give their cores, so the planner,
+/// executor, prepared queries, and EXPLAIN ANALYZE work against partitioned
+/// tables unchanged.
+class PartitionedAccessPath : public AccessPath {
+ public:
+  explicit PartitionedAccessPath(const PartitionedTable* table)
+      : table_(table) {}
+
+  const std::string& name() const override { return table_->name(); }
+  const catalog::Schema& schema() const override { return table_->schema(); }
+  PathStats Stats() const override { return table_->Stats(); }
+
+  Status QueryPtq(std::string_view value, double qt,
+                  std::vector<core::PtqMatch>* out) const override {
+    return table_->QueryPtq(value, qt, out);
+  }
+  Status QueryTopK(std::string_view value, size_t k,
+                   std::vector<core::PtqMatch>* out) const override {
+    return table_->QueryTopK(value, k, out);
+  }
+  Status QuerySecondary(int column, std::string_view value, double qt,
+                        core::SecondaryAccessMode mode,
+                        std::vector<core::PtqMatch>* out) const override {
+    return table_->QuerySecondary(column, value, qt, mode, out);
+  }
+  Status ScanTuples(
+      const std::function<void(const catalog::Tuple&)>& fn) const override {
+    return table_->ScanTuples(fn);
+  }
+  Status ScanTuplesMatching(
+      int column, std::string_view value, double qt,
+      const std::function<void(const catalog::Tuple&)>& fn) const override {
+    return table_->ScanTuplesMatching(column, value, qt, fn);
+  }
+  std::unique_ptr<ResultCursor> OpenPtqStream(std::string_view value,
+                                              double qt) const override {
+    return table_->OpenPtqStream(value, qt);
+  }
+  // No OpenTopKStream: the consumer's k must reach the gather (the global
+  // bound is sized by it), so top-k flows through the materialized
+  // QueryTopK.
+
+  uint64_t StatsEpoch() const override { return table_->StatsEpoch(); }
+  bool HasSecondary(int column) const override {
+    return table_->HasSecondary(column);
+  }
+  int primary_column() const override {
+    return table_->options().cluster_column;
+  }
+  histogram::PtqEstimate EstimatePtq(std::string_view value,
+                                     double qt) const override {
+    return table_->EstimatePtq(value, qt);
+  }
+  double EstimateSecondaryMatches(int column, std::string_view value,
+                                  double qt) const override {
+    return table_->EstimateSecondaryMatches(column, value, qt);
+  }
+  core::PruneEstimate EstimatePrune(int column, std::string_view value,
+                                    double qt) const override {
+    return table_->EstimatePrune(column, value, qt);
+  }
+  double SecondaryAvgPointers(int column) const override {
+    return table_->SecondaryAvgPointers(column);
+  }
+  double EstimateTopKThreshold(std::string_view value,
+                               size_t k) const override {
+    return table_->EstimateTopKThreshold(value, k);
+  }
+  ShardFanout EstimateShards(int column, std::string_view value,
+                             double qt) const override {
+    return table_->EstimateShards(column, value, qt);
+  }
+
+  const PartitionedTable* partitioned() const { return table_; }
+
+ private:
+  const PartitionedTable* table_;
+};
+
+}  // namespace upi::engine

@@ -37,6 +37,13 @@ std::string Plan::Explain() const {
   std::snprintf(buf, sizeof(buf), "  chosen: %s  predicted=%.1f sim-ms\n",
                 PlanKindName(kind), predicted_ms);
   out += buf;
+  if (shards_total > 1) {
+    std::snprintf(buf, sizeof(buf),
+                  "  shards: probing %.0f of %u shards (%u pruned)\n",
+                  shards_probed, shards_total,
+                  shards_total - static_cast<uint32_t>(shards_probed + 0.5));
+    out += buf;
+  }
   if (fractures_total > 1) {
     std::snprintf(buf, sizeof(buf),
                   "  fractures: probing %.0f of %u (%u pruned by summaries)\n",
@@ -63,6 +70,14 @@ double ExpectedDistinct(double x, double bins) {
   if (x <= 0) return 0.0;
   if (bins <= 1.0) return 1.0;
   return bins * (1.0 - std::exp(-x / bins));
+}
+
+/// Wall-clock divisor for a scatter-gathered index probe: admitted shards run
+/// concurrently, so the probe overlaps up to gather_width ways — but never
+/// more ways than shards it actually probes. 1 on unpartitioned paths. Heap
+/// scans stay serial (one simulated spindle) and are never divided.
+double GatherSpeedup(const PathStats& s, double shards_probed) {
+  return std::max(1.0, std::min(s.gather_width, std::max(shards_probed, 1.0)));
 }
 
 }  // namespace
@@ -165,10 +180,12 @@ Plan QueryPlanner::Choose(std::vector<PlanCandidate> candidates) const {
 Plan QueryPlanner::PlanPtq(std::string_view value, double qt) const {
   PathStats s = path_->Stats();
   core::PruneEstimate pe = path_->EstimatePrune(-1, value, qt);
+  AccessPath::ShardFanout sf = path_->EstimateShards(-1, value, qt);
   std::vector<PlanCandidate> cands;
 
   PlanCandidate probe{PlanKind::kPrimaryProbe};
-  probe.predicted_ms = PrimaryProbeMs(s, pe, value, qt, &probe.note);
+  probe.predicted_ms =
+      PrimaryProbeMs(s, pe, value, qt, &probe.note) / GatherSpeedup(s, sf.probed);
   cands.push_back(std::move(probe));
 
   PlanCandidate scan{PlanKind::kHeapScan};
@@ -181,6 +198,8 @@ Plan QueryPlanner::PlanPtq(std::string_view value, double qt) const {
   plan.qt = qt;
   plan.fractures_probed = pe.probed_fractures;
   plan.fractures_total = pe.total_fractures;
+  plan.shards_probed = sf.probed;
+  plan.shards_total = sf.total;
   return plan;
 }
 
@@ -190,6 +209,8 @@ Plan QueryPlanner::PlanSecondary(int column, std::string_view value,
   bool has_secondary = path_->HasSecondary(column);
   double n = path_->EstimateSecondaryMatches(column, value, qt);
   core::PruneEstimate pe = path_->EstimatePrune(column, value, qt);
+  AccessPath::ShardFanout sf = path_->EstimateShards(column, value, qt);
+  double gather = GatherSpeedup(s, sf.probed);
   double nfrac = pe.probed_fractures > 0 ? pe.probed_fractures : 1.0;
   double lookups = 2.0 * nfrac * LookupMs(s);
   char buf[96];
@@ -200,7 +221,7 @@ Plan QueryPlanner::PlanSecondary(int column, std::string_view value,
   // Always-first-pointer lands each match in its first alternative's home
   // region, scattered across the value space.
   double regions_first = ExpectedDistinct(n, s.distinct_primary_values);
-  first.predicted_ms = lookups + SortedSweepMs(s, n, regions_first);
+  first.predicted_ms = (lookups + SortedSweepMs(s, n, regions_first)) / gather;
   std::snprintf(buf, sizeof(buf), "ptrs=%.0f regions=%.0f", n, regions_first);
   first.note = buf;
   cands.push_back(std::move(first));
@@ -212,7 +233,8 @@ Plan QueryPlanner::PlanSecondary(int column, std::string_view value,
     // read, shrinking the visited-region count by the pointer fan-out.
     double pbar = std::max(1.0, path_->SecondaryAvgPointers(column));
     double regions_tailored = std::max(1.0, regions_first / pbar);
-    tailored.predicted_ms = lookups + SortedSweepMs(s, n, regions_tailored);
+    tailored.predicted_ms =
+        (lookups + SortedSweepMs(s, n, regions_tailored)) / gather;
     std::snprintf(buf, sizeof(buf), "ptrs=%.0f avg-ptrs=%.2f regions=%.0f", n,
                   pbar, regions_tailored);
     tailored.note = buf;
@@ -231,6 +253,8 @@ Plan QueryPlanner::PlanSecondary(int column, std::string_view value,
   plan.qt = qt;
   plan.fractures_probed = pe.probed_fractures;
   plan.fractures_total = pe.total_fractures;
+  plan.shards_probed = sf.probed;
+  plan.shards_total = sf.total;
   return plan;
 }
 
@@ -250,6 +274,7 @@ Plan QueryPlanner::PlanQuery(const Query& q) const {
       // Declaratively forced sweep: a one-candidate plan (still explainable).
       PathStats s = path_->Stats();
       core::PruneEstimate pe = path_->EstimatePrune(q.column, q.value, q.qt);
+      AccessPath::ShardFanout sf = path_->EstimateShards(q.column, q.value, q.qt);
       PlanCandidate scan{PlanKind::kHeapScan};
       scan.predicted_ms = PrunedScanMs(s, pe);
       scan.feasible = s.supports_scan;
@@ -259,6 +284,8 @@ Plan QueryPlanner::PlanQuery(const Query& q) const {
       plan.qt = q.qt;
       plan.fractures_probed = pe.probed_fractures;
       plan.fractures_total = pe.total_fractures;
+      plan.shards_probed = sf.probed;
+      plan.shards_total = sf.total;
       break;
     }
   }
@@ -272,6 +299,8 @@ Plan QueryPlanner::PlanTopK(std::string_view value, size_t k) const {
   // Presence pruning only (qt = 0): the runtime bound-based skip comes on
   // top, so this is the conservative fan-out a direct top-k pays at most.
   core::PruneEstimate pe = path_->EstimatePrune(-1, value, 0.0);
+  AccessPath::ShardFanout sf = path_->EstimateShards(-1, value, 0.0);
+  double gather = GatherSpeedup(s, sf.probed);
   std::vector<PlanCandidate> cands;
   char buf[96];
 
@@ -282,8 +311,10 @@ Plan QueryPlanner::PlanTopK(std::string_view value, size_t k) const {
   // one-lookup price).
   double probes = pe.probed_fractures > 0 ? pe.probed_fractures : 1.0;
   direct.predicted_ms =
-      probes * (LookupMs(s) + params_.ReadMs(static_cast<uint64_t>(
-                                  static_cast<double>(k) * s.avg_entry_bytes)));
+      probes *
+      (LookupMs(s) + params_.ReadMs(static_cast<uint64_t>(
+                         static_cast<double>(k) * s.avg_entry_bytes))) /
+      gather;
   std::snprintf(buf, sizeof(buf), "probe=%.0f/%u", probes, pe.total_fractures);
   direct.note = buf;
   cands.push_back(std::move(direct));
@@ -293,7 +324,8 @@ Plan QueryPlanner::PlanTopK(std::string_view value, size_t k) const {
   // the occasional halving retry when the estimate lands too high.
   estimated.predicted_ms =
       1.25 * PrimaryProbeMs(s, path_->EstimatePrune(-1, value, est_qt), value,
-                            est_qt, nullptr);
+                            est_qt, nullptr) /
+      gather;
   std::snprintf(buf, sizeof(buf), "est-qt=%.2f", est_qt);
   estimated.note = buf;
   cands.push_back(std::move(estimated));
@@ -314,7 +346,7 @@ Plan QueryPlanner::PlanTopK(std::string_view value, size_t k) const {
     }
     qt /= 4.0;
   }
-  decreasing.predicted_ms = cost;
+  decreasing.predicted_ms = cost / gather;
   std::snprintf(buf, sizeof(buf), "rounds=%d", rounds);
   decreasing.note = buf;
   cands.push_back(std::move(decreasing));
@@ -324,6 +356,8 @@ Plan QueryPlanner::PlanTopK(std::string_view value, size_t k) const {
   plan.k = k;
   plan.fractures_probed = pe.probed_fractures;
   plan.fractures_total = pe.total_fractures;
+  plan.shards_probed = sf.probed;
+  plan.shards_total = sf.total;
   // Each strategy starts where its cost model assumed it starts: the
   // estimated-threshold strategy at the histogram's k-th probability, the
   // decreasing-threshold strategy at its fixed 0.5.

@@ -80,6 +80,12 @@ struct Plan {
   /// metadata or pruning is disabled.
   double fractures_probed = 1.0;
   uint32_t fractures_total = 1;
+  /// Shard fan-out for horizontally partitioned paths (engine/partition.h):
+  /// `shards_probed` counts shards the per-shard summaries admit for this
+  /// (column, value, qt); the rest are pruned without being opened. 1 of 1 on
+  /// unpartitioned paths, and Explain() then omits the shard line.
+  double shards_probed = 1.0;
+  uint32_t shards_total = 1;
   /// Every costed alternative, chosen first. Shared and immutable.
   std::shared_ptr<const std::vector<PlanCandidate>> shared_candidates;
 

@@ -1,0 +1,31 @@
+#include "exec/gather.h"
+
+#include <utility>
+
+namespace upi::exec {
+
+bool MergedRunsCursor::Produce(core::PtqMatch* out) {
+  if (!status_.ok()) return false;
+  // Shard counts are small (single digits); a linear scan over the run heads
+  // beats a heap's bookkeeping here.
+  size_t best = runs_.size();
+  for (size_t r = 0; r < runs_.size(); ++r) {
+    if (pos_[r] >= runs_[r].size()) continue;
+    if (best == runs_.size()) {
+      best = r;
+      continue;
+    }
+    const core::PtqMatch& cand = runs_[r][pos_[r]];
+    const core::PtqMatch& top = runs_[best][pos_[best]];
+    if (cand.confidence > top.confidence ||
+        (cand.confidence == top.confidence && cand.id < top.id)) {
+      best = r;
+    }
+  }
+  if (best == runs_.size()) return false;
+  *out = std::move(runs_[best][pos_[best]]);
+  ++pos_[best];
+  return true;
+}
+
+}  // namespace upi::exec

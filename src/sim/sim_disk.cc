@@ -163,4 +163,16 @@ DiskStats SimDisk::thread_stats() const {
   return s.stats;
 }
 
+void SimDisk::WithdrawThreadStats(const DiskStats& d) {
+  Stripe& s = ThisThreadStripe();
+  std::lock_guard<std::mutex> lock(s.mu);
+  s.stats = s.stats - d;
+}
+
+void SimDisk::DepositThreadStats(const DiskStats& d) {
+  Stripe& s = ThisThreadStripe();
+  std::lock_guard<std::mutex> lock(s.mu);
+  s.stats += d;
+}
+
 }  // namespace upi::sim

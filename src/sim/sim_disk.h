@@ -104,6 +104,16 @@ class SimDisk {
   /// attribute per-operation simulated latency without a global counter.
   DiskStats thread_stats() const;
 
+  /// Re-attributes already-counted I/O between thread stripes, for work
+  /// fanned out to helper threads (scatter-gather shard probes): the helper
+  /// measures its delta with a ThreadStatsWindow, Withdraw()s it from its own
+  /// stripe, and the gathering thread Deposit()s it into its stripe after the
+  /// join. The pair is zero-sum, so stats() totals are unchanged; only the
+  /// per-thread attribution moves. Withdraw must cover counts the calling
+  /// thread's stripe actually accumulated.
+  void WithdrawThreadStats(const DiskStats& d);
+  void DepositThreadStats(const DiskStats& d);
+
   const CostParams& params() const { return params_; }
   uint64_t size_bytes() const {
     std::lock_guard<std::mutex> lock(mu_);
