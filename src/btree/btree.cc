@@ -1,6 +1,7 @@
 #include "btree/btree.h"
 
-#include <cassert>
+#include "common/check.h"
+
 
 namespace upi::btree {
 
@@ -25,7 +26,8 @@ Status BTree::ReadNode(PageId id, Node* out) const {
 void BTree::WriteNode(PageId id, const Node& node) {
   storage::PageRef ref = pager_.Get(id);
   node.Serialize(ref.data());
-  assert(ref.data()->size() <= pager_.page_size());
+  UPI_CHECK(ref.data()->size() <= pager_.page_size(),
+            "serialized B-tree node overflows its page");
   ref.MarkDirty();
 }
 
@@ -124,7 +126,8 @@ Status BTree::PutRec(PageId page_id, std::string_view key, std::string_view valu
       node.right_sibling = right_id;
     }
     right.Serialize(ref.data());
-    assert(ref.data()->size() <= pager_.page_size());
+    UPI_CHECK(ref.data()->size() <= pager_.page_size(),
+              "split B-tree node overflows its page");
     ref.MarkDirty();
   }
   WriteNode(page_id, node);

@@ -1,7 +1,8 @@
 #include "btree/bulk_load.h"
 
 #include <algorithm>
-#include <cassert>
+
+#include "common/check.h"
 
 namespace upi::btree {
 
@@ -21,7 +22,8 @@ void BTreeBuilder::WritePage(storage::PageId id, const Node& node) {
   PendingPage p;
   p.id = id;
   node.Serialize(&p.bytes);
-  assert(p.bytes.size() <= pager_.page_size());
+  UPI_CHECK(p.bytes.size() <= pager_.page_size(),
+            "bulk-loaded node overflows its page");
   pending_.push_back(std::move(p));
   if (pending_.size() >= kOutputBatchPages) FlushPending();
 }

@@ -45,6 +45,7 @@
 #include "core/upi.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "sync/sync.h"
 
 namespace upi::core {
 
@@ -63,7 +64,11 @@ class FracturedUpi;
 /// Holds the table's shared lock for its lifetime: results stay consistent
 /// while background maintenance runs, but a flush/merge *install* (and any
 /// Insert/Delete) blocks until the cursor is destroyed — drain promptly, and
-/// never write to the table from the same thread while one is open.
+/// never touch the same table from the same thread while one is open: a
+/// write would self-deadlock, and even a second read re-enters the
+/// shared_mutex (UB that can deadlock behind a queued writer). The lock-rank
+/// checker (UPI_SYNC_CHECKS) aborts on either. Destroy the cursor on the
+/// thread that opened it.
 class FracturedPtqCursor {
  public:
   /// Produces the next match; false at end of stream or on error (check
@@ -83,7 +88,7 @@ class FracturedPtqCursor {
 
   bool Deleted(catalog::TupleId id) const;
 
-  std::shared_lock<std::shared_mutex> lock_;
+  std::shared_lock<sync::SharedMutex> lock_;
   const FracturedUpi* table_;
   std::string value_;
   double qt_ = 0.0;
@@ -336,7 +341,7 @@ class FracturedUpi {
   /// Guards fracture list, buffers, delete sets, and counters. Shared:
   /// queries/introspection. Exclusive: Insert/Delete (cheap RAM mutation),
   /// flush, and merge installation.
-  mutable std::shared_mutex mu_;
+  mutable sync::SharedMutex mu_{sync::LockRank::kFracturedUpi};
 
   std::unique_ptr<Upi> main_;
   std::vector<std::unique_ptr<Upi>> fractures_;

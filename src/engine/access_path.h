@@ -95,6 +95,7 @@ class AccessPath {
   virtual Status ScanTuplesMatching(
       int column, std::string_view value, double qt,
       const std::function<void(const catalog::Tuple&)>& fn) const {
+    (void)column, (void)value, (void)qt;
     return ScanTuples(fn);
   }
 
@@ -102,7 +103,10 @@ class AccessPath {
   virtual Status QueryRange(prob::Point center, double radius, double qt,
                             std::vector<core::PtqMatch>* out) const;
 
-  virtual bool HasSecondary(int column) const { return false; }
+  virtual bool HasSecondary(int column) const {
+    (void)column;
+    return false;
+  }
 
   /// Schema column the primary probe filters on (-1 when N/A).
   virtual int primary_column() const { return -1; }
@@ -115,6 +119,7 @@ class AccessPath {
   /// fall back to materialized execution.
   virtual std::unique_ptr<ResultCursor> OpenPtqStream(std::string_view value,
                                                       double qt) const {
+    (void)value, (void)qt;
     return nullptr;
   }
 
@@ -123,6 +128,7 @@ class AccessPath {
   /// has no direct cursor.
   virtual std::unique_ptr<ResultCursor> OpenTopKStream(
       std::string_view value) const {
+    (void)value;
     return nullptr;
   }
 
@@ -140,6 +146,7 @@ class AccessPath {
   /// pointer count fed into the Section 6.3 sigmoid. 0 when unknown.
   virtual double EstimateSecondaryMatches(int column, std::string_view value,
                                           double qt) const {
+    (void)column, (void)value, (void)qt;
     return 0.0;
   }
 
@@ -154,7 +161,10 @@ class AccessPath {
 
   /// Average heap pointers per secondary entry on `column` (>= 1): the
   /// tailored-access overlap opportunity.
-  virtual double SecondaryAvgPointers(int column) const { return 1.0; }
+  virtual double SecondaryAvgPointers(int column) const {
+    (void)column;
+    return 1.0;
+  }
 
   /// Horizontal-shard fan-out of a probe on (column, value, qt): how many
   /// shards it must touch after zone-map admissibility, out of how many.
@@ -175,6 +185,7 @@ class AccessPath {
   /// estimated-threshold top-k strategy); 0 when unknown.
   virtual double EstimateTopKThreshold(std::string_view value,
                                        size_t k) const {
+    (void)value, (void)k;
     return 0.0;
   }
 };
@@ -347,6 +358,7 @@ class UtreeAccessPath : public AccessPath {
                     std::vector<core::PtqMatch>* out) const override;
   histogram::PtqEstimate EstimatePtq(std::string_view value,
                                      double qt) const override {
+    (void)value, (void)qt;
     return {};
   }
 

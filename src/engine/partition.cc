@@ -189,7 +189,7 @@ GatherPool::GatherPool(size_t workers, obs::MetricsRegistry* metrics) {
 
 GatherPool::~GatherPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<sync::Mutex> lock(mu_);
     stopped_ = true;
   }
   cv_.notify_all();
@@ -197,7 +197,7 @@ GatherPool::~GatherPool() {
 }
 
 std::function<void()> GatherPool::PopTask() {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<sync::Mutex> lock(mu_);
   if (queue_.empty()) return nullptr;
   std::function<void()> task = std::move(queue_.front());
   queue_.pop_front();
@@ -211,7 +211,7 @@ void GatherPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
+      std::unique_lock<sync::Mutex> lock(mu_);
       cv_.wait(lock, [this] { return stopped_ || !queue_.empty(); });
       if (queue_.empty()) return;  // stopped and drained
       task = std::move(queue_.front());
@@ -233,11 +233,11 @@ void GatherPool::RunAll(std::vector<std::function<void()>> tasks) {
   auto batch = std::make_shared<Batch>();
   batch->remaining = tasks.size();
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<sync::Mutex> lock(mu_);
     for (auto& t : tasks) {
       queue_.push_back([task = std::move(t), batch] {
         task();
-        std::lock_guard<std::mutex> lock(batch->mu);
+        std::lock_guard<sync::Mutex> lock(batch->mu);
         if (--batch->remaining == 0) batch->cv.notify_all();
       });
     }
@@ -251,14 +251,14 @@ void GatherPool::RunAll(std::vector<std::function<void()>> tasks) {
   // many sessions gather at once.
   for (;;) {
     {
-      std::lock_guard<std::mutex> lock(batch->mu);
+      std::lock_guard<sync::Mutex> lock(batch->mu);
       if (batch->remaining == 0) return;
     }
     std::function<void()> task = PopTask();
     if (task == nullptr) break;
     task();
   }
-  std::unique_lock<std::mutex> lock(batch->mu);
+  std::unique_lock<sync::Mutex> lock(batch->mu);
   batch->cv.wait(lock, [&] { return batch->remaining == 0; });
 }
 

@@ -29,7 +29,6 @@
 // it — results are identical with the bound on or off.
 #pragma once
 
-#include <condition_variable>
 #include <deque>
 #include <functional>
 #include <map>
@@ -46,6 +45,7 @@
 #include "maintenance/manager.h"
 #include "obs/metrics.h"
 #include "storage/db_env.h"
+#include "sync/sync.h"
 
 namespace upi::engine {
 
@@ -136,7 +136,7 @@ class ShardSummary {
  private:
   static constexpr size_t kBloomWords = 1u << 12;  // 2^18 bits, 32 KiB
 
-  mutable std::shared_mutex mu_;
+  mutable sync::SharedMutex mu_{sync::LockRank::kShardSummary};
   std::map<int, ColumnZone> columns_;
   std::vector<uint64_t> bloom_;
   uint64_t tuples_ = 0;
@@ -163,8 +163,8 @@ class GatherPool {
 
  private:
   struct Batch {
-    std::mutex mu;
-    std::condition_variable cv;
+    sync::Mutex mu{sync::LockRank::kGatherBatch};
+    sync::CondVar cv;
     size_t remaining = 0;
   };
 
@@ -172,8 +172,8 @@ class GatherPool {
   std::function<void()> PopTask();
   void WorkerLoop();
 
-  std::mutex mu_;
-  std::condition_variable cv_;
+  sync::Mutex mu_{sync::LockRank::kGatherPool};
+  sync::CondVar cv_;
   std::deque<std::function<void()>> queue_;
   bool stopped_ = false;
   obs::Gauge* m_queue_depth_ = nullptr;  // upi_partition_gather_queue_depth

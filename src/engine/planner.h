@@ -52,7 +52,7 @@ struct PlanCandidate {
   PlanKind kind;
   double predicted_ms = 0.0;
   bool feasible = true;   // path supports it
-  std::string note;       // model inputs, e.g. "sel=0.012 ptrs=340"
+  std::string note{};     // model inputs, e.g. "sel=0.012 ptrs=340"
 };
 
 /// An executable, explainable decision. exec::Execute() runs it.

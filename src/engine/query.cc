@@ -15,6 +15,7 @@
 #include "obs/slow_query_log.h"
 #include "obs/trace.h"
 #include "sim/sim_disk.h"
+#include "sync/sync.h"
 
 namespace upi::engine {
 
@@ -213,7 +214,7 @@ struct PreparedState {
   /// heavily-pruned value from being reused by a same-cardinality value
   /// that probes every fracture (and vice versa). Guarded by mu; cleared
   /// wholesale when the table's stats epoch moves.
-  mutable std::mutex mu;
+  mutable sync::Mutex mu{sync::LockRank::kPlanCache};
   mutable std::map<std::tuple<int, int, int>, std::shared_ptr<const Plan>>
       cache;
   mutable uint64_t epoch = 0;
@@ -278,7 +279,7 @@ std::shared_ptr<const Plan> detail::PreparedState::PlanFor(
   uint64_t now = path->StatsEpoch();
   std::shared_ptr<const Plan> base;
   {
-    std::lock_guard<std::mutex> lock(mu);
+    std::lock_guard<sync::Mutex> lock(mu);
     if (now != epoch) {
       // Insert/Delete or a maintenance flush/merge moved the cost inputs:
       // every cached plan is potentially wrong. Re-plan on demand.
@@ -308,7 +309,7 @@ std::shared_ptr<const Plan> detail::PreparedState::PlanFor(
     bound.value = std::string(value);
     bound.qt = qt;
     base = std::make_shared<const Plan>(planner->PlanQuery(bound));
-    std::lock_guard<std::mutex> lock(mu);
+    std::lock_guard<sync::Mutex> lock(mu);
     ++plans;
     if (epoch == now) {
       auto [it, inserted] = cache.emplace(key, base);
@@ -354,12 +355,12 @@ BoundQuery PreparedQuery::Bind(std::string_view value, double qt) const {
 }
 
 uint64_t PreparedQuery::plans() const {
-  std::lock_guard<std::mutex> lock(impl_->mu);
+  std::lock_guard<sync::Mutex> lock(impl_->mu);
   return impl_->plans;
 }
 
 uint64_t PreparedQuery::hits() const {
-  std::lock_guard<std::mutex> lock(impl_->mu);
+  std::lock_guard<sync::Mutex> lock(impl_->mu);
   return impl_->hits;
 }
 

@@ -13,7 +13,7 @@ Session::Session(Database* db)
 
 Session::~Session() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<sync::Mutex> lock(mu_);
     closed_ = true;
   }
   cv_.notify_all();
@@ -24,7 +24,7 @@ void Session::WorkerLoop() {
   for (;;) {
     Task task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
+      std::unique_lock<sync::Mutex> lock(mu_);
       cv_.wait(lock, [this] { return closed_ || !queue_.empty(); });
       if (queue_.empty()) return;  // closed and drained
       task = std::move(queue_.front());
@@ -37,7 +37,7 @@ void Session::WorkerLoop() {
 std::future<Result<QueryResult>> Session::Enqueue(Task task) {
   std::future<Result<QueryResult>> fut = task.get_future();
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<sync::Mutex> lock(mu_);
     queue_.push_back(std::move(task));
     ++submitted_;
   }
@@ -82,7 +82,7 @@ std::future<Result<QueryResult>> Session::Submit(const Table& table, Query q) {
 }
 
 uint64_t Session::submitted() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<sync::Mutex> lock(mu_);
   return submitted_;
 }
 

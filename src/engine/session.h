@@ -14,7 +14,6 @@
 // stats) is what lets many sessions overlap.
 #pragma once
 
-#include <condition_variable>
 #include <deque>
 #include <future>
 #include <mutex>
@@ -23,6 +22,7 @@
 #include <vector>
 
 #include "engine/database.h"
+#include "sync/sync.h"
 
 namespace upi::engine {
 
@@ -69,8 +69,8 @@ class Session {
   Database* db_;
   obs::Counter* m_ops_ = nullptr;            // upi_session_ops_total
   obs::Histogram* m_sim_ms_ = nullptr;       // upi_session_sim_ms
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
+  mutable sync::Mutex mu_{sync::LockRank::kSession};
+  sync::CondVar cv_;
   std::deque<Task> queue_;
   bool closed_ = false;
   uint64_t submitted_ = 0;

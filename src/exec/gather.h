@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "engine/query.h"
+#include "sync/sync.h"
 
 namespace upi::exec {
 
@@ -38,7 +39,7 @@ class GlobalTopKBound {
   /// further and may stop. Ties are admitted (the final sort's TupleId
   /// tie-break decides them).
   bool Offer(double confidence) {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<sync::Mutex> lock(mu_);
     if (heap_.size() >= k_) {
       if (confidence < heap_.top()) return false;
       heap_.push(confidence);
@@ -51,12 +52,12 @@ class GlobalTopKBound {
 
   /// Current k-th best score (0 until k scores were offered).
   double Kth() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<sync::Mutex> lock(mu_);
     return heap_.size() >= k_ && !heap_.empty() ? heap_.top() : 0.0;
   }
 
  private:
-  mutable std::mutex mu_;
+  mutable sync::Mutex mu_{sync::LockRank::kTopKBound};
   size_t k_;
   std::priority_queue<double, std::vector<double>, std::greater<double>> heap_;
 };

@@ -26,12 +26,12 @@ MaintenanceManager::MaintenanceManager(storage::DbEnv* env,
 MaintenanceManager::~MaintenanceManager() { Stop(); }
 
 void MaintenanceManager::Register(core::FracturedUpi* table) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<sync::Mutex> lock(mu_);
   tables_.try_emplace(table);
 }
 
 void MaintenanceManager::Unregister(core::FracturedUpi* table) {
-  std::unique_lock<std::mutex> lock(mu_);
+  std::unique_lock<sync::Mutex> lock(mu_);
   idle_cv_.wait(lock, [&] {
     auto it = tables_.find(table);
     return it == tables_.end() || !it->second.active;
@@ -42,7 +42,7 @@ void MaintenanceManager::Unregister(core::FracturedUpi* table) {
 bool MaintenanceManager::TryEnqueue(core::FracturedUpi* table, TaskKind kind,
                                     size_t merge_count, bool force) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<sync::Mutex> lock(mu_);
     auto it = tables_.find(table);
     if (it == tables_.end()) return false;  // not registered
     if (it->second.active) {
@@ -58,7 +58,7 @@ bool MaintenanceManager::TryEnqueue(core::FracturedUpi* table, TaskKind kind,
   }
   if (!queue_.Push(MaintenanceTask{kind, table, merge_count})) {
     // Queue closed between the slot claim and the push: release the slot.
-    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<sync::Mutex> lock(mu_);
     auto it = tables_.find(table);
     if (it != tables_.end()) it->second.active = false;
     --in_flight_;
@@ -106,7 +106,7 @@ void MaintenanceManager::ExecuteAndFollowUp(const MaintenanceTask& task) {
   bool forced = false;
   TaskKind forced_kind = TaskKind::kFlush;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<sync::Mutex> lock(mu_);
     switch (task.kind) {
       case TaskKind::kFlush:
         ++stats_.flushes;
@@ -161,7 +161,7 @@ void MaintenanceManager::ExecuteAndFollowUp(const MaintenanceTask& task) {
   }
 
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<sync::Mutex> lock(mu_);
     auto it = tables_.find(task.table);
     if (it != tables_.end()) {
       // A forced Schedule* may have arrived while the follow-up was being
@@ -202,7 +202,7 @@ size_t MaintenanceManager::RunPending() {
 }
 
 void MaintenanceManager::WaitIdle() {
-  std::unique_lock<std::mutex> lock(mu_);
+  std::unique_lock<sync::Mutex> lock(mu_);
   idle_cv_.wait(lock, [&] { return in_flight_ == 0; });
 }
 
@@ -216,7 +216,7 @@ void MaintenanceManager::Stop() {
   MaintenanceTask task;
   size_t dropped = 0;
   while (queue_.TryPop(&task)) {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<sync::Mutex> lock(mu_);
     auto it = tables_.find(task.table);
     if (it != tables_.end()) it->second.active = false;
     --in_flight_;
@@ -226,12 +226,12 @@ void MaintenanceManager::Stop() {
 }
 
 MaintenanceStats MaintenanceManager::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<sync::Mutex> lock(mu_);
   return stats_;
 }
 
 Status MaintenanceManager::last_error() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<sync::Mutex> lock(mu_);
   return last_error_;
 }
 

@@ -20,7 +20,6 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <mutex>
 #include <thread>
 #include <unordered_map>
@@ -30,6 +29,7 @@
 #include "maintenance/merge_policy.h"
 #include "maintenance/task_queue.h"
 #include "obs/metrics.h"
+#include "sync/sync.h"
 
 namespace upi::storage {
 class DbEnv;
@@ -128,8 +128,11 @@ class MaintenanceManager {
   MergePolicy policy_;
   TaskQueue queue_;
 
-  mutable std::mutex mu_;  // guards tables_, in_flight_, stats_, last_error_
-  std::condition_variable idle_cv_;
+  // Guards tables_, in_flight_, stats_, last_error_. Ranked before the
+  // TaskQueue mutex: ExecuteAndFollowUp pushes the follow-up task (and
+  // refreshes the queue-depth gauge) while holding it.
+  mutable sync::Mutex mu_{sync::LockRank::kMaintenanceManager};
+  sync::CondVar idle_cv_;
   std::unordered_map<core::FracturedUpi*, TableState> tables_;
   size_t in_flight_ = 0;  // tables with active == true
   MaintenanceStats stats_;

@@ -16,7 +16,7 @@ const char* TaskKindName(TaskKind kind) {
 
 bool TaskQueue::Push(MaintenanceTask task) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<sync::Mutex> lock(mu_);
     if (closed_) return false;
     tasks_.push_back(task);
   }
@@ -25,7 +25,7 @@ bool TaskQueue::Push(MaintenanceTask task) {
 }
 
 bool TaskQueue::Pop(MaintenanceTask* out) {
-  std::unique_lock<std::mutex> lock(mu_);
+  std::unique_lock<sync::Mutex> lock(mu_);
   cv_.wait(lock, [&] { return closed_ || !tasks_.empty(); });
   if (tasks_.empty()) return false;  // closed and drained
   *out = tasks_.front();
@@ -34,7 +34,7 @@ bool TaskQueue::Pop(MaintenanceTask* out) {
 }
 
 bool TaskQueue::TryPop(MaintenanceTask* out) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<sync::Mutex> lock(mu_);
   if (tasks_.empty()) return false;
   *out = tasks_.front();
   tasks_.pop_front();
@@ -43,19 +43,19 @@ bool TaskQueue::TryPop(MaintenanceTask* out) {
 
 void TaskQueue::Close() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<sync::Mutex> lock(mu_);
     closed_ = true;
   }
   cv_.notify_all();
 }
 
 size_t TaskQueue::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<sync::Mutex> lock(mu_);
   return tasks_.size();
 }
 
 bool TaskQueue::closed() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<sync::Mutex> lock(mu_);
   return closed_;
 }
 

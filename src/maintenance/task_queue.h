@@ -9,10 +9,11 @@
 // synchronous mode.
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <mutex>
+
+#include "sync/sync.h"
 
 namespace upi::core {
 class FracturedUpi;
@@ -56,8 +57,8 @@ class TaskQueue {
   bool closed() const;
 
  private:
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
+  mutable sync::Mutex mu_{sync::LockRank::kTaskQueue};
+  sync::CondVar cv_;
   std::deque<MaintenanceTask> tasks_;
   bool closed_ = false;
 };

@@ -99,7 +99,7 @@ void Histogram::RecordAlways(double v) {
 // ---------------------------------------------------------------------------
 
 Counter* MetricsRegistry::counter(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<sync::Mutex> lock(mu_);
   if (gauges_.contains(name) || histograms_.contains(name)) return nullptr;
   auto it = counters_.find(name);
   if (it == counters_.end()) {
@@ -110,7 +110,7 @@ Counter* MetricsRegistry::counter(const std::string& name) {
 }
 
 Gauge* MetricsRegistry::gauge(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<sync::Mutex> lock(mu_);
   if (counters_.contains(name) || histograms_.contains(name)) return nullptr;
   auto it = gauges_.find(name);
   if (it == gauges_.end()) {
@@ -121,7 +121,7 @@ Gauge* MetricsRegistry::gauge(const std::string& name) {
 }
 
 Histogram* MetricsRegistry::histogram(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<sync::Mutex> lock(mu_);
   if (counters_.contains(name) || gauges_.contains(name)) return nullptr;
   auto it = histograms_.find(name);
   if (it == histograms_.end()) {
@@ -134,7 +134,7 @@ Histogram* MetricsRegistry::histogram(const std::string& name) {
 
 void MetricsRegistry::AddSnapshotHook(
     std::function<void(MetricsSnapshot*)> hook) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<sync::Mutex> lock(mu_);
   hooks_.push_back(std::move(hook));
 }
 
@@ -142,7 +142,7 @@ MetricsSnapshot MetricsRegistry::Snapshot() const {
   MetricsSnapshot snap;
   std::vector<std::function<void(MetricsSnapshot*)>> hooks;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<sync::Mutex> lock(mu_);
     for (const auto& [name, c] : counters_) {
       snap.counters.push_back(
           {name, "", static_cast<double>(c->value())});

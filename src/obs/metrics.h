@@ -40,6 +40,8 @@
 #include <string>
 #include <vector>
 
+#include "sync/sync.h"
+
 namespace upi::obs {
 
 class MetricsRegistry;
@@ -206,7 +208,8 @@ class MetricsRegistry {
 
  private:
   std::atomic<bool> enabled_{true};
-  mutable std::mutex mu_;  // maps + hooks; never held while recording
+  // Maps + hooks; never held while recording.
+  mutable sync::Mutex mu_{sync::LockRank::kMetricsRegistry};
   std::map<std::string, std::unique_ptr<Counter>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>> histograms_;

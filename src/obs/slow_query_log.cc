@@ -27,24 +27,24 @@ std::string SlowQueryEntry::ToString() const {
 }
 
 void SlowQueryLog::Record(SlowQueryEntry entry) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<sync::Mutex> lock(mu_);
   ++total_;
   ring_.push_back(std::move(entry));
   while (ring_.size() > capacity_) ring_.pop_front();
 }
 
 std::vector<SlowQueryEntry> SlowQueryLog::entries() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<sync::Mutex> lock(mu_);
   return {ring_.begin(), ring_.end()};
 }
 
 uint64_t SlowQueryLog::total_recorded() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<sync::Mutex> lock(mu_);
   return total_;
 }
 
 void SlowQueryLog::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<sync::Mutex> lock(mu_);
   ring_.clear();
 }
 

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "obs/trace.h"
+#include "sync/sync.h"
 
 namespace upi::obs {
 
@@ -52,7 +53,7 @@ class SlowQueryLog {
 
  private:
   const size_t capacity_;
-  mutable std::mutex mu_;
+  mutable sync::Mutex mu_{sync::LockRank::kSlowQueryLog};
   std::deque<SlowQueryEntry> ring_;
   uint64_t total_ = 0;
 };

@@ -1,9 +1,9 @@
 #include "rtree/rtree.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 
+#include "common/check.h"
 #include "common/coding.h"
 #include "prob/gaussian2d.h"
 
@@ -157,7 +157,8 @@ Status RTree::ReadNode(PageId id, Node* out) const {
 void RTree::WriteNode(PageId id, const Node& node) {
   storage::PageRef ref = pager_.Get(id);
   node.Serialize(ref.data());
-  assert(ref.data()->size() <= pager_.page_size());
+  UPI_CHECK(ref.data()->size() <= pager_.page_size(),
+            "serialized R-tree node overflows its page");
   ref.MarkDirty();
 }
 

@@ -55,7 +55,7 @@ std::string DiskStats::ToString(const CostParams& p) const {
 }
 
 uint64_t SimDisk::Allocate(uint64_t bytes) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<sync::Mutex> lock(mu_);
   uint64_t addr = next_addr_;
   next_addr_ += bytes;
   return addr;
@@ -66,7 +66,7 @@ uint64_t SimDisk::SeekSpanLocked() const {
 }
 
 uint64_t SimDisk::SeekSpan() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<sync::Mutex> lock(mu_);
   return SeekSpanLocked();
 }
 
@@ -101,14 +101,15 @@ SimDisk::SeekCharge SimDisk::AccessLocked(uint64_t addr, uint64_t bytes) {
 }
 
 void SimDisk::Read(uint64_t addr, uint64_t bytes) {
+  sync::CheckIoAllowed("SimDisk::Read");
   SeekCharge charge;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<sync::Mutex> lock(mu_);
     charge = AccessLocked(addr, bytes);
   }
   Stripe& s = ThisThreadStripe();
   {
-    std::lock_guard<std::mutex> lock(s.mu);
+    std::lock_guard<sync::Mutex> lock(s.mu);
     if (charge.seeked) ++s.stats.seeks;
     s.stats.seek_ms += charge.ms;
     ++s.stats.reads;
@@ -118,14 +119,15 @@ void SimDisk::Read(uint64_t addr, uint64_t bytes) {
 }
 
 void SimDisk::Write(uint64_t addr, uint64_t bytes) {
+  sync::CheckIoAllowed("SimDisk::Write");
   SeekCharge charge;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<sync::Mutex> lock(mu_);
     charge = AccessLocked(addr, bytes);
   }
   Stripe& s = ThisThreadStripe();
   {
-    std::lock_guard<std::mutex> lock(s.mu);
+    std::lock_guard<sync::Mutex> lock(s.mu);
     if (charge.seeked) ++s.stats.seeks;
     s.stats.seek_ms += charge.ms;
     ++s.stats.writes;
@@ -135,23 +137,24 @@ void SimDisk::Write(uint64_t addr, uint64_t bytes) {
 }
 
 void SimDisk::ChargeFileOpen() {
+  sync::CheckIoAllowed("SimDisk::ChargeFileOpen");
   Stripe& s = ThisThreadStripe();
   {
-    std::lock_guard<std::mutex> lock(s.mu);
+    std::lock_guard<sync::Mutex> lock(s.mu);
     ++s.stats.file_opens;
   }
   MaybeSleep(params_.init_ms);
 }
 
 void SimDisk::ResetHead() {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<sync::Mutex> lock(mu_);
   head_ = UINT64_MAX;
 }
 
 DiskStats SimDisk::stats() const {
   DiskStats total;
   for (const Stripe& s : stripes_) {
-    std::lock_guard<std::mutex> lock(s.mu);
+    std::lock_guard<sync::Mutex> lock(s.mu);
     total += s.stats;
   }
   return total;
@@ -159,19 +162,19 @@ DiskStats SimDisk::stats() const {
 
 DiskStats SimDisk::thread_stats() const {
   const Stripe& s = ThisThreadStripe();
-  std::lock_guard<std::mutex> lock(s.mu);
+  std::lock_guard<sync::Mutex> lock(s.mu);
   return s.stats;
 }
 
 void SimDisk::WithdrawThreadStats(const DiskStats& d) {
   Stripe& s = ThisThreadStripe();
-  std::lock_guard<std::mutex> lock(s.mu);
+  std::lock_guard<sync::Mutex> lock(s.mu);
   s.stats = s.stats - d;
 }
 
 void SimDisk::DepositThreadStats(const DiskStats& d) {
   Stripe& s = ThisThreadStripe();
-  std::lock_guard<std::mutex> lock(s.mu);
+  std::lock_guard<sync::Mutex> lock(s.mu);
   s.stats += d;
 }
 

@@ -40,6 +40,7 @@
 #include <string>
 
 #include "sim/cost_params.h"
+#include "sync/sync.h"
 
 namespace upi::sim {
 
@@ -116,7 +117,7 @@ class SimDisk {
 
   const CostParams& params() const { return params_; }
   uint64_t size_bytes() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<sync::Mutex> lock(mu_);
     return next_addr_;
   }
 
@@ -130,7 +131,7 @@ class SimDisk {
  private:
   static constexpr size_t kStripes = 64;
   struct alignas(64) Stripe {
-    mutable std::mutex mu;
+    mutable sync::Mutex mu{sync::LockRank::kSimDiskStripe};
     DiskStats stats;
   };
 
@@ -146,7 +147,8 @@ class SimDisk {
   void MaybeSleep(double sim_ms) const;
 
   CostParams params_;
-  mutable std::mutex mu_;  // head position + address allocator only
+  // Head position + address allocator only.
+  mutable sync::Mutex mu_{sync::LockRank::kSimDiskHead};
   uint64_t next_addr_ = 0;
   uint64_t head_ = UINT64_MAX;  // UINT64_MAX = unknown position
   std::atomic<double> realtime_us_per_sim_ms_{0.0};

@@ -1,6 +1,7 @@
 #include "storage/buffer_pool.h"
 
 #include <algorithm>
+#include <memory>
 
 #include "common/check.h"
 
@@ -18,7 +19,7 @@ constexpr uint64_t kHotDen = 8;
 BufferPool::BufferPool(uint64_t capacity_bytes, size_t num_shards)
     : capacity_(capacity_bytes),
       shards_count_(num_shards == 0 ? 1 : num_shards),
-      shards_(new Shard[shards_count_]) {}
+      shards_(std::make_unique<Shard[]>(shards_count_)) {}
 
 size_t BufferPool::ShardIndex(const Key& k) const {
   // Finalize the map hash so low-entropy PageIds spread across shards.
@@ -116,7 +117,7 @@ std::string* BufferPool::Fetch(PageFile* file, PageId id, bool create) {
   const Key k{file, id};
   Shard& s = ShardFor(k);
   const uint32_t page_bytes = file->page_size();
-  std::unique_lock<std::mutex> lock(s.mu);
+  std::unique_lock<sync::Mutex> lock(s.mu);
   for (;;) {
     auto it = s.frames.find(k);
     if (it == s.frames.end()) break;
@@ -179,7 +180,7 @@ std::string* BufferPool::Fetch(PageFile* file, PageId id, bool create) {
 void BufferPool::Unpin(PageFile* file, PageId id) {
   const Key k{file, id};
   Shard& s = ShardFor(k);
-  std::lock_guard<std::mutex> lock(s.mu);
+  std::lock_guard<sync::Mutex> lock(s.mu);
   auto it = s.frames.find(k);
   UPI_CHECK(it != s.frames.end(), "Unpin of a page with no mapped frame");
   UPI_CHECK(it->second.state == Frame::State::kResident,
@@ -191,7 +192,7 @@ void BufferPool::Unpin(PageFile* file, PageId id) {
 void BufferPool::MarkDirty(PageFile* file, PageId id) {
   const Key k{file, id};
   Shard& s = ShardFor(k);
-  std::lock_guard<std::mutex> lock(s.mu);
+  std::lock_guard<sync::Mutex> lock(s.mu);
   auto it = s.frames.find(k);
   UPI_CHECK(it != s.frames.end(), "MarkDirty of a page with no mapped frame");
   UPI_CHECK(it->second.state == Frame::State::kResident,
@@ -204,7 +205,7 @@ std::vector<BufferPool::Key> BufferPool::CollectDirty(
   std::vector<Key> dirty;
   for (size_t i = 0; i < shards_count_; ++i) {
     Shard& s = shards_[i];
-    std::lock_guard<std::mutex> lock(s.mu);
+    std::lock_guard<sync::Mutex> lock(s.mu);
     // A snapshot of the *resident* dirty set. Loading frames are skipped
     // deliberately (their creator still holds the pin and is mid-write;
     // callers that want a page flushed quiesce its writer first), and
@@ -225,7 +226,7 @@ void BufferPool::WriteBackOne(const Key& k) {
   Shard& s = ShardFor(k);
   std::string snapshot;
   {
-    std::lock_guard<std::mutex> lock(s.mu);
+    std::lock_guard<sync::Mutex> lock(s.mu);
     auto it = s.frames.find(k);
     if (it == s.frames.end() || it->second.state != Frame::State::kResident ||
         !it->second.dirty) {
@@ -241,7 +242,7 @@ void BufferPool::WriteBackOne(const Key& k) {
   }
   k.file->Write(k.id, snapshot);
   {
-    std::lock_guard<std::mutex> lock(s.mu);
+    std::lock_guard<sync::Mutex> lock(s.mu);
     auto it = s.frames.find(k);
     UPI_CHECK(it != s.frames.end() && it->second.flush_pins > 0,
               "flush-pinned frame disappeared");
@@ -271,7 +272,7 @@ void BufferPool::DropAll() {
   FlushAll();
   for (size_t i = 0; i < shards_count_; ++i) {
     Shard& s = shards_[i];
-    std::unique_lock<std::mutex> lock(s.mu);
+    std::unique_lock<sync::Mutex> lock(s.mu);
     // Unlike FlushAll, clearing the map must wait out in-flight loads and
     // victim write-backs (their threads hold references into it). DropAll is
     // the stop-the-world cold-cache protocol; callers quiesce traffic.
@@ -293,7 +294,7 @@ void BufferPool::DropAll() {
 void BufferPool::Discard(PageFile* file, PageId id) {
   const Key k{file, id};
   Shard& s = ShardFor(k);
-  std::unique_lock<std::mutex> lock(s.mu);
+  std::unique_lock<sync::Mutex> lock(s.mu);
   for (;;) {
     auto it = s.frames.find(k);
     if (it == s.frames.end()) return;
@@ -317,7 +318,7 @@ void BufferPool::Discard(PageFile* file, PageId id) {
 uint64_t BufferPool::hits() const {
   uint64_t total = 0;
   for (size_t i = 0; i < shards_count_; ++i) {
-    std::lock_guard<std::mutex> lock(shards_[i].mu);
+    std::lock_guard<sync::Mutex> lock(shards_[i].mu);
     total += shards_[i].hits;
   }
   return total;
@@ -326,7 +327,7 @@ uint64_t BufferPool::hits() const {
 uint64_t BufferPool::misses() const {
   uint64_t total = 0;
   for (size_t i = 0; i < shards_count_; ++i) {
-    std::lock_guard<std::mutex> lock(shards_[i].mu);
+    std::lock_guard<sync::Mutex> lock(shards_[i].mu);
     total += shards_[i].misses;
   }
   return total;
@@ -334,7 +335,7 @@ uint64_t BufferPool::misses() const {
 
 BufferPool::PoolCounters BufferPool::shard_counters(size_t shard) const {
   const Shard& s = shards_[shard];
-  std::lock_guard<std::mutex> lock(s.mu);
+  std::lock_guard<sync::Mutex> lock(s.mu);
   return PoolCounters{s.hits, s.misses, s.evictions, s.writebacks};
 }
 

@@ -45,7 +45,6 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <list>
 #include <memory>
@@ -55,6 +54,7 @@
 #include <vector>
 
 #include "storage/page_file.h"
+#include "sync/sync.h"
 
 namespace upi::storage {
 
@@ -153,8 +153,8 @@ class BufferPool {
   };
 
   struct Shard {
-    mutable std::mutex mu;
-    std::condition_variable cv;  // loading/writing frames settling
+    mutable sync::Mutex mu{sync::LockRank::kBufferPoolShard};
+    sync::CondVar cv;  // loading/writing frames settling
     std::unordered_map<Key, Frame, KeyHash> frames;
     std::list<Key> hot;   // front = most recent
     std::list<Key> cold;  // front = midpoint insertion point

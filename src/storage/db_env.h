@@ -17,6 +17,7 @@
 #include "storage/buffer_pool.h"
 #include "storage/page_file.h"
 #include "storage/pager.h"
+#include "sync/sync.h"
 
 namespace upi::storage {
 
@@ -56,7 +57,7 @@ class DbEnv {
 
   /// Status-returning variant of CreateFile.
   Result<PageFile*> TryCreateFile(const std::string& name, uint32_t page_size) {
-    std::lock_guard<std::mutex> lock(files_mu_);
+    std::lock_guard<sync::Mutex> lock(files_mu_);
     if (!file_names_.insert(name).second) {
       return Status::AlreadyExists("file '" + name +
                                    "' already exists in this environment");
@@ -83,7 +84,7 @@ class DbEnv {
 
   /// Total footprint of all files (the paper's "DB size").
   uint64_t TotalFileBytes() const {
-    std::lock_guard<std::mutex> lock(files_mu_);
+    std::lock_guard<sync::Mutex> lock(files_mu_);
     uint64_t total = 0;
     for (const auto& f : files_) total += f->size_bytes();
     return total;
@@ -125,7 +126,7 @@ class DbEnv {
   sim::SimDisk disk_;
   // Declared before pool_ so the pool (whose destructor flushes dirty pages
   // back to these files) is destroyed first.
-  mutable std::mutex files_mu_;
+  mutable sync::Mutex files_mu_{sync::LockRank::kDbEnvFiles};
   std::vector<std::unique_ptr<PageFile>> files_;
   std::unordered_set<std::string> file_names_;
   BufferPool pool_;

@@ -14,7 +14,7 @@ void PageFile::CheckLiveLocked(PageId id, const char* op) const {
 }
 
 PageId PageFile::Allocate() {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<sync::Mutex> lock(mu_);
   if (!free_list_.empty()) {
     PageId id = free_list_.back();
     free_list_.pop_back();
@@ -29,7 +29,7 @@ PageId PageFile::Allocate() {
 }
 
 void PageFile::Free(PageId id) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<sync::Mutex> lock(mu_);
   CheckLiveLocked(id, "Free of an unallocated or already-freed page");
   pages_[id].in_use = false;
   data_[id].clear();
@@ -39,7 +39,7 @@ void PageFile::Free(PageId id) {
 void PageFile::Read(PageId id, std::string* out) {
   uint64_t addr;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<sync::Mutex> lock(mu_);
     CheckLiveLocked(id, "Read of an unallocated or freed page");
     addr = pages_[id].addr;
     *out = data_[id];
@@ -50,7 +50,7 @@ void PageFile::Read(PageId id, std::string* out) {
 void PageFile::Write(PageId id, std::string_view data) {
   uint64_t addr;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<sync::Mutex> lock(mu_);
     CheckLiveLocked(id, "Write to an unallocated or freed page");
     UPI_CHECK(data.size() <= page_size_, "record larger than the page");
     addr = pages_[id].addr;
@@ -60,7 +60,7 @@ void PageFile::Write(PageId id, std::string_view data) {
 }
 
 uint64_t PageFile::AddressOf(PageId id) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<sync::Mutex> lock(mu_);
   UPI_CHECK(id < pages_.size(), "AddressOf out of range");
   return pages_[id].addr;
 }

@@ -25,6 +25,7 @@
 
 #include "common/status.h"
 #include "sim/sim_disk.h"
+#include "sync/sync.h"
 
 namespace upi::storage {
 
@@ -64,13 +65,13 @@ class PageFile {
   uint32_t page_size() const { return page_size_; }
   /// Pages currently in use (excludes freed pages).
   uint64_t num_active_pages() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<sync::Mutex> lock(mu_);
     return pages_.size() - free_list_.size();
   }
   /// Total address-space footprint including freed-but-not-reclaimed pages —
   /// this is the "DB size" the paper reports in Table 8.
   uint64_t size_bytes() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<sync::Mutex> lock(mu_);
     return pages_.size() * uint64_t{page_size_};
   }
   const std::string& name() const { return name_; }
@@ -91,7 +92,8 @@ class PageFile {
   sim::SimDisk* disk_;
   std::string name_;
   const uint32_t page_size_;
-  mutable std::mutex mu_;  // guards pages_, data_, free_list_
+  mutable sync::Mutex mu_{
+      sync::LockRank::kPageFile};  // guards pages_, data_, free_list_
   std::vector<PageMeta> pages_;
   std::vector<std::string> data_;  // RAM backing store, index == PageId
   std::vector<PageId> free_list_;

@@ -1,0 +1,118 @@
+// The engine's lock hierarchy, written down once and machine-enforced.
+//
+// Seven PRs layered concurrency onto the engine — a latch-sharded buffer
+// pool, a shared_mutex per FracturedUpi, maintenance workers, the gather
+// pool — and the ordering discipline that keeps them deadlock-free lived
+// only in comments. This header is now the single source of truth: every
+// sync::Mutex / sync::SharedMutex is constructed with one of these ranks,
+// and in UPI_SYNC_CHECKS builds a per-thread acquisition stack aborts the
+// process on any acquisition that is not strictly rank-increasing.
+//
+// The rule: a thread may acquire a lock only while every lock it already
+// holds has a strictly *smaller* rank. Outermost (coarsest, longest-held)
+// locks therefore carry the smallest numbers; leaf latches the largest.
+// Equal ranks never nest — no code path holds two locks of the same rank
+// at once (shard latches and SimDisk stripes are only ever taken one at a
+// time, in a loop, each released before the next).
+//
+// The documented hierarchy (outer → inner), with the nesting that pins
+// each edge:
+//
+//   rank | lock                         | pinned by
+//   -----+------------------------------+------------------------------------
+//    10  | Session queue                | leaf: worker runs tasks lock-free
+//    20  | MaintenanceManager state     | held while pushing the follow-up
+//        |                              | task (→ TaskQueue, → queue gauge)
+//    30  | maintenance TaskQueue        | inner side of the manager edge
+//    40  | GatherPool queue             | leaf: workers run probes lock-free
+//    45  | gather Batch completion      | leaf: taken only after a probe ends
+//    50  | partition ShardSummary       | leaf: RAM-only zone/Bloom fences
+//    60  | FracturedUpi fracture list   | held (shared) across query fan-out
+//        |                              | I/O and (exclusive) across flush /
+//        |                              | merge-install I/O — the ONLY lock
+//        |                              | that may be held across a SimDisk
+//        |                              | charge
+//    70  | DbEnv file table             | held while summing PageFile sizes
+//    80  | BufferPool shard latch       | never nests (all I/O outside it)
+//    90  | PageFile metadata            | held while reserving address space
+//        |                              | on the SimDisk allocator
+//   100  | SimDisk head position        | inner side of the PageFile edge
+//   105  | SimDisk per-thread stripe    | leaf: stats recording
+//   110  | prepared-plan cache          | leaf: planning happens outside it
+//   115  | gather GlobalTopKBound       | leaf: one Offer per row
+//   120  | MetricsRegistry maps         | leaf: never held while recording
+//   125  | SlowQueryLog ring            | leaf: entries assembled outside
+//
+// Two cross-subsystem edges worth calling out:
+//
+//  * MaintenanceManager (20) / TaskQueue (30) order BEFORE the BufferPool
+//    shard latch (80): maintenance scheduling never runs under a storage
+//    latch, and storage code never calls back into the scheduler. The
+//    deadlock-order regression test in tests/sync_test.cc pins this.
+//
+//  * FracturedUpi (60) is deliberately the only rank with
+//    LockRankAllowsIo() == true. Everything below it is a short latch:
+//    the buffer pool installs loading frames and reads outside the latch,
+//    PageFile releases its metadata mutex before charging the device, and
+//    the SimDisk hook (sync::CheckIoAllowed) aborts if any no-I/O latch is
+//    still held when a simulated transfer is charged.
+#pragma once
+
+#include <cstdint>
+
+namespace upi::sync {
+
+enum class LockRank : uint16_t {
+  kSession = 10,             // engine/session.h: submit queue + worker wakeup
+  kMaintenanceManager = 20,  // maintenance/manager.h: tables_/in_flight_/stats_
+  kTaskQueue = 30,           // maintenance/task_queue.h: pending task deque
+  kGatherPool = 40,          // exec/gather.h (GatherPool): probe queue
+  kGatherBatch = 45,         // engine/partition.cc: per-RunAll batch countdown
+  kShardSummary = 50,        // engine/partition.h: per-shard zone/Bloom fences
+  kFracturedUpi = 60,        // core/fractured_upi.h: fracture list + buffers
+  kDbEnvFiles = 70,          // storage/db_env.h: file table
+  kBufferPoolShard = 80,     // storage/buffer_pool.h: one shard's frames/LRU
+  kPageFile = 90,            // storage/page_file.h: page metadata + free list
+  kSimDiskHead = 100,        // sim/sim_disk.h: head position + allocator
+  kSimDiskStripe = 105,      // sim/sim_disk.h: one thread's stat stripe
+  kPlanCache = 110,          // engine/query.cc: prepared-plan cache map
+  kTopKBound = 115,          // exec/gather.h (GlobalTopKBound): k-th score
+  kMetricsRegistry = 120,    // obs/metrics.h: name->metric maps + hooks
+  kSlowQueryLog = 125,       // obs/slow_query_log.h: entry ring
+};
+
+/// Human-readable name, printed in abort transcripts.
+constexpr const char* LockRankName(LockRank rank) {
+  switch (rank) {
+    case LockRank::kSession:            return "Session";
+    case LockRank::kMaintenanceManager: return "MaintenanceManager";
+    case LockRank::kTaskQueue:          return "TaskQueue";
+    case LockRank::kGatherPool:         return "GatherPool";
+    case LockRank::kGatherBatch:        return "GatherBatch";
+    case LockRank::kShardSummary:       return "ShardSummary";
+    case LockRank::kFracturedUpi:       return "FracturedUpi";
+    case LockRank::kDbEnvFiles:         return "DbEnvFiles";
+    case LockRank::kBufferPoolShard:    return "BufferPoolShard";
+    case LockRank::kPageFile:           return "PageFile";
+    case LockRank::kSimDiskHead:        return "SimDiskHead";
+    case LockRank::kSimDiskStripe:      return "SimDiskStripe";
+    case LockRank::kPlanCache:          return "PlanCache";
+    case LockRank::kTopKBound:          return "TopKBound";
+    case LockRank::kMetricsRegistry:    return "MetricsRegistry";
+    case LockRank::kSlowQueryLog:       return "SlowQueryLog";
+  }
+  return "UnknownRank";
+}
+
+/// Whether a lock of this rank may be held while a SimDisk transfer is
+/// charged. True only for the FracturedUpi fracture-list lock: queries hold
+/// it shared across their fan-out's page reads, and flushes/merge installs
+/// hold it exclusive across their sequential writes — both by design
+/// (core/fractured_upi.h's concurrency contract). Every other lock is a
+/// short latch that must be released before touching the (possibly
+/// realtime-sleeping) simulated device.
+constexpr bool LockRankAllowsIo(LockRank rank) {
+  return rank == LockRank::kFracturedUpi;
+}
+
+}  // namespace upi::sync

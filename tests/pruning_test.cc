@@ -232,16 +232,21 @@ TEST(PruningPinnedTest, HighThresholdPtqProbesOnlyMainAndPaysMainOnlyPages) {
   EXPECT_EQ(pruned.file_opens, reference.file_opens);
 
   // And the lazy cursor pins the same: draining it reads main-only pages.
-  env.ColdCache();
-  sim::StatsWindow w(env.disk());
-  FracturedPtqCursor c = table.OpenPtqCursor(value, 0.5);
-  EXPECT_EQ(c.fractures_probed(), 1u);
-  EXPECT_EQ(c.fractures_pruned(), 4u);
-  PtqMatch m;
-  size_t n = 0;
-  while (c.Next(&m)) ++n;
-  EXPECT_TRUE(c.status().ok());
-  EXPECT_EQ(w.Delta().reads, reference.reads);
+  // Scoped: the cursor holds the table's shared lock for its lifetime, so it
+  // must be gone before this thread queries the table again (the lock-rank
+  // checker aborts on the re-entrant shared acquisition otherwise).
+  {
+    env.ColdCache();
+    sim::StatsWindow w(env.disk());
+    FracturedPtqCursor c = table.OpenPtqCursor(value, 0.5);
+    EXPECT_EQ(c.fractures_probed(), 1u);
+    EXPECT_EQ(c.fractures_pruned(), 4u);
+    PtqMatch m;
+    size_t n = 0;
+    while (c.Next(&m)) ++n;
+    EXPECT_TRUE(c.status().ok());
+    EXPECT_EQ(w.Delta().reads, reference.reads);
+  }
 
   // With pruning off, the same query pays the full fan-out.
   table.mutable_options()->enable_pruning = false;

@@ -99,7 +99,11 @@ TEST(DiskStatsTest, ToStringMentionsSeeks) {
   SimDisk disk;
   uint64_t a = disk.Allocate(4096);
   disk.Read(a, 4096);
+  // Exercises the deprecated formatter on purpose until it is removed.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
   EXPECT_NE(disk.stats().ToString(disk.params()).find("seeks=1"), std::string::npos);
+#pragma GCC diagnostic pop
 }
 
 

@@ -1,0 +1,147 @@
+#!/usr/bin/env python3
+"""Repo-specific invariant lint, CI-gated (see .github/workflows/ci.yml).
+
+Machine-checks the conventions the engine relies on but a compiler won't
+enforce:
+
+  raw-sync      std::mutex / std::shared_mutex / std::condition_variable /
+                std::recursive_mutex / std::timed_mutex — and RAII guards
+                instantiated over them (lock_guard<std::mutex>, ...) — are
+                banned outside src/sync/. Every lock must be a rank-carrying
+                sync::Mutex / sync::SharedMutex / sync::CondVar so the
+                UPI_SYNC_CHECKS acquisition checker sees it; one unwrapped
+                mutex is a hole in the deadlock-freedom argument.
+
+  assert        assert( in src/ is banned (static_assert is fine). The
+                default build is RelWithDebInfo with NDEBUG, which compiles
+                asserts out — an invariant worth stating is worth enforcing
+                in every build type, which is UPI_CHECK (common/check.h).
+
+  naked-new     new / delete expressions in src/ are banned outside smart-
+                pointer initialization (a line, or continuation of a line,
+                mentioning unique_ptr / shared_ptr / make_unique /
+                make_shared). Placement of `= delete` and deleted operators
+                are fine.
+
+Zero third-party dependencies; line-based on purpose (simple enough to
+audit, and the few multi-line cases are handled by the continuation rule).
+Exit status 0 = clean, 1 = findings (printed one per line as
+path:line: [rule] message).
+"""
+
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+SRC = REPO / "src"
+
+RAW_SYNC = re.compile(
+    r"std::(mutex|shared_mutex|recursive_mutex|timed_mutex|"
+    r"recursive_timed_mutex|shared_timed_mutex|condition_variable"
+    r"(_any)?)\b"
+)
+RAW_GUARD = re.compile(r"\b(lock_guard|unique_lock|shared_lock|scoped_lock)\s*<\s*std::")
+ASSERT = re.compile(r"(?<![_\w])assert\s*\(")
+NEW_EXPR = re.compile(r"(?<![_\w.:])new\b(?!\s*\()")  # `new T`, not placement-new idioms we don't use
+DELETE_EXPR = re.compile(r"(?<![_\w.:])delete\b(\s*\[\s*\])?\s")
+SMART = re.compile(r"unique_ptr|shared_ptr|make_unique|make_shared")
+
+
+def strip_comments_and_strings(line: str, in_block: bool) -> tuple[str, bool]:
+    """Blanks out string/char literals, // and /* */ comment content."""
+    out = []
+    i, n = 0, len(line)
+    while i < n:
+        if in_block:
+            end = line.find("*/", i)
+            if end < 0:
+                return "".join(out), True
+            i = end + 2
+            continue
+        c = line[i]
+        if c == "/" and i + 1 < n and line[i + 1] == "/":
+            break
+        if c == "/" and i + 1 < n and line[i + 1] == "*":
+            in_block = True
+            i += 2
+            continue
+        if c in "\"'":
+            quote = c
+            out.append(c)
+            i += 1
+            while i < n:
+                if line[i] == "\\":
+                    i += 2
+                    continue
+                if line[i] == quote:
+                    i += 1
+                    break
+                i += 1
+            out.append(quote)
+            continue
+        out.append(c)
+        i += 1
+    return "".join(out), in_block
+
+
+def lint_file(path: Path) -> list[str]:
+    findings = []
+    rel = path.relative_to(REPO)
+    in_sync = rel.parts[:2] == ("src", "sync")
+    in_block = False
+    prev_code = ""
+    for lineno, raw in enumerate(path.read_text().splitlines(), start=1):
+        code, in_block = strip_comments_and_strings(raw, in_block)
+
+        def report(rule: str, msg: str) -> None:
+            findings.append(f"{rel}:{lineno}: [{rule}] {msg}")
+
+        if not in_sync:
+            if RAW_SYNC.search(code):
+                report(
+                    "raw-sync",
+                    "raw std sync primitive; use sync::Mutex / "
+                    "sync::SharedMutex / sync::CondVar (src/sync/sync.h)",
+                )
+            if RAW_GUARD.search(code):
+                report(
+                    "raw-sync",
+                    "lock guard over a raw std mutex type; guard a "
+                    "sync:: wrapper instead",
+                )
+        if ASSERT.search(code) and "static_assert" not in code:
+            report("assert", "assert() compiles out under NDEBUG; use UPI_CHECK")
+        if NEW_EXPR.search(code):
+            # Allowed only as smart-pointer initialization; a wrapped
+            # expression carries the unique_ptr/... on the previous line.
+            if not (SMART.search(code) or SMART.search(prev_code)):
+                report("naked-new", "naked new; own it with a smart pointer")
+        if DELETE_EXPR.search(code) and "= delete" not in code:
+            report("naked-new", "naked delete; owning type should manage this")
+        if code.strip():
+            prev_code = code
+    return findings
+
+
+def main() -> int:
+    files = sorted(
+        p for p in SRC.rglob("*") if p.suffix in (".h", ".cc") and p.is_file()
+    )
+    if not files:
+        print("lint_invariants: no sources found under src/", file=sys.stderr)
+        return 1
+    findings = []
+    for f in files:
+        findings.extend(lint_file(f))
+    for line in findings:
+        print(line)
+    if findings:
+        print(f"lint_invariants: {len(findings)} finding(s)", file=sys.stderr)
+        return 1
+    print(f"lint_invariants: {len(files)} files clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
