@@ -26,6 +26,22 @@
 //                      [--json=BENCH_throughput.json] [--no-pruning]
 //                      [--metrics] [--smoke]
 //                      [--partitions=1,2,4,8] [--clients=8]
+//                      [--wal=off,commit,group] [--wal_dir=/tmp]
+//
+// --wal switches to the durability sweep: a FIXED number of clients
+// (--clients, default 8) run a pure closed-loop ingest workload
+// (Session::SubmitInsert into one fractured table), once per durability
+// mode. `off` is the seed behaviour (no journal — the ceiling), `commit`
+// syncs the log once per operation (the classic fsync-per-commit tax: one
+// simulated rotational latency each), `group` batches concurrent commits
+// behind one leader sync. Realtime mode converts those simulated latencies
+// into real sleeps, so the rows measure what group commit exists to buy:
+// how many of the per-commit syncs the leader absorbs. After each durable
+// row the database is reopened from its log and the recovery replay is
+// reported (records, simulated ms). Exits non-zero when group commit fails
+// to reach 3x the per-commit-sync ingest throughput — the durability
+// acceptance gate. --metrics dumps the Prometheus text (including the
+// upi_wal_* families) after the last row.
 //
 // --partitions switches to the horizontal-partitioning sweep: a FIXED number
 // of clients (--clients, default 8) drive one write-hot table under
@@ -58,11 +74,14 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cstdlib>
+#include <filesystem>
 #include <thread>
 
 #include "bench_util.h"
 #include "engine/database.h"
 #include "engine/session.h"
+#include "sim/cost_params.h"
 
 using namespace upi;
 using namespace upi::bench;
@@ -374,12 +393,218 @@ int RunPartitionSweep(const std::vector<size_t>& partitions, bool smoke,
   return 0;
 }
 
+// The --wal sweep: closed-loop multi-client ingest, once per durability
+// mode. The interesting comparison is commit vs group at the same client
+// count: both journal every insert through the same WAL, both return only
+// after the record is durable, and the only difference is whether each
+// commit pays its own simulated rotational latency (made real by realtime
+// mode) or shares the leader's.
+int RunWalSweep(const std::vector<std::string>& modes, bool smoke,
+                bool dump_metrics) {
+  // Higher defaults than the scaling sweep: 16 committers and a steeper
+  // realtime scale keep the (simulated) rotational latency — the thing the
+  // two modes disagree about — dominant over per-op CPU even on small CI
+  // hosts, so the commit-vs-group ratio measures the protocol, not the
+  // host's scheduler.
+  const size_t nclients =
+      static_cast<size_t>(flags::GetInt64("clients", 16));
+  const size_t ops_per_client =
+      static_cast<size_t>(flags::GetInt64("ops", smoke ? 40 : 200));
+  const uint64_t pool_mb =
+      static_cast<uint64_t>(flags::GetInt64("pool_mb", 256));
+  const double sleep_us_per_ms = flags::GetDouble("sleep_us_per_ms", 1000.0);
+
+  DblpData d = MakeDblp(/*with_publications=*/false);
+  std::vector<catalog::Tuple> base(d.authors.begin(),
+                                   d.authors.begin() + d.authors.size() / 2);
+
+  PrintTitle("Durability: WAL mode vs closed-loop ingest throughput");
+  std::printf("# authors=%zu  pool=%lluMiB  clients=%zu  inserts/client=%zu  "
+              "sleep=%.1fus/sim-ms\n",
+              base.size(), static_cast<unsigned long long>(pool_mb), nclients,
+              ops_per_client, sleep_us_per_ms);
+  std::printf("%-8s %10s %9s %8s %8s %10s %12s %12s %10s %10s\n", "wal",
+              "ops/s", "vs_commit", "syncs", "appends", "grp_mean",
+              "p50_wall_us", "p99_wall_us", "rec_recs", "rec_simms");
+
+  struct WalRow {
+    std::string mode;
+    double ops_per_sec = 0.0;
+    double syncs = 0.0, appends = 0.0;
+    OpLatency p50, p99;
+    uint64_t recovered_records = 0;
+    double recovery_sim_ms = 0.0;
+  };
+  JsonWriter json("durability");
+  std::vector<WalRow> rows;
+  std::atomic<catalog::TupleId> next_id{1u << 30};
+
+  for (const std::string& mode : modes) {
+    // Each mode gets a fresh database AND a fresh log directory; the
+    // reopen below replays this row's log and nothing else.
+    char dir_tmpl[] = "/tmp/upi_bench_wal_XXXXXX";
+    const char* wal_dir = ::mkdtemp(dir_tmpl);
+    if (wal_dir == nullptr) {
+      std::fprintf(stderr, "mkdtemp failed\n");
+      return 1;
+    }
+
+    engine::DatabaseOptions opts;
+    opts.pool_bytes = pool_mb << 20;
+    opts.maintenance.num_workers = 1;
+    if (mode == "commit") {
+      opts.wal_dir = wal_dir;
+      opts.wal_mode = wal::WalMode::kCommit;
+    } else if (mode == "group") {
+      opts.wal_dir = wal_dir;
+      opts.wal_mode = wal::WalMode::kGroup;
+    } else if (mode != "off") {
+      std::fprintf(stderr, "unknown --wal mode '%s'\n", mode.c_str());
+      return 1;
+    }
+
+    WalRow row;
+    row.mode = mode;
+    {
+      engine::Database db(opts);
+      engine::Table* stream =
+          db.CreateFracturedTable("author_stream",
+                                  datagen::DblpGenerator::AuthorSchema(),
+                                  AuthorUpiOptions(0.1), {}, base)
+              .ValueOrDie();
+      db.env()->disk()->SetRealtimeScale(sleep_us_per_ms);
+
+      std::vector<std::vector<OpLatency>> lat(nclients);
+      auto t0 = std::chrono::steady_clock::now();
+      std::vector<std::thread> clients;
+      for (size_t t = 0; t < nclients; ++t) {
+        clients.emplace_back([&, t] {
+          engine::Session session(&db);
+          lat[t].reserve(ops_per_client);
+          for (size_t op = 0; op < ops_per_client; ++op) {
+            const catalog::Tuple& src =
+                d.authors[(t * ops_per_client + op) % d.authors.size()];
+            auto op_t0 = std::chrono::steady_clock::now();
+            auto fut = session.SubmitInsert(
+                *stream, CloneWithId(src, next_id.fetch_add(1)));
+            Result<engine::QueryResult> res = fut.get();
+            CheckOk(res.status());
+            auto op_t1 = std::chrono::steady_clock::now();
+            OpLatency l;
+            l.wall_us = std::chrono::duration<double, std::micro>(op_t1 -
+                                                                  op_t0)
+                            .count();
+            l.sim_ms = res.value().sim_ms;
+            lat[t].push_back(l);
+          }
+        });
+      }
+      for (std::thread& c : clients) c.join();
+      auto t1 = std::chrono::steady_clock::now();
+      db.env()->disk()->SetRealtimeScale(0.0);
+
+      double wall_s = std::chrono::duration<double>(t1 - t0).count();
+      row.ops_per_sec =
+          static_cast<double>(nclients * ops_per_client) / wall_s;
+      auto snap = db.MetricsSnapshot();
+      row.syncs = snap.SumOf("upi_wal_syncs_total");
+      row.appends = snap.SumOf("upi_wal_appends_total");
+      std::vector<double> wall;
+      for (auto& v : lat) {
+        for (const OpLatency& l : v) wall.push_back(l.wall_us);
+      }
+      row.p50.wall_us = Percentile(&wall, 0.50);
+      row.p99.wall_us = Percentile(&wall, 0.99);
+
+      if (dump_metrics && mode == modes.back()) {
+        std::printf("\n");
+        std::printf("%s", db.MetricsSnapshot().ToPrometheus().c_str());
+      }
+    }
+
+    if (mode != "off") {
+      // Crash-less recovery demonstration: reopen from the log the sweep
+      // just wrote and report what replay cost.
+      engine::DatabaseOptions reopen = opts;
+      reopen.maintenance.num_workers = 0;
+      engine::Database recovered(reopen);
+      row.recovered_records = recovered.recovery_stats().records;
+      row.recovery_sim_ms = recovered.recovery_stats().sim_ms;
+    }
+    std::filesystem::remove_all(wal_dir);
+
+    rows.push_back(row);
+    double vs_commit = 0.0;
+    for (const WalRow& r : rows) {
+      if (r.mode == "commit") vs_commit = row.ops_per_sec / r.ops_per_sec;
+    }
+    double grp_mean =
+        row.syncs > 0.0 ? row.appends / row.syncs : 0.0;
+    std::printf("%-8s %10.0f %8.2fx %8.0f %8.0f %10.1f %12.0f %12.0f "
+                "%10llu %10.1f\n",
+                row.mode.c_str(), row.ops_per_sec, vs_commit, row.syncs,
+                row.appends, grp_mean, row.p50.wall_us, row.p99.wall_us,
+                static_cast<unsigned long long>(row.recovered_records),
+                row.recovery_sim_ms);
+    char config[96];
+    std::snprintf(config, sizeof(config),
+                  "wal=%s clients=%zu syncs=%.0f appends=%.0f", row.mode.c_str(),
+                  nclients, row.syncs, row.appends);
+    QueryCost cost;
+    cost.sim_ms = row.recovery_sim_ms;
+    cost.wall_ms = 1e3 * static_cast<double>(nclients * ops_per_client) /
+                   row.ops_per_sec;
+    cost.rows = static_cast<size_t>(row.ops_per_sec);
+    json.AddRow(config, cost);
+  }
+
+  // The acceptance gate: group commit must absorb enough syncs to reach 3x
+  // the per-commit-sync ingest rate.
+  const WalRow* commit = nullptr;
+  const WalRow* group = nullptr;
+  for (const WalRow& r : rows) {
+    if (r.mode == "commit") commit = &r;
+    if (r.mode == "group") group = &r;
+  }
+  if (commit != nullptr && group != nullptr) {
+    double speedup = group->ops_per_sec / commit->ops_per_sec;
+    std::printf("commit -> group: %.2fx ingest ops/sec at %zu clients\n",
+                speedup, nclients);
+    if (speedup < 3.0) {
+      std::printf("FAIL: group commit must reach >= 3x the per-commit-sync "
+                  "throughput\n");
+      return 1;
+    }
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   flags::Parse(argc, argv);
   const bool smoke = flags::GetBool("smoke", false);
   const bool dump_metrics = flags::GetBool("metrics", false);
+
+  {
+    std::string wal_spec = flags::GetString("wal", "");
+    if (!wal_spec.empty()) {
+      if (flags::GetDouble("scale", -1.0) < 0.0) {
+        std::string arg = "--scale=0.3";
+        char* extra[] = {argv[0], arg.data()};
+        flags::Parse(2, extra);
+      }
+      std::vector<std::string> modes;
+      size_t pos = 0;
+      while (pos < wal_spec.size()) {
+        size_t comma = wal_spec.find(',', pos);
+        if (comma == std::string::npos) comma = wal_spec.size();
+        modes.push_back(wal_spec.substr(pos, comma - pos));
+        pos = comma + 1;
+      }
+      return RunWalSweep(modes, smoke, dump_metrics);
+    }
+  }
 
   {
     std::string part_spec = flags::GetString("partitions", "");

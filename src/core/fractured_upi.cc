@@ -195,8 +195,15 @@ void FracturedUpi::RetuneFromBuffer() {
 }
 
 Status FracturedUpi::FlushBuffer() {
-  std::unique_lock lock(mu_);
-  return FlushBufferLocked();
+  bool did_work = false;
+  Status s;
+  {
+    std::unique_lock lock(mu_);
+    did_work = !buffer_.empty() || !buffer_deletes_.empty();
+    s = FlushBufferLocked();
+  }
+  if (s.ok() && did_work) FireMaintenanceHook(MaintenanceEvent::kFlush, 0);
+  return s;
 }
 
 Status FracturedUpi::FlushBufferLocked() {
@@ -873,10 +880,12 @@ Status FracturedUpi::MergeAll() {
   }
   env_->pool()->FlushAll();
   stats_epoch_.fetch_add(1, std::memory_order_relaxed);
+  FireMaintenanceHook(MaintenanceEvent::kMergeAll, 0);
   return Status::OK();
 }
 
 Status FracturedUpi::MergeOldestFractures(size_t count) {
+  const size_t requested = count;
   // Same three-phase structure as MergeAll; only the `count` oldest delta
   // fractures are touched, so the build cost is proportional to the deltas.
   std::vector<const Upi*> sources;
@@ -921,6 +930,9 @@ Status FracturedUpi::MergeOldestFractures(size_t count) {
   }
   env_->pool()->FlushAll();
   stats_epoch_.fetch_add(1, std::memory_order_relaxed);
+  // Logged with the *requested* count: replay re-clamps against the same
+  // fracture list, so the recovered layout matches.
+  FireMaintenanceHook(MaintenanceEvent::kMergePartial, requested);
   return Status::OK();
 }
 

@@ -147,6 +147,23 @@ class FracturedUpi {
   void EnableAdaptiveTuning(std::vector<WorkloadQuery> workload,
                             double storage_budget_bytes);
 
+  // --- Durability hook (see src/wal/) --------------------------------------
+
+  /// A maintenance operation that actually changed the physical shape.
+  /// `merge_count` carries MergeOldestFractures' requested count.
+  enum class MaintenanceEvent { kFlush, kMergeAll, kMergePartial };
+
+  /// Fired by FlushBuffer / MergeAll / MergeOldestFractures after the
+  /// operation completes and the fracture-list lock is RELEASED (the hook
+  /// may append to the WAL, whose locks rank below this table's), and only
+  /// when the call was not a no-op. Set once at registration time, before
+  /// the table sees concurrent traffic; the WAL layer journals the event so
+  /// recovery reproduces the same fracture layout.
+  void SetMaintenanceHook(
+      std::function<void(MaintenanceEvent, size_t merge_count)> hook) {
+    maintenance_hook_ = std::move(hook);
+  }
+
   /// Algorithm 2 across buffer + every fracture, delete-sets applied.
   /// Results sorted by descending confidence.
   Status QueryPtq(std::string_view value, double qt,
@@ -285,6 +302,11 @@ class FracturedUpi {
  private:
   friend class FracturedPtqCursor;
 
+  /// Fires maintenance_hook_ if set. Caller must NOT hold mu_.
+  void FireMaintenanceHook(MaintenanceEvent event, size_t merge_count) {
+    if (maintenance_hook_) maintenance_hook_(event, merge_count);
+  }
+
   bool IsDeleted(catalog::TupleId id) const { return deleted_.contains(id); }
   void RetuneFromBuffer();
   /// FlushBuffer body; caller holds the exclusive lock.
@@ -337,6 +359,9 @@ class FracturedUpi {
   catalog::Schema schema_;
   UpiOptions options_;
   std::vector<int> secondary_columns_;
+
+  /// Fired (without mu_) after a flush/merge completes; see SetMaintenanceHook.
+  std::function<void(MaintenanceEvent, size_t)> maintenance_hook_;
 
   /// Guards fracture list, buffers, delete sets, and counters. Shared:
   /// queries/introspection. Exclusive: Insert/Delete (cheap RAM mutation),

@@ -3,9 +3,12 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <mutex>
+#include <shared_mutex>
 #include <thread>
 #include <utility>
 
+#include "common/check.h"
 #include "exec/cursor.h"
 #include "exec/operators.h"
 
@@ -162,6 +165,32 @@ Result<Plan> Table::TopK(std::string_view value, size_t k,
 #endif  // UPI_NO_LEGACY_QUERY_API
 
 Status Table::Insert(const catalog::Tuple& tuple) {
+  wal::WalWriter* w = db_->wal();
+  if (w == nullptr) return ApplyInsert(tuple);
+  // Gate held shared across append + apply: the checkpoint's exclusive hold
+  // is an atomic cut (never applied-but-unlogged or logged-but-unapplied).
+  std::shared_lock<sync::SharedMutex> gate(w->gate());
+  wal::Lsn lsn = w->Append(wal::EncodeInsert(name_, tuple));
+  Status s = ApplyInsert(tuple);
+  gate.unlock();
+  w->Commit(lsn);  // may park on the group-commit condvar — no locks held
+  db_->MaybeScheduleCheckpoint();
+  return s;
+}
+
+Status Table::Delete(const catalog::Tuple& tuple) {
+  wal::WalWriter* w = db_->wal();
+  if (w == nullptr) return ApplyDelete(tuple);
+  std::shared_lock<sync::SharedMutex> gate(w->gate());
+  wal::Lsn lsn = w->Append(wal::EncodeDelete(name_, tuple));
+  Status s = ApplyDelete(tuple);
+  gate.unlock();
+  w->Commit(lsn);
+  db_->MaybeScheduleCheckpoint();
+  return s;
+}
+
+Status Table::ApplyInsert(const catalog::Tuple& tuple) {
   switch (kind_) {
     case Kind::kUpi:
       return upi_->Insert(tuple);
@@ -179,7 +208,7 @@ Status Table::Insert(const catalog::Tuple& tuple) {
   return Status::Internal("unknown table kind");
 }
 
-Status Table::Delete(const catalog::Tuple& tuple) {
+Status Table::ApplyDelete(const catalog::Tuple& tuple) {
   switch (kind_) {
     case Kind::kUpi:
       return upi_->Delete(tuple);
@@ -211,6 +240,45 @@ Database::Database(DatabaseOptions options)
   instruments_.slow_log = &slow_log_;
   instruments_.slow_query_ms = options.slow_query_ms;
   instruments_.RegisterMetrics(env_.metrics());
+
+  if (!options_.wal_dir.empty()) {
+    wal_path_ = options_.wal_dir + "/wal.log";
+    auto read = wal::ReadLogFile(wal_path_);
+    // A log that exists but is not a WAL is operator error, not crash
+    // damage — refuse to silently overwrite it.
+    UPI_CHECK(read.ok(), read.status().ToString().c_str());
+    wal::LogContents log = std::move(read).value();
+    if (!log.payloads.empty()) {
+      // Replay with the writer unarmed (wal_ is still null, so the ops are
+      // not re-journaled) and watermark notifications paused (the logged
+      // maintenance records reproduce the original flush/merge sequence).
+      manager_.SetNotifyPaused(true);
+      sim::ThreadStatsWindow window(env_.disk());
+      auto replayed = wal::Replay(this, log);
+      UPI_CHECK(replayed.ok(), replayed.status().ToString().c_str());
+      recovery_stats_ = std::move(replayed).value();
+      recovery_stats_.sim_ms = window.Delta().SimMs(params_);
+      manager_.SetNotifyPaused(false);
+    }
+    wal::WalWriterOptions wopts;
+    wopts.path = wal_path_;
+    wopts.mode = options_.wal_mode;
+    wopts.group_window_us = options_.wal_group_window_us;
+    auto writer = wal::WalWriter::Open(&env_, std::move(wopts),
+                                       log.missing ? 0 : log.valid_bytes,
+                                       recovery_stats_.records + 1);
+    UPI_CHECK(writer.ok(), writer.status().ToString().c_str());
+    wal_ = std::move(writer).value();
+    if (!log.missing && log.valid_bytes > 0) {
+      // Recovery scanned the whole surviving log once, sequentially.
+      wal_->ChargeReplayRead();
+    }
+    env_.metrics()->gauge("upi_wal_recovery_ms")->Set(recovery_stats_.sim_ms);
+    env_.metrics()
+        ->counter("upi_wal_records_replayed_total")
+        ->Add(recovery_stats_.records);
+    manager_.SetCheckpointCallback([this] { return Checkpoint(); });
+  }
 }
 
 Database::~Database() {
@@ -254,6 +322,10 @@ Result<Table*> Database::CreateUpiTable(
   table->name_ = name;
   table->kind_ = Table::Kind::kUpi;
   table->db_ = this;
+  table->spec_.kind = wal::TableKind::kUpi;
+  table->spec_.schema = schema;
+  table->spec_.options = options;
+  table->spec_.secondary_columns = secondary_columns;
   UPI_ASSIGN_OR_RETURN(
       table->upi_, core::Upi::Build(&env_, name, std::move(schema), options,
                                     std::move(secondary_columns), tuples));
@@ -261,7 +333,9 @@ Result<Table*> Database::CreateUpiTable(
   table->planner_ = std::make_unique<QueryPlanner>(table->path_.get(), params_,
                                                    env_.metrics());
   table->instruments_ = &instruments_;
-  return Install(std::move(table));
+  UPI_ASSIGN_OR_RETURN(Table * installed, Install(std::move(table)));
+  LogCreate(installed, tuples);
+  return installed;
 }
 
 Result<Table*> Database::CreateFracturedTable(
@@ -275,6 +349,10 @@ Result<Table*> Database::CreateFracturedTable(
   table->name_ = name;
   table->kind_ = Table::Kind::kFractured;
   table->db_ = this;
+  table->spec_.kind = wal::TableKind::kFractured;
+  table->spec_.schema = schema;
+  table->spec_.options = options;
+  table->spec_.secondary_columns = secondary_columns;
   table->fractured_ = std::make_unique<core::FracturedUpi>(
       &env_, name, std::move(schema), options, std::move(secondary_columns));
   if (!tuples.empty()) {
@@ -284,8 +362,11 @@ Result<Table*> Database::CreateFracturedTable(
   table->planner_ = std::make_unique<QueryPlanner>(table->path_.get(), params_,
                                                    env_.metrics());
   table->instruments_ = &instruments_;
+  InstallMaintenanceHook(table->fractured_.get(), name, /*shard=*/-1);
   manager_.Register(table->fractured_.get());
-  return Install(std::move(table));
+  UPI_ASSIGN_OR_RETURN(Table * installed, Install(std::move(table)));
+  LogCreate(installed, tuples);
+  return installed;
 }
 
 Result<Table*> Database::CreatePartitionedTable(
@@ -299,6 +380,11 @@ Result<Table*> Database::CreatePartitionedTable(
   table->name_ = name;
   table->kind_ = Table::Kind::kPartitioned;
   table->db_ = this;
+  table->spec_.kind = wal::TableKind::kPartitioned;
+  table->spec_.schema = schema;
+  table->spec_.options = options;
+  table->spec_.secondary_columns = secondary_columns;
+  table->spec_.partition = popts;
   UPI_ASSIGN_OR_RETURN(
       table->partitioned_,
       PartitionedTable::Create(&env_, &manager_, EnsureGatherPool(), name,
@@ -309,7 +395,15 @@ Result<Table*> Database::CreatePartitionedTable(
   table->planner_ = std::make_unique<QueryPlanner>(table->path_.get(), params_,
                                                    env_.metrics());
   table->instruments_ = &instruments_;
-  return Install(std::move(table));
+  for (size_t i = 0; i < table->partitioned_->num_shards(); ++i) {
+    core::FracturedUpi* shard = table->partitioned_->shard_fractured(i);
+    if (shard != nullptr) {
+      InstallMaintenanceHook(shard, name, static_cast<int>(i));
+    }
+  }
+  UPI_ASSIGN_OR_RETURN(Table * installed, Install(std::move(table)));
+  LogCreate(installed, tuples);
+  return installed;
 }
 
 Result<Table*> Database::CreateUnclusteredTable(
@@ -322,6 +416,10 @@ Result<Table*> Database::CreateUnclusteredTable(
   table->name_ = name;
   table->kind_ = Table::Kind::kUnclustered;
   table->db_ = this;
+  table->spec_.kind = wal::TableKind::kUnclustered;
+  table->spec_.schema = schema;
+  table->spec_.primary_column = primary_column;
+  table->spec_.pii_columns = pii_columns;
   UPI_ASSIGN_OR_RETURN(table->unclustered_,
                        baseline::UnclusteredTable::Build(
                            &env_, name, std::move(schema),
@@ -333,7 +431,83 @@ Result<Table*> Database::CreateUnclusteredTable(
   table->planner_ = std::make_unique<QueryPlanner>(table->path_.get(), params_,
                                                    env_.metrics());
   table->instruments_ = &instruments_;
-  return Install(std::move(table));
+  UPI_ASSIGN_OR_RETURN(Table * installed, Install(std::move(table)));
+  LogCreate(installed, tuples);
+  return installed;
+}
+
+// ---------------------------------------------------------------------------
+// Durability
+// ---------------------------------------------------------------------------
+
+void Database::LogCreate(Table* table,
+                         const std::vector<catalog::Tuple>& tuples) {
+  if (wal_ == nullptr) return;  // WAL off, or constructor-time replay
+  std::shared_lock<sync::SharedMutex> gate(wal_->gate());
+  wal::Lsn lsn =
+      wal_->Append(wal::EncodeCreateTable(table->name_, table->spec_, tuples));
+  gate.unlock();
+  wal_->Commit(lsn);
+  // A bulk-build record alone can dwarf the checkpoint watermark.
+  MaybeScheduleCheckpoint();
+}
+
+void Database::LogMaintenance(const std::string& table, int shard,
+                              core::FracturedUpi::MaintenanceEvent event,
+                              size_t merge_count) {
+  if (wal_ == nullptr) return;
+  wal::MaintenanceOp op = wal::MaintenanceOp::kFlush;
+  switch (event) {
+    case core::FracturedUpi::MaintenanceEvent::kFlush:
+      op = wal::MaintenanceOp::kFlush;
+      break;
+    case core::FracturedUpi::MaintenanceEvent::kMergeAll:
+      op = wal::MaintenanceOp::kMergeAll;
+      break;
+    case core::FracturedUpi::MaintenanceEvent::kMergePartial:
+      op = wal::MaintenanceOp::kMergePartial;
+      break;
+  }
+  std::shared_lock<sync::SharedMutex> gate(wal_->gate());
+  wal::Lsn lsn =
+      wal_->Append(wal::EncodeMaintenance(table, shard, op, merge_count));
+  gate.unlock();
+  wal_->Commit(lsn);
+  MaybeScheduleCheckpoint();
+}
+
+void Database::InstallMaintenanceHook(core::FracturedUpi* frac,
+                                      const std::string& name, int shard) {
+  frac->SetMaintenanceHook(
+      [this, name, shard](core::FracturedUpi::MaintenanceEvent event,
+                          size_t merge_count) {
+        LogMaintenance(name, shard, event, merge_count);
+      });
+}
+
+Status Database::Checkpoint() {
+  if (wal_ == nullptr) {
+    return Status::InvalidArgument("checkpoint: database has no WAL");
+  }
+  // Exclusive gate: every logged write is fully applied-and-logged or not
+  // started; Sync() drains the pending group tail before the snapshot scan.
+  std::unique_lock<sync::SharedMutex> gate(wal_->gate());
+  wal_->Sync();
+  std::vector<std::string> payloads;
+  payloads.reserve(tables_.size());
+  for (const auto& [name, table] : tables_) {
+    std::vector<catalog::Tuple> tuples;
+    UPI_RETURN_NOT_OK(table->path()->ScanTuples(
+        [&tuples](const catalog::Tuple& t) { tuples.push_back(t); }));
+    payloads.push_back(wal::EncodeCreateTable(name, table->spec_, tuples));
+  }
+  return wal_->Rotate(payloads);
+}
+
+void Database::MaybeScheduleCheckpoint() {
+  if (wal_ == nullptr || options_.wal_checkpoint_bytes == 0) return;
+  if (wal_->bytes_since_checkpoint() < options_.wal_checkpoint_bytes) return;
+  manager_.ScheduleCheckpoint();
 }
 
 Table* Database::GetTable(const std::string& name) const {

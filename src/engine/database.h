@@ -29,6 +29,8 @@
 #include "obs/slow_query_log.h"
 #include "obs/trace.h"
 #include "storage/db_env.h"
+#include "wal/recovery.h"
+#include "wal/wal_writer.h"
 
 namespace upi::engine {
 
@@ -121,7 +123,10 @@ class Table {
 #endif  // UPI_NO_LEGACY_QUERY_API
 
   // --- Writes. Fractured tables notify the maintenance manager, which
-  // flushes/merges per its cost-model policy.
+  // flushes/merges per its cost-model policy. When the database has a WAL,
+  // the write is journaled first (holding the checkpoint gate shared across
+  // append + apply) and made durable per the configured WalMode before
+  // returning.
   Status Insert(const catalog::Tuple& tuple);
   Status Delete(const catalog::Tuple& tuple);
 
@@ -135,9 +140,16 @@ class Table {
   friend class Database;
   Table() = default;
 
+  /// The in-memory mutation, sans WAL (also the recovery replay path).
+  Status ApplyInsert(const catalog::Tuple& tuple);
+  Status ApplyDelete(const catalog::Tuple& tuple);
+
   std::string name_;
   Kind kind_ = Kind::kUpi;
   Database* db_ = nullptr;
+  /// Everything needed to journal this table's creation (and checkpoint
+  /// snapshots of it) as a WAL kCreateTable record.
+  wal::TableSpec spec_;
   const ExecInstruments* instruments_ = nullptr;  // owned by the Database
   std::unique_ptr<core::Upi> upi_;
   std::unique_ptr<core::FracturedUpi> fractured_;
@@ -169,6 +181,25 @@ struct DatabaseOptions {
   /// shard probes serially on the querying thread. The pool is spawned
   /// lazily, on the first CreatePartitionedTable().
   size_t gather_workers = kGatherWorkersAuto;
+
+  // --- Durability (see src/wal/). -----------------------------------------
+
+  /// Host directory for the write-ahead log; empty disables durability
+  /// entirely (the seed behaviour — nothing is journaled, nothing is
+  /// recovered, no log device is registered). When set, the constructor
+  /// replays `wal_dir + "/wal.log"` if it exists and journals every
+  /// mutation from then on.
+  std::string wal_dir;
+  /// Per-operation sync (kCommit) vs. leader/follower group commit (kGroup).
+  wal::WalMode wal_mode = wal::WalMode::kGroup;
+  /// Schedules a background checkpoint (snapshot + log truncation) once the
+  /// log grows this many bytes past the last one. 0 = only explicit
+  /// Checkpoint() calls truncate the log.
+  uint64_t wal_checkpoint_bytes = 0;
+  /// kGroup lone-leader batching window (WalWriterOptions::group_window_us).
+  /// When the device runs realtime-scaled sleeps, set this toward half the
+  /// scaled rotation cost: waiting half a rotation to share a full one.
+  uint32_t wal_group_window_us = 200;
 };
 
 class Database {
@@ -243,21 +274,60 @@ class Database {
   /// thread. Returns tasks executed.
   size_t RunMaintenance() { return manager_.RunPending(); }
 
+  // --- Durability (see src/wal/). -----------------------------------------
+
+  /// The write-ahead log, or nullptr when DatabaseOptions::wal_dir is empty
+  /// (and during constructor-time recovery, so replayed operations are not
+  /// re-journaled).
+  wal::WalWriter* wal() const { return wal_.get(); }
+
+  /// What constructor-time recovery replayed (all zeros when the log was
+  /// absent or empty).
+  const wal::RecoveryStats& recovery_stats() const { return recovery_stats_; }
+
+  /// Snapshots every table into a fresh log and truncates the old one, under
+  /// the WAL gate held exclusive (an atomic cut: no mutation is applied but
+  /// unlogged, or logged but unapplied, across the snapshot). Runs on the
+  /// caller's thread; not synchronized against concurrent Create*Table DDL.
+  Status Checkpoint();
+
+  /// Enqueues a background checkpoint with the maintenance manager when the
+  /// log has outgrown DatabaseOptions::wal_checkpoint_bytes.
+  void MaybeScheduleCheckpoint();
+
   /// The Section 7.1 cold-cache protocol (benches).
   void ColdCache() { env_.ColdCache(); }
 
   const sim::CostParams& params() const { return params_; }
 
  private:
+  friend class Table;
   Result<Table*> Install(std::unique_ptr<Table> table);
   /// Spawns the shared gather pool on first use (per options_.gather_workers).
   GatherPool* EnsureGatherPool();
+  /// Journals a table's creation (no-op while wal_ is unarmed).
+  void LogCreate(Table* table, const std::vector<catalog::Tuple>& tuples);
+  /// Installed as the FracturedUpi maintenance hook on every fractured table
+  /// and partition shard: journals the completed flush/merge so recovery
+  /// reproduces the exact fracture layout. shard < 0 = the table itself.
+  void LogMaintenance(const std::string& table, int shard,
+                      core::FracturedUpi::MaintenanceEvent event,
+                      size_t merge_count);
+  /// Hooks `frac` (owned by table `name`, shard `shard`) into LogMaintenance.
+  void InstallMaintenanceHook(core::FracturedUpi* frac, const std::string& name,
+                              int shard);
 
   DatabaseOptions options_;
   sim::CostParams params_;
   storage::DbEnv env_;
   obs::SlowQueryLog slow_log_;
   ExecInstruments instruments_;  // handed by pointer to every table
+  // Declared after env_ (the writer's destructor syncs through the env's
+  // simulated log device) and before tables_/manager_ (the checkpoint task
+  // and the tables' write paths use it until the manager stops).
+  std::unique_ptr<wal::WalWriter> wal_;
+  wal::RecoveryStats recovery_stats_;
+  std::string wal_path_;
   // The gather pool is declared before the tables so in-flight shard probes
   // can never outlive it... and the tables before the manager so the manager
   // (whose destructor stops workers and waits for in-flight tasks) is

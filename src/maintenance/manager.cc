@@ -71,6 +71,7 @@ bool MaintenanceManager::TryEnqueue(core::FracturedUpi* table, TaskKind kind,
 
 void MaintenanceManager::NotifyWrite(core::FracturedUpi* table) {
   if (stopped_.load(std::memory_order_relaxed)) return;
+  if (notify_paused_.load(std::memory_order_relaxed)) return;
   Decision d = policy_.DecideFlush(*table);
   if (d.action != ActionKind::kFlush) return;
   TryEnqueue(table, TaskKind::kFlush, 0, /*force=*/false);
@@ -84,6 +85,25 @@ void MaintenanceManager::ScheduleMergeAll(core::FracturedUpi* table) {
   TryEnqueue(table, TaskKind::kMergeAll, 0, /*force=*/true);
 }
 
+bool MaintenanceManager::ScheduleCheckpoint() {
+  if (stopped_.load(std::memory_order_relaxed)) return false;
+  {
+    std::lock_guard<sync::Mutex> lock(mu_);
+    if (checkpoint_active_) return false;  // absorbed by the pending one
+    checkpoint_active_ = true;
+    ++in_flight_;
+  }
+  if (!queue_.Push(MaintenanceTask{TaskKind::kCheckpoint, nullptr, 0})) {
+    std::lock_guard<sync::Mutex> lock(mu_);
+    checkpoint_active_ = false;
+    --in_flight_;
+    idle_cv_.notify_all();
+    return false;
+  }
+  UpdateQueueGauge();
+  return true;
+}
+
 Status MaintenanceManager::Execute(const MaintenanceTask& task) {
   switch (task.kind) {
     case TaskKind::kFlush:
@@ -92,11 +112,30 @@ Status MaintenanceManager::Execute(const MaintenanceTask& task) {
       return task.table->MergeOldestFractures(task.merge_count);
     case TaskKind::kMergeAll:
       return task.table->MergeAll();
+    case TaskKind::kCheckpoint:
+      return checkpoint_cb_ ? checkpoint_cb_() : Status::OK();
   }
   return Status::Internal("unknown task kind");
 }
 
 void MaintenanceManager::ExecuteAndFollowUp(const MaintenanceTask& task) {
+  if (task.kind == TaskKind::kCheckpoint) {
+    // Checkpoints are database-wide (no per-table slot, no follow-up).
+    UpdateQueueGauge();
+    sim::StatsWindow window(env_->disk());
+    Status st = Execute(task);
+    double sim_ms = window.ElapsedMs();
+    if (m_task_sim_ms_ != nullptr) m_task_sim_ms_->Record(sim_ms);
+    {
+      std::lock_guard<sync::Mutex> lock(mu_);
+      ++stats_.checkpoints;
+      if (!st.ok() && last_error_.ok()) last_error_ = st;
+      checkpoint_active_ = false;
+      --in_flight_;
+    }
+    idle_cv_.notify_all();
+    return;
+  }
   UpdateQueueGauge();
   sim::StatsWindow window(env_->disk());
   Status st = Execute(task);
@@ -217,8 +256,12 @@ void MaintenanceManager::Stop() {
   size_t dropped = 0;
   while (queue_.TryPop(&task)) {
     std::lock_guard<sync::Mutex> lock(mu_);
-    auto it = tables_.find(task.table);
-    if (it != tables_.end()) it->second.active = false;
+    if (task.kind == TaskKind::kCheckpoint) {
+      checkpoint_active_ = false;
+    } else {
+      auto it = tables_.find(task.table);
+      if (it != tables_.end()) it->second.active = false;
+    }
     --in_flight_;
     ++dropped;
   }

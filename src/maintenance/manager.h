@@ -20,6 +20,7 @@
 #pragma once
 
 #include <atomic>
+#include <functional>
 #include <mutex>
 #include <thread>
 #include <unordered_map>
@@ -41,6 +42,7 @@ struct MaintenanceStats {
   uint64_t flushes = 0;
   uint64_t partial_merges = 0;
   uint64_t full_merges = 0;
+  uint64_t checkpoints = 0;  // WAL checkpoints (not counted in tasks())
   /// Simulated disk time spent inside tasks. Exact in synchronous mode; in
   /// threaded mode concurrent foreground I/O shares the spindle, so this is
   /// an upper bound.
@@ -79,10 +81,27 @@ class MaintenanceManager {
   /// that task catches anything that accumulated meanwhile).
   void NotifyWrite(core::FracturedUpi* table);
 
+  /// Pauses/resumes the NotifyWrite watermark checks. WAL recovery replays
+  /// with notifications paused: the logged maintenance records reproduce the
+  /// original flush/merge sequence, so the policy must not inject its own.
+  void SetNotifyPaused(bool paused) {
+    notify_paused_.store(paused, std::memory_order_relaxed);
+  }
+
   /// Force-schedules regardless of watermarks (still serialized per table;
   /// if a task is in flight the request runs as its follow-up).
   void ScheduleFlush(core::FracturedUpi* table);
   void ScheduleMergeAll(core::FracturedUpi* table);
+
+  /// The database-wide WAL checkpoint body (Database::Checkpoint). Set once
+  /// at construction time, before workers can see a checkpoint task.
+  void SetCheckpointCallback(std::function<Status()> cb) {
+    checkpoint_cb_ = std::move(cb);
+  }
+
+  /// Enqueues one checkpoint task (deduplicated: a queued or running
+  /// checkpoint absorbs the request). Returns whether a task was enqueued.
+  bool ScheduleCheckpoint();
 
   /// Synchronous mode: drains the queue — including follow-up tasks pushed
   /// by the policy re-check — on the calling thread. Returns the number of
@@ -134,10 +153,13 @@ class MaintenanceManager {
   mutable sync::Mutex mu_{sync::LockRank::kMaintenanceManager};
   sync::CondVar idle_cv_;
   std::unordered_map<core::FracturedUpi*, TableState> tables_;
-  size_t in_flight_ = 0;  // tables with active == true
+  size_t in_flight_ = 0;  // tables with active == true, plus a checkpoint
+  bool checkpoint_active_ = false;  // a checkpoint task is queued or running
   MaintenanceStats stats_;
   Status last_error_;
 
+  std::function<Status()> checkpoint_cb_;
+  std::atomic<bool> notify_paused_{false};
   std::atomic<bool> stopped_{false};
   std::vector<std::thread> workers_;
 

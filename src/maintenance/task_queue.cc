@@ -10,6 +10,8 @@ const char* TaskKindName(TaskKind kind) {
       return "merge-partial";
     case TaskKind::kMergeAll:
       return "merge-all";
+    case TaskKind::kCheckpoint:
+      return "checkpoint";
   }
   return "unknown";
 }

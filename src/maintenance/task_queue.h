@@ -25,6 +25,7 @@ enum class TaskKind {
   kFlush,         // FracturedUpi::FlushBuffer
   kMergePartial,  // FracturedUpi::MergeOldestFractures(merge_count)
   kMergeAll,      // FracturedUpi::MergeAll
+  kCheckpoint,    // database-wide WAL checkpoint (table == nullptr)
 };
 
 const char* TaskKindName(TaskKind kind);

@@ -24,6 +24,11 @@ struct CostParams {
   double write_ms_per_mb = 50.0;
   /// Cost to open a DB file [ms].
   double init_ms = 100.0;
+  /// One full platter revolution [ms] (10k RPM). Charged when the head must
+  /// wait for a sector it just passed to come back around — the tail-sector
+  /// rewrite of a log commit barrier is the canonical case, and this cost is
+  /// exactly what group commit amortizes across a batch.
+  double rotation_ms = 6.0;
 
   /// Seek time for a head movement of `distance` bytes on a device spanning
   /// `span` bytes. Linear in distance, floored at min_seek_ms, capped at

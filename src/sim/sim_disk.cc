@@ -21,6 +21,7 @@ DiskStats DiskStats::operator-(const DiskStats& rhs) const {
   d.bytes_read = bytes_read - rhs.bytes_read;
   d.bytes_written = bytes_written - rhs.bytes_written;
   d.file_opens = file_opens - rhs.file_opens;
+  d.rotations = rotations - rhs.rotations;
   return d;
 }
 
@@ -32,12 +33,14 @@ DiskStats& DiskStats::operator+=(const DiskStats& rhs) {
   bytes_read += rhs.bytes_read;
   bytes_written += rhs.bytes_written;
   file_opens += rhs.file_opens;
+  rotations += rhs.rotations;
   return *this;
 }
 
 double DiskStats::SimMs(const CostParams& p) const {
   return seek_ms + p.ReadMs(bytes_read) + p.WriteMs(bytes_written) +
-         static_cast<double>(file_opens) * p.init_ms;
+         static_cast<double>(file_opens) * p.init_ms +
+         static_cast<double>(rotations) * p.rotation_ms;
 }
 
 std::string DiskStats::ToString(const CostParams& p) const {
@@ -144,6 +147,16 @@ void SimDisk::ChargeFileOpen() {
     ++s.stats.file_opens;
   }
   MaybeSleep(params_.init_ms);
+}
+
+void SimDisk::ChargeRotation() {
+  sync::CheckIoAllowed("SimDisk::ChargeRotation");
+  Stripe& s = ThisThreadStripe();
+  {
+    std::lock_guard<sync::Mutex> lock(s.mu);
+    ++s.stats.rotations;
+  }
+  MaybeSleep(params_.rotation_ms);
 }
 
 void SimDisk::ResetHead() {

@@ -53,6 +53,7 @@ struct DiskStats {
   uint64_t bytes_read = 0;
   uint64_t bytes_written = 0;
   uint64_t file_opens = 0;       // charged Costinit each
+  uint64_t rotations = 0;        // full-revolution waits (commit barriers)
 
   DiskStats operator-(const DiskStats& rhs) const;
   DiskStats& operator+=(const DiskStats& rhs);
@@ -80,6 +81,12 @@ class SimDisk {
 
   /// Charges the Costinit of opening a DB file (paper Table 6).
   void ChargeFileOpen();
+
+  /// Charges one full platter revolution (rotation_ms): the head is on the
+  /// right track but just passed the target sector, so it must wait for the
+  /// platter to come back around. The WAL's commit barrier pays this per
+  /// sync — the cost group commit exists to amortize.
+  void ChargeRotation();
 
   /// Moves the head to an undefined position, so the next access pays a
   /// full-cost seek. Benches call this as part of the cold-cache protocol.

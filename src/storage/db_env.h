@@ -15,6 +15,7 @@
 #include "obs/metrics.h"
 #include "sim/sim_disk.h"
 #include "storage/buffer_pool.h"
+#include "storage/log_file.h"
 #include "storage/page_file.h"
 #include "storage/pager.h"
 #include "sync/sync.h"
@@ -64,6 +65,23 @@ class DbEnv {
     }
     files_.push_back(std::make_unique<PageFile>(&disk_, name, page_size));
     return files_.back().get();
+  }
+
+  /// Creates a sequential append-only log device region (the WAL's charging
+  /// model; see storage/log_file.h). Shares the page-file namespace so a log
+  /// can never shadow a table file. `preexisting_bytes` re-seeds the region
+  /// for a log that already exists on the host (recovery).
+  Result<LogFile*> TryCreateLogFile(const std::string& name,
+                                    uint64_t extent_bytes,
+                                    uint64_t preexisting_bytes) {
+    std::lock_guard<sync::Mutex> lock(files_mu_);
+    if (!file_names_.insert(name).second) {
+      return Status::AlreadyExists("file '" + name +
+                                   "' already exists in this environment");
+    }
+    log_files_.push_back(std::make_unique<LogFile>(
+        &disk_, name, extent_bytes, preexisting_bytes));
+    return log_files_.back().get();
   }
 
   Pager MakePager(PageFile* file) { return Pager(&pool_, file); }
@@ -128,6 +146,7 @@ class DbEnv {
   // back to these files) is destroyed first.
   mutable sync::Mutex files_mu_{sync::LockRank::kDbEnvFiles};
   std::vector<std::unique_ptr<PageFile>> files_;
+  std::vector<std::unique_ptr<LogFile>> log_files_;
   std::unordered_set<std::string> file_names_;
   BufferPool pool_;
 };

@@ -1,0 +1,127 @@
+// A sequential append-only log device region on the SimDisk — the charging
+// model behind the write-ahead log (src/wal/).
+//
+// A LogFile owns a growing chain of extents allocated from the simulated
+// disk and charges three kinds of traffic:
+//
+//  * Append(bytes)    — a sequential write at the current log end. When the
+//    head is already parked there (back-to-back appends) no seek is
+//    charged; when foreground query/maintenance traffic moved it away, the
+//    seek back to the log arises naturally from SimDisk's head model.
+//  * CommitBarrier()  — the cost of *making the tail durable*: the device
+//    re-writes the partially filled tail sector, which the head has just
+//    passed, so it must wait a full revolution (rotation_ms, 6 ms at
+//    10k RPM) for the sector to come back around before the 512-byte
+//    rewrite. A per-commit-sync workload pays one rotation per commit
+//    while group commit pays one per batch — the entire economics of the
+//    leader/follower protocol in one constant.
+//  * ChargeSequentialRead() — recovery's single pass over the bytes written
+//    so far (used once, at Database open, to price replay).
+//
+// Thread safety: none. Callers serialize access externally — the WalWriter
+// only touches its LogFile while holding the WAL sync lock (or, for
+// rotation, the checkpoint gate exclusively) — because interleaved appends
+// from two threads would be meaningless on one sequential device anyway.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/sim_disk.h"
+
+namespace upi::storage {
+
+class LogFile {
+ public:
+  /// `preexisting_bytes` re-seeds the device region for a log that already
+  /// holds that many bytes on the host (recovery): extents are allocated to
+  /// cover them and the cursor starts at their end.
+  /// Construction only reserves address space (free); the caller charges
+  /// ChargeOpen() once outside any DbEnv lock — the registry mutex is a
+  /// no-I/O latch.
+  LogFile(sim::SimDisk* disk, std::string name, uint64_t extent_bytes,
+          uint64_t preexisting_bytes)
+      : disk_(disk), name_(std::move(name)), extent_bytes_(extent_bytes) {
+    if (preexisting_bytes > 0) Extend(preexisting_bytes);
+  }
+
+  /// Charges the device's file-open cost (Costinit).
+  void ChargeOpen() { disk_->ChargeFileOpen(); }
+
+  /// Charges a sequential write of `bytes` at the log end, growing the
+  /// extent chain as needed (a new extent may land after other allocations,
+  /// so very long logs pay the occasional extent-boundary seek).
+  void Append(uint64_t bytes) {
+    while (bytes > 0) {
+      if (cursor_ == extent_end_) AllocateExtent();
+      uint64_t chunk = std::min(bytes, extent_end_ - cursor_);
+      disk_->Write(cursor_, chunk);
+      cursor_ += chunk;
+      written_ += chunk;
+      bytes -= chunk;
+    }
+  }
+
+  /// Charges the tail-sector rewrite that makes appended bytes durable (see
+  /// the header comment). Safe to call with nothing appended yet.
+  void CommitBarrier() {
+    if (cursor_ == 0) AllocateExtent();
+    uint64_t sector = cursor_ >= kSectorBytes ? cursor_ - kSectorBytes
+                                              : extent_start_;
+    disk_->ChargeRotation();
+    disk_->Write(sector, kSectorBytes);
+  }
+
+  /// Charges one sequential read over everything written so far (recovery).
+  void ChargeSequentialRead() {
+    uint64_t remaining = written_;
+    for (const Extent& e : extents_) {
+      if (remaining == 0) break;
+      uint64_t chunk = std::min(remaining, e.bytes);
+      disk_->Read(e.start, chunk);
+      remaining -= chunk;
+    }
+  }
+
+  const std::string& name() const { return name_; }
+  uint64_t written_bytes() const { return written_; }
+
+ private:
+  static constexpr uint64_t kSectorBytes = 512;
+
+  struct Extent {
+    uint64_t start = 0;
+    uint64_t bytes = 0;
+  };
+
+  void AllocateExtent() {
+    uint64_t start = disk_->Allocate(extent_bytes_);
+    extents_.push_back({start, extent_bytes_});
+    cursor_ = start;
+    extent_start_ = start;
+    extent_end_ = start + extent_bytes_;
+  }
+
+  void Extend(uint64_t bytes) {
+    while (bytes > 0) {
+      if (cursor_ == extent_end_) AllocateExtent();
+      uint64_t chunk = std::min(bytes, extent_end_ - cursor_);
+      cursor_ += chunk;
+      written_ += chunk;
+      bytes -= chunk;
+    }
+  }
+
+  sim::SimDisk* disk_;
+  std::string name_;
+  uint64_t extent_bytes_;
+  std::vector<Extent> extents_;
+  uint64_t extent_start_ = 0;
+  uint64_t extent_end_ = 0;
+  uint64_t cursor_ = 0;
+  uint64_t written_ = 0;
+};
+
+}  // namespace upi::storage

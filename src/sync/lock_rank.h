@@ -21,17 +21,32 @@
 //   rank | lock                         | pinned by
 //   -----+------------------------------+------------------------------------
 //    10  | Session queue                | leaf: worker runs tasks lock-free
+//    15  | WAL checkpoint gate          | held (shared) across a logged
+//        |                              | write's append+apply — including
+//        |                              | the apply's storage I/O — and
+//        |                              | (exclusive) across the checkpoint's
+//        |                              | sync + snapshot-scan + log rotation
 //    20  | MaintenanceManager state     | held while pushing the follow-up
 //        |                              | task (→ TaskQueue, → queue gauge)
 //    30  | maintenance TaskQueue        | inner side of the manager edge
 //    40  | GatherPool queue             | leaf: workers run probes lock-free
 //    45  | gather Batch completion      | leaf: taken only after a probe ends
 //    50  | partition ShardSummary       | leaf: RAM-only zone/Bloom fences
+//    53  | WAL sync (durable tail)      | serializes durable log appends;
+//        |                              | held across the log device's
+//        |                              | simulated sequential write + the
+//        |                              | commit-barrier sector rewrite
+//    56  | WAL tail buffer              | LSN counter + pending frames +
+//        |                              | group-commit CondVar; never held
+//        |                              | across I/O (leaders swap the
+//        |                              | double buffer out under it, then
+//        |                              | release before touching the disk)
 //    60  | FracturedUpi fracture list   | held (shared) across query fan-out
 //        |                              | I/O and (exclusive) across flush /
-//        |                              | merge-install I/O — the ONLY lock
-//        |                              | that may be held across a SimDisk
-//        |                              | charge
+//        |                              | merge-install I/O — with the WAL
+//        |                              | gate and sync locks, one of the
+//        |                              | only locks that may be held across
+//        |                              | a SimDisk charge
 //    70  | DbEnv file table             | held while summing PageFile sizes
 //    80  | BufferPool shard latch       | never nests (all I/O outside it)
 //    90  | PageFile metadata            | held while reserving address space
@@ -50,12 +65,20 @@
 //    latch, and storage code never calls back into the scheduler. The
 //    deadlock-order regression test in tests/sync_test.cc pins this.
 //
-//  * FracturedUpi (60) is deliberately the only rank with
-//    LockRankAllowsIo() == true. Everything below it is a short latch:
-//    the buffer pool installs loading frames and reads outside the latch,
-//    PageFile releases its metadata mutex before charging the device, and
-//    the SimDisk hook (sync::CheckIoAllowed) aborts if any no-I/O latch is
-//    still held when a simulated transfer is charged.
+//  * Exactly three ranks have LockRankAllowsIo() == true — the WAL
+//    checkpoint gate (15), the WAL sync lock (53), and FracturedUpi (60) —
+//    and each is sanctioned for a specific, documented hold: the gate
+//    spans a logged write's apply I/O and the checkpoint's snapshot scan,
+//    the sync lock spans the log tail's sequential write + commit barrier,
+//    and the fracture list spans query fan-out and merge-install I/O.
+//    Everything else is a short latch: the buffer pool installs loading
+//    frames and reads outside the latch, PageFile releases its metadata
+//    mutex before charging the device, and the SimDisk hook
+//    (sync::CheckIoAllowed) aborts if any no-I/O latch is still held when
+//    a simulated transfer is charged. The WAL tail lock (56) is pointedly
+//    NOT sanctioned: a group-commit leader must swap the double buffer out
+//    and release the tail before syncing, or every concurrent appender
+//    would stall behind the device.
 #pragma once
 
 #include <cstdint>
@@ -64,11 +87,14 @@ namespace upi::sync {
 
 enum class LockRank : uint16_t {
   kSession = 10,             // engine/session.h: submit queue + worker wakeup
+  kWalGate = 15,             // wal/wal_writer.h: checkpoint vs logged writes
   kMaintenanceManager = 20,  // maintenance/manager.h: tables_/in_flight_/stats_
   kTaskQueue = 30,           // maintenance/task_queue.h: pending task deque
   kGatherPool = 40,          // exec/gather.h (GatherPool): probe queue
   kGatherBatch = 45,         // engine/partition.cc: per-RunAll batch countdown
   kShardSummary = 50,        // engine/partition.h: per-shard zone/Bloom fences
+  kWalSync = 53,             // wal/wal_writer.h: serialized durable appends
+  kWalTail = 56,             // wal/wal_writer.h: LSN + pending frames + parking
   kFracturedUpi = 60,        // core/fractured_upi.h: fracture list + buffers
   kDbEnvFiles = 70,          // storage/db_env.h: file table
   kBufferPoolShard = 80,     // storage/buffer_pool.h: one shard's frames/LRU
@@ -85,11 +111,14 @@ enum class LockRank : uint16_t {
 constexpr const char* LockRankName(LockRank rank) {
   switch (rank) {
     case LockRank::kSession:            return "Session";
+    case LockRank::kWalGate:            return "WalGate";
     case LockRank::kMaintenanceManager: return "MaintenanceManager";
     case LockRank::kTaskQueue:          return "TaskQueue";
     case LockRank::kGatherPool:         return "GatherPool";
     case LockRank::kGatherBatch:        return "GatherBatch";
     case LockRank::kShardSummary:       return "ShardSummary";
+    case LockRank::kWalSync:            return "WalSync";
+    case LockRank::kWalTail:            return "WalTail";
     case LockRank::kFracturedUpi:       return "FracturedUpi";
     case LockRank::kDbEnvFiles:         return "DbEnvFiles";
     case LockRank::kBufferPoolShard:    return "BufferPoolShard";
@@ -105,14 +134,26 @@ constexpr const char* LockRankName(LockRank rank) {
 }
 
 /// Whether a lock of this rank may be held while a SimDisk transfer is
-/// charged. True only for the FracturedUpi fracture-list lock: queries hold
-/// it shared across their fan-out's page reads, and flushes/merge installs
-/// hold it exclusive across their sequential writes — both by design
-/// (core/fractured_upi.h's concurrency contract). Every other lock is a
-/// short latch that must be released before touching the (possibly
+/// charged. True for exactly three locks, each with a documented sanctioned
+/// hold:
+///
+///  * kWalGate — a logged write holds it shared across append + in-memory
+///    apply (whose storage writes charge the device), and the checkpoint
+///    holds it exclusive across the snapshot scan and log rotation
+///    (wal/wal_writer.h's contract).
+///  * kWalSync — serializes durable log appends; held across the log tail's
+///    simulated sequential write and the commit-barrier sector rewrite.
+///  * kFracturedUpi — queries hold it shared across their fan-out's page
+///    reads, and flushes/merge installs hold it exclusive across their
+///    sequential writes (core/fractured_upi.h's concurrency contract).
+///
+/// Every other lock — pointedly including the WAL tail buffer latch
+/// (kWalTail), which group-commit leaders must release before syncing — is
+/// a short latch that must be released before touching the (possibly
 /// realtime-sleeping) simulated device.
 constexpr bool LockRankAllowsIo(LockRank rank) {
-  return rank == LockRank::kFracturedUpi;
+  return rank == LockRank::kWalGate || rank == LockRank::kWalSync ||
+         rank == LockRank::kFracturedUpi;
 }
 
 }  // namespace upi::sync

@@ -1,0 +1,395 @@
+#include "wal/wal_format.h"
+
+#include <cstdio>
+#include <cstring>
+
+#include "common/coding.h"
+
+namespace upi::wal {
+
+// ---------------------------------------------------------------------------
+// CRC-32
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct Crc32Table {
+  uint32_t entries[256];
+  Crc32Table() {
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      entries[i] = c;
+    }
+  }
+};
+
+const Crc32Table& Table() {
+  static const Crc32Table table;
+  return table;
+}
+
+}  // namespace
+
+uint32_t Crc32(const char* data, size_t n) {
+  const Crc32Table& t = Table();
+  uint32_t c = 0xFFFFFFFFu;
+  for (size_t i = 0; i < n; ++i) {
+    c = t.entries[(c ^ static_cast<uint8_t>(data[i])) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+// ---------------------------------------------------------------------------
+// Field codecs
+// ---------------------------------------------------------------------------
+
+namespace {
+
+void PutLP(std::string* dst, std::string_view s) {
+  PutVarint32(dst, static_cast<uint32_t>(s.size()));
+  dst->append(s.data(), s.size());
+}
+
+Status GetLP(const char** p, const char* limit, std::string* out) {
+  uint32_t len = 0;
+  size_t n = GetVarint32(*p, limit, &len);
+  if (n == 0) return Status::Corruption("wal: bad length prefix");
+  *p += n;
+  if (static_cast<size_t>(limit - *p) < len) {
+    return Status::Corruption("wal: length prefix past record end");
+  }
+  out->assign(*p, len);
+  *p += len;
+  return Status::OK();
+}
+
+void PutDouble(std::string* dst, double v) {
+  uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof(bits));
+  PutFixed64BE(dst, bits);
+}
+
+Status GetDouble(const char** p, const char* limit, double* out) {
+  if (limit - *p < 8) return Status::Corruption("wal: truncated double");
+  uint64_t bits = GetFixed64BE(*p);
+  *p += 8;
+  std::memcpy(out, &bits, sizeof(*out));
+  return Status::OK();
+}
+
+void PutInt32(std::string* dst, int32_t v) {
+  PutFixed32(dst, static_cast<uint32_t>(v));
+}
+
+Status GetInt32(const char** p, const char* limit, int32_t* out) {
+  if (limit - *p < 4) return Status::Corruption("wal: truncated int32");
+  *out = static_cast<int32_t>(GetFixed32(*p));
+  *p += 4;
+  return Status::OK();
+}
+
+Status GetU8(const char** p, const char* limit, uint8_t* out) {
+  if (*p >= limit) return Status::Corruption("wal: truncated byte");
+  *out = static_cast<uint8_t>(**p);
+  ++*p;
+  return Status::OK();
+}
+
+Status GetVar(const char** p, const char* limit, uint32_t* out) {
+  size_t n = GetVarint32(*p, limit, out);
+  if (n == 0) return Status::Corruption("wal: bad varint");
+  *p += n;
+  return Status::OK();
+}
+
+void PutColumnList(std::string* dst, const std::vector<int>& cols) {
+  PutVarint32(dst, static_cast<uint32_t>(cols.size()));
+  for (int c : cols) PutInt32(dst, c);
+}
+
+Status GetColumnList(const char** p, const char* limit,
+                     std::vector<int>* out) {
+  uint32_t n = 0;
+  UPI_RETURN_NOT_OK(GetVar(p, limit, &n));
+  out->clear();
+  out->reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    int32_t c = 0;
+    UPI_RETURN_NOT_OK(GetInt32(p, limit, &c));
+    out->push_back(c);
+  }
+  return Status::OK();
+}
+
+void PutTuple(std::string* dst, const catalog::Tuple& t) {
+  std::string bytes;
+  t.Serialize(&bytes);
+  PutLP(dst, bytes);
+}
+
+Status GetTuple(const char** p, const char* limit, catalog::Tuple* out) {
+  std::string bytes;
+  UPI_RETURN_NOT_OK(GetLP(p, limit, &bytes));
+  UPI_ASSIGN_OR_RETURN(*out, catalog::Tuple::Deserialize(bytes));
+  return Status::OK();
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Record encoders
+// ---------------------------------------------------------------------------
+
+std::string EncodeCreateTable(const std::string& name, const TableSpec& spec,
+                              const std::vector<catalog::Tuple>& tuples) {
+  std::string out;
+  out.push_back(static_cast<char>(RecordType::kCreateTable));
+  out.push_back(static_cast<char>(spec.kind));
+  PutLP(&out, name);
+  // Schema.
+  PutVarint32(&out, static_cast<uint32_t>(spec.schema.num_columns()));
+  for (size_t i = 0; i < spec.schema.num_columns(); ++i) {
+    const catalog::Column& c = spec.schema.column(i);
+    PutLP(&out, c.name);
+    out.push_back(static_cast<char>(c.type));
+  }
+  // UpiOptions.
+  PutInt32(&out, spec.options.cluster_column);
+  PutDouble(&out, spec.options.cutoff);
+  PutFixed32(&out, spec.options.page_size);
+  PutInt32(&out, spec.options.max_secondary_pointers);
+  out.push_back(spec.options.charge_open_per_query ? 1 : 0);
+  out.push_back(spec.options.enable_pruning ? 1 : 0);
+  // Kind-specific.
+  switch (spec.kind) {
+    case TableKind::kUpi:
+    case TableKind::kFractured:
+      break;
+    case TableKind::kUnclustered:
+      PutInt32(&out, spec.primary_column);
+      PutColumnList(&out, spec.pii_columns);
+      break;
+    case TableKind::kPartitioned: {
+      const engine::PartitionOptions& p = spec.partition;
+      out.push_back(
+          p.scheme == engine::PartitionOptions::Scheme::kRange ? 1 : 0);
+      PutVarint32(&out, static_cast<uint32_t>(p.num_shards));
+      PutVarint32(&out, static_cast<uint32_t>(p.range_splits.size()));
+      for (const std::string& s : p.range_splits) PutLP(&out, s);
+      out.push_back(p.fractured ? 1 : 0);
+      out.push_back(p.enable_pruning ? 1 : 0);
+      out.push_back(p.topk_global_bound ? 1 : 0);
+      break;
+    }
+  }
+  PutColumnList(&out, spec.secondary_columns);
+  PutVarint32(&out, static_cast<uint32_t>(tuples.size()));
+  for (const catalog::Tuple& t : tuples) PutTuple(&out, t);
+  return out;
+}
+
+namespace {
+
+std::string EncodeTupleOp(RecordType type, const std::string& table,
+                          const catalog::Tuple& t) {
+  std::string out;
+  out.push_back(static_cast<char>(type));
+  PutLP(&out, table);
+  PutTuple(&out, t);
+  return out;
+}
+
+}  // namespace
+
+std::string EncodeInsert(const std::string& table, const catalog::Tuple& t) {
+  return EncodeTupleOp(RecordType::kInsert, table, t);
+}
+
+std::string EncodeDelete(const std::string& table, const catalog::Tuple& t) {
+  return EncodeTupleOp(RecordType::kDelete, table, t);
+}
+
+std::string EncodeMaintenance(const std::string& table, int32_t shard,
+                              MaintenanceOp op, uint64_t merge_count) {
+  std::string out;
+  out.push_back(static_cast<char>(RecordType::kMaintenance));
+  PutLP(&out, table);
+  PutInt32(&out, shard);
+  out.push_back(static_cast<char>(op));
+  PutVarint32(&out, static_cast<uint32_t>(merge_count));
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Decoder
+// ---------------------------------------------------------------------------
+
+Result<WalRecord> DecodeRecord(std::string_view payload) {
+  const char* p = payload.data();
+  const char* limit = p + payload.size();
+  WalRecord rec;
+  uint8_t type = 0;
+  UPI_RETURN_NOT_OK(GetU8(&p, limit, &type));
+  switch (static_cast<RecordType>(type)) {
+    case RecordType::kCreateTable: {
+      rec.type = RecordType::kCreateTable;
+      uint8_t kind = 0;
+      UPI_RETURN_NOT_OK(GetU8(&p, limit, &kind));
+      if (kind > static_cast<uint8_t>(TableKind::kPartitioned)) {
+        return Status::Corruption("wal: unknown table kind");
+      }
+      rec.spec.kind = static_cast<TableKind>(kind);
+      UPI_RETURN_NOT_OK(GetLP(&p, limit, &rec.table));
+      uint32_t ncols = 0;
+      UPI_RETURN_NOT_OK(GetVar(&p, limit, &ncols));
+      std::vector<catalog::Column> cols;
+      cols.reserve(ncols);
+      for (uint32_t i = 0; i < ncols; ++i) {
+        catalog::Column c;
+        UPI_RETURN_NOT_OK(GetLP(&p, limit, &c.name));
+        uint8_t t = 0;
+        UPI_RETURN_NOT_OK(GetU8(&p, limit, &t));
+        c.type = static_cast<catalog::ValueType>(t);
+        cols.push_back(std::move(c));
+      }
+      rec.spec.schema = catalog::Schema(std::move(cols));
+      int32_t i32 = 0;
+      UPI_RETURN_NOT_OK(GetInt32(&p, limit, &i32));
+      rec.spec.options.cluster_column = i32;
+      UPI_RETURN_NOT_OK(GetDouble(&p, limit, &rec.spec.options.cutoff));
+      if (limit - p < 4) return Status::Corruption("wal: truncated options");
+      rec.spec.options.page_size = GetFixed32(p);
+      p += 4;
+      UPI_RETURN_NOT_OK(GetInt32(&p, limit, &i32));
+      rec.spec.options.max_secondary_pointers = i32;
+      uint8_t b = 0;
+      UPI_RETURN_NOT_OK(GetU8(&p, limit, &b));
+      rec.spec.options.charge_open_per_query = b != 0;
+      UPI_RETURN_NOT_OK(GetU8(&p, limit, &b));
+      rec.spec.options.enable_pruning = b != 0;
+      switch (rec.spec.kind) {
+        case TableKind::kUpi:
+        case TableKind::kFractured:
+          break;
+        case TableKind::kUnclustered:
+          UPI_RETURN_NOT_OK(GetInt32(&p, limit, &i32));
+          rec.spec.primary_column = i32;
+          UPI_RETURN_NOT_OK(GetColumnList(&p, limit, &rec.spec.pii_columns));
+          break;
+        case TableKind::kPartitioned: {
+          engine::PartitionOptions& po = rec.spec.partition;
+          UPI_RETURN_NOT_OK(GetU8(&p, limit, &b));
+          po.scheme = b != 0 ? engine::PartitionOptions::Scheme::kRange
+                             : engine::PartitionOptions::Scheme::kHash;
+          uint32_t v = 0;
+          UPI_RETURN_NOT_OK(GetVar(&p, limit, &v));
+          po.num_shards = v;
+          UPI_RETURN_NOT_OK(GetVar(&p, limit, &v));
+          po.range_splits.clear();
+          po.range_splits.reserve(v);
+          for (uint32_t i = 0; i < v; ++i) {
+            std::string s;
+            UPI_RETURN_NOT_OK(GetLP(&p, limit, &s));
+            po.range_splits.push_back(std::move(s));
+          }
+          UPI_RETURN_NOT_OK(GetU8(&p, limit, &b));
+          po.fractured = b != 0;
+          UPI_RETURN_NOT_OK(GetU8(&p, limit, &b));
+          po.enable_pruning = b != 0;
+          UPI_RETURN_NOT_OK(GetU8(&p, limit, &b));
+          po.topk_global_bound = b != 0;
+          break;
+        }
+      }
+      UPI_RETURN_NOT_OK(GetColumnList(&p, limit, &rec.spec.secondary_columns));
+      uint32_t ntuples = 0;
+      UPI_RETURN_NOT_OK(GetVar(&p, limit, &ntuples));
+      rec.tuples.reserve(ntuples);
+      for (uint32_t i = 0; i < ntuples; ++i) {
+        catalog::Tuple t;
+        UPI_RETURN_NOT_OK(GetTuple(&p, limit, &t));
+        rec.tuples.push_back(std::move(t));
+      }
+      break;
+    }
+    case RecordType::kInsert:
+    case RecordType::kDelete:
+      rec.type = static_cast<RecordType>(type);
+      UPI_RETURN_NOT_OK(GetLP(&p, limit, &rec.table));
+      UPI_RETURN_NOT_OK(GetTuple(&p, limit, &rec.tuple));
+      break;
+    case RecordType::kMaintenance: {
+      rec.type = RecordType::kMaintenance;
+      UPI_RETURN_NOT_OK(GetLP(&p, limit, &rec.table));
+      UPI_RETURN_NOT_OK(GetInt32(&p, limit, &rec.shard));
+      uint8_t op = 0;
+      UPI_RETURN_NOT_OK(GetU8(&p, limit, &op));
+      if (op > static_cast<uint8_t>(MaintenanceOp::kMergePartial)) {
+        return Status::Corruption("wal: unknown maintenance op");
+      }
+      rec.op = static_cast<MaintenanceOp>(op);
+      uint32_t count = 0;
+      UPI_RETURN_NOT_OK(GetVar(&p, limit, &count));
+      rec.merge_count = count;
+      break;
+    }
+    default:
+      return Status::Corruption("wal: unknown record type");
+  }
+  if (p != limit) return Status::Corruption("wal: trailing bytes in record");
+  return rec;
+}
+
+// ---------------------------------------------------------------------------
+// Framing and file scan
+// ---------------------------------------------------------------------------
+
+void AppendFrame(std::string* dst, std::string_view payload) {
+  PutFixed32(dst, static_cast<uint32_t>(payload.size()));
+  PutFixed32(dst, Crc32(payload));
+  dst->append(payload.data(), payload.size());
+}
+
+std::string LogHeader() { return std::string(kLogMagic, kHeaderBytes); }
+
+Result<LogContents> ReadLogFile(const std::string& path) {
+  LogContents out;
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    out.missing = true;
+    return out;
+  }
+  std::string data;
+  char buf[1 << 16];
+  size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) data.append(buf, n);
+  std::fclose(f);
+
+  if (data.size() < kHeaderBytes ||
+      std::memcmp(data.data(), kLogMagic, kHeaderBytes) != 0) {
+    return Status::Corruption("wal: '" + path + "' is not a WAL file");
+  }
+  size_t pos = kHeaderBytes;
+  // Each iteration consumes one intact frame; anything that fails to parse
+  // — short header, insane length, short payload, CRC mismatch — is the
+  // torn tail, and the scan stops at the last good frame boundary.
+  while (data.size() - pos >= kFrameOverhead) {
+    uint32_t len = GetFixed32(data.data() + pos);
+    uint32_t crc = GetFixed32(data.data() + pos + 4);
+    if (len > kMaxPayloadBytes || data.size() - pos - kFrameOverhead < len) {
+      break;
+    }
+    std::string_view payload(data.data() + pos + kFrameOverhead, len);
+    if (Crc32(payload) != crc) break;
+    out.payloads.emplace_back(payload);
+    pos += kFrameOverhead + len;
+  }
+  out.valid_bytes = pos;
+  out.dropped_bytes = data.size() - pos;
+  return out;
+}
+
+}  // namespace upi::wal

@@ -1,0 +1,176 @@
+// WalWriter: durable appends to the write-ahead log, with group commit.
+//
+// Two durability modes (DatabaseOptions::wal_mode):
+//
+//  * kCommit — every Append() is synchronously made durable before it
+//    returns: the appender takes the WAL sync lock, writes its frame to the
+//    host file, and charges the log device a sequential append plus the
+//    commit barrier (storage/log_file.h). Commit() is a no-op. One
+//    rotational latency per operation — the classic fsync-per-commit tax.
+//
+//  * kGroup — Append() only frames the record into the in-memory pending
+//    tail (under the tail latch, no I/O) and assigns it an LSN; Commit(lsn)
+//    makes it durable with leader/follower group commit, the GutterTree
+//    RootControlBlock double-buffer shape: the first committer to find no
+//    sync in flight becomes the leader, swaps the pending buffer for the
+//    empty one under the tail latch, releases it, and performs ONE device
+//    sync for every record in the batch; committers whose record is covered
+//    by the in-flight batch park on a sync::CondVar until the leader
+//    publishes the new durable LSN. One rotational latency per *batch*.
+//
+// Lock protocol (ranks in sync/lock_rank.h; all three are WalWriter-owned):
+//
+//   gate (kWalGate, SharedMutex, I/O-sanctioned)
+//     Logged mutations hold it SHARED across Append() + the in-memory
+//     apply, so the checkpoint's EXCLUSIVE hold gives an atomic cut: no
+//     operation is ever applied-but-unlogged (it would vanish when the
+//     snapshot replaces the log) or logged-into-the-old-file-but-unapplied
+//     (it would replay twice on top of the snapshot). Commit() is called
+//     AFTER the gate is released — parking on the condvar while pinning the
+//     gate would trip the sync checker, and durability needs no atomicity
+//     with the apply.
+//   sync (kWalSync, Mutex, I/O-sanctioned)
+//     Serializes durable writes; held across the host fwrite/fflush and the
+//     simulated device charge.
+//   tail (kWalTail, Mutex, NO I/O)
+//     Guards the LSN counter, the pending frame buffer, the durable
+//     watermark, and the group-commit condvar. Always acquired after sync
+//     when both are needed.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "obs/metrics.h"
+#include "storage/db_env.h"
+#include "sync/sync.h"
+
+namespace upi::wal {
+
+/// Log sequence number: 1-based count of records ever appended (replayed
+/// records included). durable_lsn >= lsn means the record is on disk.
+using Lsn = uint64_t;
+
+enum class WalMode {
+  kCommit,  // every append synced individually
+  kGroup,   // leader/follower batched sync
+};
+
+struct WalWriterOptions {
+  std::string path;  // host file backing the log
+  WalMode mode = WalMode::kGroup;
+  /// Simulated log device extent size (storage/log_file.h).
+  uint64_t extent_bytes = 4ull << 20;
+  /// kGroup only: a leader that would sync a batch of ONE record first
+  /// waits this long (wall time) for concurrent committers to append and
+  /// join the batch. Without the window, closed-loop clients that wake
+  /// together after a sync elect the first re-arrival as a lone leader
+  /// every round, capping the mean group size near 3 regardless of client
+  /// count; with it, the whole cohort shares one rotation. 0 disables.
+  uint32_t group_window_us = 200;
+};
+
+class WalWriter {
+ public:
+  /// Opens (or creates) the log at options.path for appending.
+  /// `valid_bytes` is ReadLogFile()'s validated prefix length — a longer
+  /// host file (torn tail) is truncated to it; 0 means create fresh with a
+  /// new header. `next_lsn` continues the sequence after the replayed
+  /// records. Registers the simulated log device and the upi_wal_* metric
+  /// families with `env`.
+  static Result<std::unique_ptr<WalWriter>> Open(storage::DbEnv* env,
+                                                 WalWriterOptions options,
+                                                 uint64_t valid_bytes,
+                                                 Lsn next_lsn);
+
+  /// Syncs any pending records, then closes the host file.
+  ~WalWriter();
+
+  WalWriter(const WalWriter&) = delete;
+  WalWriter& operator=(const WalWriter&) = delete;
+
+  /// The checkpoint gate (see the lock protocol above). Logged mutations
+  /// hold it shared around Append()+apply; Database::Checkpoint() holds it
+  /// exclusive.
+  sync::SharedMutex& gate() { return gate_; }
+
+  /// Frames `payload` into the log and returns its LSN. Caller must hold
+  /// gate() shared. kCommit: durable on return. kGroup: durable only after
+  /// Commit(lsn) (or a later Sync()).
+  Lsn Append(std::string_view payload);
+
+  /// Blocks until `lsn` is durable. Caller must NOT hold gate() — group
+  /// followers park on the condvar here. No-op in kCommit mode.
+  void Commit(Lsn lsn);
+
+  /// Makes every appended record durable. Safe while holding gate()
+  /// exclusive (leads its own sync; never parks).
+  void Sync();
+
+  /// Atomically replaces the log's contents with `payloads` (the
+  /// checkpoint's snapshot records): writes path.tmp, fsync-equivalent
+  /// flush, rename over the live log, reopen for append. Caller must hold
+  /// gate() exclusive and have called Sync() first. Resets the
+  /// bytes-since-checkpoint watermark and charges the snapshot as one
+  /// sequential log write.
+  Status Rotate(const std::vector<std::string>& payloads);
+
+  /// Charges the simulated log device one sequential scan of the durable
+  /// bytes — the read recovery just performed on the host file. Call with no
+  /// locks held (Database's constructor, after recovery).
+  void ChargeReplayRead() { log_device_->ChargeSequentialRead(); }
+
+  WalMode mode() const { return mode_; }
+  /// Host-file bytes guaranteed flushed (header included). A crash loses
+  /// nothing before this offset — tests snapshot the log by copying exactly
+  /// this many bytes.
+  uint64_t durable_bytes() const {
+    return durable_bytes_.load(std::memory_order_acquire);
+  }
+  uint64_t bytes_since_checkpoint() const {
+    return bytes_since_checkpoint_.load(std::memory_order_relaxed);
+  }
+  Lsn last_assigned_lsn() const;
+  Lsn durable_lsn() const;
+
+ private:
+  WalWriter(WalWriterOptions options, Lsn next_lsn);
+
+  /// Appends `frames` to the host file, flushes, and charges the simulated
+  /// device (sequential append + commit barrier). Caller holds sync_mu_.
+  void WriteDurable(const std::string& frames, uint64_t batch_records);
+
+  const WalWriterOptions options_;
+  const WalMode mode_;
+  std::FILE* file_ = nullptr;            // append position == durable bytes
+  storage::LogFile* log_device_ = nullptr;  // owned by the DbEnv
+
+  sync::SharedMutex gate_{sync::LockRank::kWalGate};
+  sync::Mutex sync_mu_{sync::LockRank::kWalSync};
+
+  mutable sync::Mutex tail_mu_{sync::LockRank::kWalTail};
+  sync::CondVar durable_cv_;
+  std::string pending_;       // framed records awaiting a sync (kGroup)
+  Lsn next_lsn_;              // next LSN to hand out
+  Lsn durable_lsn_;           // highest LSN on disk
+  Lsn syncing_lsn_ = 0;       // highest LSN in the in-flight batch
+  bool sync_in_flight_ = false;
+
+  std::atomic<uint64_t> durable_bytes_{0};
+  std::atomic<uint64_t> bytes_since_checkpoint_{0};
+
+  obs::Counter* m_appends_ = nullptr;     // upi_wal_appends_total
+  obs::Counter* m_bytes_ = nullptr;       // upi_wal_bytes_total
+  obs::Counter* m_syncs_ = nullptr;       // upi_wal_syncs_total
+  obs::Counter* m_checkpoints_ = nullptr; // upi_wal_checkpoints_total
+  obs::Histogram* m_group_size_ = nullptr;  // upi_wal_group_size
+};
+
+}  // namespace upi::wal

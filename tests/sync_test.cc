@@ -21,9 +21,18 @@ namespace {
 TEST(LockRankTest, NamesAndIoPolicy) {
   EXPECT_STREQ(LockRankName(LockRank::kBufferPoolShard), "BufferPoolShard");
   EXPECT_STREQ(LockRankName(LockRank::kFracturedUpi), "FracturedUpi");
-  // The fracture-list lock is the single rank that may span a SimDisk
-  // charge; everything else is a short latch.
+  EXPECT_STREQ(LockRankName(LockRank::kWalGate), "WalGate");
+  EXPECT_STREQ(LockRankName(LockRank::kWalSync), "WalSync");
+  EXPECT_STREQ(LockRankName(LockRank::kWalTail), "WalTail");
+  // Exactly three ranks may span a SimDisk charge: the fracture list
+  // (queries read pages under it), the WAL checkpoint gate (the snapshot
+  // scan and rotation run under it), and the WAL sync lock (held across the
+  // durable write it serializes). Everything else is a short latch — the
+  // WAL tail latch included: it orders LSNs and swaps buffers, never I/O.
   EXPECT_TRUE(LockRankAllowsIo(LockRank::kFracturedUpi));
+  EXPECT_TRUE(LockRankAllowsIo(LockRank::kWalGate));
+  EXPECT_TRUE(LockRankAllowsIo(LockRank::kWalSync));
+  EXPECT_FALSE(LockRankAllowsIo(LockRank::kWalTail));
   EXPECT_FALSE(LockRankAllowsIo(LockRank::kBufferPoolShard));
   EXPECT_FALSE(LockRankAllowsIo(LockRank::kPageFile));
   EXPECT_FALSE(LockRankAllowsIo(LockRank::kMetricsRegistry));
@@ -141,6 +150,39 @@ TEST(SyncChecksDeathTest, IoChargeUnderFracturedUpiLockIsAllowed) {
   uint64_t addr = disk.Allocate(4096);
   SharedMutex table_lock(LockRank::kFracturedUpi);
   std::shared_lock<SharedMutex> held(table_lock);
+  disk.Read(addr, 4096);  // must not abort
+  EXPECT_EQ(disk.stats().reads, 1u);
+}
+
+TEST(SyncChecksDeathTest, IoChargeUnderWalTailLatchAborts) {
+  // The group-commit tail latch orders LSNs and swaps pending buffers; a
+  // device charge under it would put rotational latency inside the latch
+  // every committer contends on. The leader must release it before syncing.
+  sim::SimDisk disk;
+  uint64_t addr = disk.Allocate(4096);
+  Mutex tail(LockRank::kWalTail);
+  std::lock_guard<Mutex> held(tail);
+  EXPECT_DEATH(disk.Read(addr, 4096),
+               "simulated I/O \\(SimDisk::Read\\).*WalTail");
+}
+
+TEST(SyncChecksDeathTest, WalTailBeforeSyncInversionAborts) {
+  // The WAL's internal order is sync before tail (the leader publishes the
+  // durable LSN under tail only after its device write). Taking them the
+  // other way is the lost-wakeup deadlock shape; the ranks forbid it.
+  static Mutex sync_mu(LockRank::kWalSync);
+  static Mutex tail_mu(LockRank::kWalTail);
+  std::lock_guard<Mutex> tail(tail_mu);
+  EXPECT_DEATH(sync_mu.lock(), "lock-rank inversion.*WalTail.*WalSync");
+}
+
+TEST(SyncChecksDeathTest, IoChargeUnderWalSyncLockIsAllowed) {
+  // The sanctioned shape: the sync lock exists to serialize durable writes,
+  // so it legitimately spans the simulated device charge.
+  sim::SimDisk disk;
+  uint64_t addr = disk.Allocate(4096);
+  Mutex sync_mu(LockRank::kWalSync);
+  std::lock_guard<Mutex> held(sync_mu);
   disk.Read(addr, 4096);  // must not abort
   EXPECT_EQ(disk.stats().reads, 1u);
 }
