@@ -42,7 +42,7 @@ int main(int argc, char** argv) {
               "Q1[s]");
 
   for (const char* strategy : {"none", "partial4", "full", "policy"}) {
-    storage::DbEnv env;
+    storage::DbEnv env(32ull << 20, DeviceFromFlags());
     core::FracturedUpi fractured(&env, "author",
                                  datagen::DblpGenerator::AuthorSchema(),
                                  AuthorUpiOptions(0.1), {});

@@ -23,7 +23,7 @@ int main(int argc, char** argv) {
   std::printf("%-8s %14s %16s %7s\n", "limit", "sec size[MB]", "tailored[s]",
               "rows");
   for (int limit : {1, 2, 3, 5, 10}) {
-    storage::DbEnv env;
+    storage::DbEnv env(32ull << 20, DeviceFromFlags());
     core::UpiOptions opt = PublicationUpiOptions(0.1);
     opt.max_secondary_pointers = limit;
     auto upi = core::Upi::Build(&env, "pub",

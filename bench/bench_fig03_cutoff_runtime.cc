@@ -30,7 +30,7 @@ int main(int argc, char** argv) {
   std::printf("\n");
 
   for (double c : cutoffs) {
-    storage::DbEnv env;
+    storage::DbEnv env(32ull << 20, DeviceFromFlags());
     core::UpiOptions opt = AuthorUpiOptions(c);
     // Figure 3 validates the Cost_cut model, whose 2*(Costinit + H*Tseek)
     // term includes per-query opens of the heap and cutoff files; charge

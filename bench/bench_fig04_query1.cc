@@ -17,7 +17,9 @@ int main(int argc, char** argv) {
   flags::Parse(argc, argv);
   DblpData d = MakeDblp(false);
 
-  engine::Database pii_db;
+  engine::DatabaseOptions dbopts;
+  dbopts.device = DeviceFromFlags();
+  engine::Database pii_db(dbopts);
   engine::Table* table =
       pii_db
           .CreateUnclusteredTable("author",
@@ -25,7 +27,7 @@ int main(int argc, char** argv) {
                                   datagen::AuthorCols::kInstitution,
                                   {datagen::AuthorCols::kInstitution}, d.authors)
           .ValueOrDie();
-  engine::Database upi_db;
+  engine::Database upi_db(dbopts);
   engine::Table* upi =
       upi_db
           .CreateUpiTable("author", datagen::DblpGenerator::AuthorSchema(),

@@ -11,12 +11,12 @@ int main(int argc, char** argv) {
   flags::Parse(argc, argv);
   DblpData d = MakeDblp(/*with_publications=*/true);
 
-  storage::DbEnv pii_env;
+  storage::DbEnv pii_env(32ull << 20, DeviceFromFlags());
   auto table = baseline::UnclusteredTable::Build(
                    &pii_env, "pub", datagen::DblpGenerator::PublicationSchema(),
                    {datagen::PublicationCols::kInstitution}, d.publications)
                    .ValueOrDie();
-  storage::DbEnv upi_env;
+  storage::DbEnv upi_env(32ull << 20, DeviceFromFlags());
   auto upi = core::Upi::Build(&upi_env, "pub",
                               datagen::DblpGenerator::PublicationSchema(),
                               PublicationUpiOptions(0.1), {}, d.publications)

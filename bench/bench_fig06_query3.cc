@@ -20,7 +20,9 @@ int main(int argc, char** argv) {
   DblpData d = MakeDblp(/*with_publications=*/true);
   JsonWriter json("fig06_query3");
 
-  engine::Database pii_db;
+  engine::DatabaseOptions dbopts;
+  dbopts.device = DeviceFromFlags();
+  engine::Database pii_db(dbopts);
   engine::Table* table =
       pii_db
           .CreateUnclusteredTable("pub",
@@ -29,7 +31,7 @@ int main(int argc, char** argv) {
                                   {datagen::PublicationCols::kCountry},
                                   d.publications)
           .ValueOrDie();
-  engine::Database upi_db;
+  engine::Database upi_db(dbopts);
   engine::Table* upi =
       upi_db
           .CreateUpiTable("pub", datagen::DblpGenerator::PublicationSchema(),

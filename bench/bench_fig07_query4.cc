@@ -13,7 +13,7 @@ int main(int argc, char** argv) {
   flags::Parse(argc, argv);
   CartelData d = MakeCartel();
 
-  storage::DbEnv ut_env;
+  storage::DbEnv ut_env(32ull << 20, DeviceFromFlags());
   auto table = baseline::UnclusteredTable::Build(
                    &ut_env, "cars",
                    datagen::CartelGenerator::CarObservationSchema(), {},
@@ -23,7 +23,7 @@ int main(int argc, char** argv) {
                                                datagen::CarObsCols::kLocation,
                                                d.observations)
                    .ValueOrDie();
-  storage::DbEnv upi_env;
+  storage::DbEnv upi_env(32ull << 20, DeviceFromFlags());
   core::ContinuousUpiOptions opt;
   opt.location_column = datagen::CarObsCols::kLocation;
   auto upi = core::ContinuousUpi::Build(

@@ -14,13 +14,13 @@ int main(int argc, char** argv) {
   flags::Parse(argc, argv);
   CartelData d = MakeCartel();
 
-  storage::DbEnv pii_env;
+  storage::DbEnv pii_env(32ull << 20, DeviceFromFlags());
   auto table = baseline::UnclusteredTable::Build(
                    &pii_env, "cars",
                    datagen::CartelGenerator::CarObservationSchema(),
                    {datagen::CarObsCols::kSegment}, d.observations)
                    .ValueOrDie();
-  storage::DbEnv upi_env;
+  storage::DbEnv upi_env(32ull << 20, DeviceFromFlags());
   core::ContinuousUpiOptions opt;
   opt.location_column = datagen::CarObsCols::kLocation;
   auto upi = core::ContinuousUpi::Build(

@@ -18,7 +18,9 @@ int main(int argc, char** argv) {
   const double qt = 0.1, cutoff = 0.1;
   const int batches = static_cast<int>(flags::GetInt64("batches", 10));
 
-  storage::DbEnv heap_env, upi_env, frac_env;
+  storage::DbEnv heap_env(32ull << 20, DeviceFromFlags());
+  storage::DbEnv upi_env(32ull << 20, DeviceFromFlags());
+  storage::DbEnv frac_env(32ull << 20, DeviceFromFlags());
   auto table = baseline::UnclusteredTable::Build(
                    &heap_env, "author", datagen::DblpGenerator::AuthorSchema(),
                    {datagen::AuthorCols::kInstitution}, d.authors)

@@ -14,7 +14,7 @@ int main(int argc, char** argv) {
   const int batches = static_cast<int>(flags::GetInt64("batches", 30));
   const int merge_every = static_cast<int>(flags::GetInt64("merge_every", 10));
 
-  storage::DbEnv env;
+  storage::DbEnv env(32ull << 20, DeviceFromFlags());
   core::FracturedUpi fractured(&env, "author",
                                datagen::DblpGenerator::AuthorSchema(),
                                AuthorUpiOptions(cutoff), {});

@@ -16,7 +16,7 @@ int main(int argc, char** argv) {
   std::printf("%-6s %-6s %10s %12s %9s\n", "QT", "C", "real", "estimated",
               "err%%");
   for (double c : {0.1, 0.2, 0.3, 0.4, 0.5}) {
-    storage::DbEnv env;
+    storage::DbEnv env(32ull << 20, DeviceFromFlags());
     auto upi = core::Upi::Build(&env, "author",
                                 datagen::DblpGenerator::AuthorSchema(),
                                 AuthorUpiOptions(c), {}, d.authors)

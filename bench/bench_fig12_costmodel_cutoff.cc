@@ -25,7 +25,7 @@ int main(int argc, char** argv) {
   std::printf("\n");
 
   for (double c : cutoffs) {
-    storage::DbEnv env;
+    storage::DbEnv env(32ull << 20, DeviceFromFlags());
     auto upi = core::Upi::Build(&env, "author",
                                 datagen::DblpGenerator::AuthorSchema(),
                                 AuthorUpiOptions(c), {}, d.authors)

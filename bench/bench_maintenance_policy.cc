@@ -39,7 +39,7 @@ struct RunResult {
 
 RunResult RunWorkload(const DblpData& d, maintenance::MergePolicyOptions policy,
                       int rounds, int queries_per_round) {
-  storage::DbEnv env;
+  storage::DbEnv env(32ull << 20, DeviceFromFlags());
   core::FracturedUpi fractured(&env, "author",
                                datagen::DblpGenerator::AuthorSchema(),
                                AuthorUpiOptions(0.1), {});

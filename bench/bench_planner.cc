@@ -64,7 +64,9 @@ int main(int argc, char** argv) {
   Verdict verdict;
 
   // --- Figure 4 workload: Query 1 PTQs on the clustered attribute ----------
-  engine::Database db;
+  engine::DatabaseOptions dbopts;
+  dbopts.device = DeviceFromFlags();
+  engine::Database db(dbopts);
   engine::Table* authors =
       db.CreateUpiTable("author", datagen::DblpGenerator::AuthorSchema(),
                         AuthorUpiOptions(0.1), {}, d.authors)

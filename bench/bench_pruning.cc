@@ -117,7 +117,7 @@ int main(int argc, char** argv) {
   bool gate_ok = true;
   for (size_t nfrac : nfracs) {
     Rng rng(seed);
-    storage::DbEnv env(256ull << 20);
+    storage::DbEnv env(256ull << 20, DeviceFromFlags());
     core::UpiOptions opt;
     opt.cluster_column = kInst;
     opt.cutoff = 0.1;

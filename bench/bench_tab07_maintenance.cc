@@ -19,7 +19,9 @@ int main(int argc, char** argv) {
   DblpData d = MakeDblp(false);
   const double cutoff = 0.1;
 
-  storage::DbEnv heap_env, upi_env, frac_env;
+  storage::DbEnv heap_env(32ull << 20, DeviceFromFlags());
+  storage::DbEnv upi_env(32ull << 20, DeviceFromFlags());
+  storage::DbEnv frac_env(32ull << 20, DeviceFromFlags());
   auto table = baseline::UnclusteredTable::Build(
                    &heap_env, "author", datagen::DblpGenerator::AuthorSchema(),
                    {datagen::AuthorCols::kInstitution}, d.authors)

@@ -11,7 +11,7 @@ int main(int argc, char** argv) {
   flags::Parse(argc, argv);
   DblpData d = MakeDblp(false);
 
-  storage::DbEnv env;
+  storage::DbEnv env(32ull << 20, DeviceFromFlags());
   core::FracturedUpi fractured(&env, "author",
                                datagen::DblpGenerator::AuthorSchema(),
                                AuthorUpiOptions(0.1), {});

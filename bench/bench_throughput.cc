@@ -200,6 +200,7 @@ int RunPartitionSweep(const std::vector<size_t>& partitions, bool smoke,
 
   for (size_t nparts : partitions) {
     engine::DatabaseOptions opts;
+    opts.device = DeviceFromFlags();
     opts.pool_bytes = pool_mb << 20;
     opts.maintenance.num_workers = 2;  // shard flushes can overlap
     // Write-heavy serving config: flush small and often. This is the
@@ -450,6 +451,7 @@ int RunWalSweep(const std::vector<std::string>& modes, bool smoke,
     }
 
     engine::DatabaseOptions opts;
+    opts.device = DeviceFromFlags();
     opts.pool_bytes = pool_mb << 20;
     opts.maintenance.num_workers = 1;
     if (mode == "commit") {
@@ -640,6 +642,7 @@ int main(int argc, char** argv) {
   DblpData d = MakeDblp(/*with_publications=*/false);
 
   engine::DatabaseOptions opts;
+  opts.device = DeviceFromFlags();
   opts.pool_bytes = pool_mb << 20;
   opts.maintenance.num_workers = 1;  // background flushes/merges
   engine::Database db(opts);

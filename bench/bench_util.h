@@ -10,6 +10,9 @@
 //   --json=<path> machine-readable per-row capture (benches that call
 //                 JsonWriter::AddRow), for tracking the perf trajectory
 //                 across commits as BENCH_*.json
+//   --device=hdd|ssd  device profile the environment impersonates (default
+//                 hdd, the paper's spinning disk — bit-identical to before
+//                 the flag existed; see sim/device_profile.h)
 #pragma once
 
 #include <chrono>
@@ -38,6 +41,18 @@ struct QueryCost {
   double wall_ms = 0.0;
   size_t rows = 0;
 };
+
+/// The shared --device flag, resolved to a profile. Exits on unknown names.
+inline sim::DeviceProfile DeviceFromFlags() {
+  std::string name = flags::GetString("device", "hdd");
+  sim::DeviceProfile profile;
+  if (!sim::DeviceProfile::Parse(name, &profile)) {
+    std::fprintf(stderr, "bench: unknown --device=%s (want hdd or ssd)\n",
+                 name.c_str());
+    std::exit(2);
+  }
+  return profile;
+}
 
 /// Aborts with a message on error (benches have no meaningful recovery).
 inline void CheckOk(const Status& st) {

@@ -48,9 +48,16 @@ double CostModel::FracturedQueryMs(double selectivity) const {
   return CostScanMs() * selectivity + stats_.num_fractures * LookupOverheadMs();
 }
 
-double CostModel::MergeMs() const {
+double CostModel::MergeMs() const { return MergeMs(0.0); }
+
+double CostModel::MergeMs(double gc_pressure) const {
+  if (gc_pressure < 0.0) gc_pressure = 0.0;
+  if (gc_pressure > 1.0) gc_pressure = 1.0;
+  // Only the write half is GC-amplified; the read half streams at device
+  // rate regardless of FTL debt. Pressure 0 is the paper's exact Costmerge.
+  double write_amp = 1.0 + profile_.gc_write_amp_max * gc_pressure;
   return static_cast<double>(stats_.table_bytes) / (1024.0 * 1024.0) *
-         (params_.read_ms_per_mb + params_.write_ms_per_mb);
+         (params_.read_ms_per_mb + params_.write_ms_per_mb * write_amp);
 }
 
 double CostModel::SaturationCeilingMs() const { return CostScanMs(); }

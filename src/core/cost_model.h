@@ -18,11 +18,19 @@
 //   k = 2 * (min_seek_ms + ReadMs(page)) / Ceiling.
 // Both calibrations are exposed; DeviceCalibratedK() is the default and
 // PaperHeuristicK() reproduces the paper's rule.
+//
+// Device profiles: the models are parameterized by a sim::DeviceProfile, so
+// the same formulas price the same query differently per device — on flash
+// (near-free seeks, tiny Costinit) the Nfrac * (Costinit + H * Tseek)
+// fracture tax collapses, which is what lets MergePolicy defer merges there
+// without any flash-specific rule. The CostParams ctor remains and is
+// bit-identical to the spinning-disk profile.
 #pragma once
 
 #include <cstdint>
 
 #include "sim/cost_params.h"
+#include "sim/device_profile.h"
 
 namespace upi::core {
 
@@ -44,8 +52,13 @@ struct TableStats {
 
 class CostModel {
  public:
+  /// Spinning-disk compatibility shape: prices with `params` on the paper's
+  /// device, bit-identical to the pre-profile model.
   CostModel(sim::CostParams params, TableStats stats)
-      : params_(params), stats_(stats) {}
+      : CostModel(sim::DeviceProfile::SpinningDisk(params), stats) {}
+
+  CostModel(sim::DeviceProfile profile, TableStats stats)
+      : profile_(profile), params_(profile.cost), stats_(stats) {}
 
   /// Costscan: sequential read of the whole heap.
   double CostScanMs() const;
@@ -58,6 +71,11 @@ class CostModel {
 
   /// Section 6.2: Costmerge = Stable * (Tread + Twrite).
   double MergeMs() const;
+
+  /// Costmerge on a device carrying GC debt: the write half is amplified by
+  /// the profile's write-amp factor scaled by `gc_pressure` in [0, 1].
+  /// Identical to MergeMs() at pressure 0 and on the spinning-disk profile.
+  double MergeMs(double gc_pressure) const;
 
   /// Section 6.3: query cost when the cutoff index must be consulted.
   /// `num_pointers` is the (estimated) number of cutoff pointers followed.
@@ -82,9 +100,11 @@ class CostModel {
 
   const TableStats& stats() const { return stats_; }
   const sim::CostParams& params() const { return params_; }
+  const sim::DeviceProfile& profile() const { return profile_; }
 
  private:
-  sim::CostParams params_;
+  sim::DeviceProfile profile_;
+  sim::CostParams params_;  // == profile_.cost (kept for formula brevity)
   TableStats stats_;
 };
 

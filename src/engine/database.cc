@@ -231,8 +231,11 @@ Status Table::ApplyDelete(const catalog::Tuple& tuple) {
 
 Database::Database(DatabaseOptions options)
     : options_(options),
-      params_(options.params),
-      env_(options.pool_bytes, options.params, options.pool_shards),
+      profile_(options.device.has_value()
+                   ? *options.device
+                   : sim::DeviceProfile::SpinningDisk(options.params)),
+      params_(profile_.cost),
+      env_(options.pool_bytes, profile_, options.pool_shards),
       slow_log_(options.slow_query_log_capacity),
       manager_(&env_, options.maintenance) {
   env_.metrics()->set_enabled(options.enable_metrics);
@@ -330,7 +333,7 @@ Result<Table*> Database::CreateUpiTable(
       table->upi_, core::Upi::Build(&env_, name, std::move(schema), options,
                                     std::move(secondary_columns), tuples));
   table->path_ = std::make_unique<UpiAccessPath>(table->upi_.get());
-  table->planner_ = std::make_unique<QueryPlanner>(table->path_.get(), params_,
+  table->planner_ = std::make_unique<QueryPlanner>(table->path_.get(), profile_,
                                                    env_.metrics());
   table->instruments_ = &instruments_;
   UPI_ASSIGN_OR_RETURN(Table * installed, Install(std::move(table)));
@@ -359,7 +362,7 @@ Result<Table*> Database::CreateFracturedTable(
     UPI_RETURN_NOT_OK(table->fractured_->BuildMain(tuples));
   }
   table->path_ = std::make_unique<FracturedAccessPath>(table->fractured_.get());
-  table->planner_ = std::make_unique<QueryPlanner>(table->path_.get(), params_,
+  table->planner_ = std::make_unique<QueryPlanner>(table->path_.get(), profile_,
                                                    env_.metrics());
   table->instruments_ = &instruments_;
   InstallMaintenanceHook(table->fractured_.get(), name, /*shard=*/-1);
@@ -392,7 +395,7 @@ Result<Table*> Database::CreatePartitionedTable(
                                std::move(secondary_columns), popts, tuples));
   table->path_ =
       std::make_unique<PartitionedAccessPath>(table->partitioned_.get());
-  table->planner_ = std::make_unique<QueryPlanner>(table->path_.get(), params_,
+  table->planner_ = std::make_unique<QueryPlanner>(table->path_.get(), profile_,
                                                    env_.metrics());
   table->instruments_ = &instruments_;
   for (size_t i = 0; i < table->partitioned_->num_shards(); ++i) {
@@ -428,7 +431,7 @@ Result<Table*> Database::CreateUnclusteredTable(
                                                       primary_column);
   path->BuildStatistics(tuples);
   table->path_ = std::move(path);
-  table->planner_ = std::make_unique<QueryPlanner>(table->path_.get(), params_,
+  table->planner_ = std::make_unique<QueryPlanner>(table->path_.get(), profile_,
                                                    env_.metrics());
   table->instruments_ = &instruments_;
   UPI_ASSIGN_OR_RETURN(Table * installed, Install(std::move(table)));

@@ -17,6 +17,7 @@
 
 #include <map>
 #include <memory>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -165,6 +166,11 @@ struct DatabaseOptions {
   /// Buffer-pool latch shards (see BufferPool; 1 = single classic pool).
   size_t pool_shards = storage::BufferPool::kDefaultShards;
   sim::CostParams params{};
+  /// Device profile the database runs on (sim/device_profile.h). When set it
+  /// wins over `params`: disk, planners, and merge policy all price against
+  /// it. Unset (the default) means the spinning disk built from `params` —
+  /// bit-identical to the pre-profile engine.
+  std::optional<sim::DeviceProfile> device;
   /// Maintenance setup; num_workers == 0 keeps maintenance synchronous
   /// (drain with RunMaintenance()), > 0 runs it on background threads.
   maintenance::MaintenanceManagerOptions maintenance{};
@@ -299,6 +305,7 @@ class Database {
   void ColdCache() { env_.ColdCache(); }
 
   const sim::CostParams& params() const { return params_; }
+  const sim::DeviceProfile& profile() const { return profile_; }
 
  private:
   friend class Table;
@@ -318,7 +325,8 @@ class Database {
                               int shard);
 
   DatabaseOptions options_;
-  sim::CostParams params_;
+  sim::DeviceProfile profile_;
+  sim::CostParams params_;  // == profile_.cost
   storage::DbEnv env_;
   obs::SlowQueryLog slow_log_;
   ExecInstruments instruments_;  // handed by pointer to every table

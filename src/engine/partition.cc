@@ -435,6 +435,10 @@ Status PartitionedTable::Scatter(
       // attribution (Session latency, slow-query log) exact and the global
       // totals unchanged.
       obs::TraceScope no_inner_trace(nullptr);
+      // Each shard probe is one issuer to the device queue: on a profile with
+      // internal parallelism (flash) concurrently running probes overlap
+      // their service time; on the spinning disk this registers nothing.
+      sim::ConcurrentIoScope io_scope(disk);
       sim::ThreadStatsWindow window(disk);
       run.status = probe(*shard, &run.rows);
       run.io = window.Delta();

@@ -72,15 +72,24 @@ double ExpectedDistinct(double x, double bins) {
   return bins * (1.0 - std::exp(-x / bins));
 }
 
-/// Wall-clock divisor for a scatter-gathered index probe: admitted shards run
-/// concurrently, so the probe overlaps up to gather_width ways — but never
-/// more ways than shards it actually probes. 1 on unpartitioned paths. Heap
-/// scans stay serial (one simulated spindle) and are never divided.
-double GatherSpeedup(const PathStats& s, double shards_probed) {
-  return std::max(1.0, std::min(s.gather_width, std::max(shards_probed, 1.0)));
-}
-
 }  // namespace
+
+// Wall-clock divisor for a scatter-gathered index probe: admitted shards run
+// concurrently, so the probe overlaps up to gather_width ways — but never
+// more ways than shards it actually probes. 1 on unpartitioned paths. Heap
+// scans stay serial (one simulated device) and are never divided. On flash
+// the device's internal queue depth additionally caps the overlap: an
+// 8-channel SSD services at most 8 probes concurrently no matter how wide
+// the gather pool is. The spinning-disk branch is the pre-profile formula.
+double QueryPlanner::GatherSpeedup(const PathStats& s,
+                                   double shards_probed) const {
+  double ways =
+      std::max(1.0, std::min(s.gather_width, std::max(shards_probed, 1.0)));
+  if (profile_.kind != sim::DeviceKind::kSpinningDisk) {
+    ways = std::min(ways, static_cast<double>(profile_.queue_depth));
+  }
+  return ways;
+}
 
 double QueryPlanner::LookupMs(const PathStats& s) const {
   uint32_t h = s.table.btree_height > 0 ? s.table.btree_height : 1;

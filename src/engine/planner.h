@@ -32,6 +32,7 @@
 #include "engine/query.h"
 #include "obs/metrics.h"
 #include "sim/cost_params.h"
+#include "sim/device_profile.h"
 
 namespace upi::engine {
 
@@ -102,14 +103,25 @@ struct Plan {
 class QueryPlanner {
  public:
   /// `path` must outlive the planner. `params` are the device constants the
-  /// predictions are denominated in (defaults to the paper's Table 6).
+  /// predictions are denominated in (defaults to the paper's Table 6, i.e.
+  /// the spinning-disk profile — bit-identical to the pre-profile planner).
   /// `metrics`, when non-null, receives `upi_planner_plans_total` (one per
   /// planning decision) and must outlive the planner.
   explicit QueryPlanner(const AccessPath* path,
                         sim::CostParams params = sim::CostParams{},
                         obs::MetricsRegistry* metrics = nullptr)
+      : QueryPlanner(path, sim::DeviceProfile::SpinningDisk(params), metrics) {}
+
+  /// Device-profile shape: predictions are denominated in the profile's cost
+  /// constants, and scatter-gather overlap is additionally capped by the
+  /// device's internal queue depth (see GatherSpeedup). The same query on the
+  /// same table can — and on realistic stats does — pick a different winning
+  /// plan per profile; nothing here special-cases flash beyond the constants.
+  QueryPlanner(const AccessPath* path, sim::DeviceProfile profile,
+               obs::MetricsRegistry* metrics = nullptr)
       : path_(path),
-        params_(params),
+        profile_(profile),
+        params_(profile.cost),
         plans_total_(metrics != nullptr
                          ? metrics->counter("upi_planner_plans_total")
                          : nullptr) {}
@@ -145,11 +157,17 @@ class QueryPlanner {
   /// Sorted sweep dereferencing `x` targets that coalesce into `regions`
   /// contiguous heap regions; saturates at ScanMs (Section 6.3).
   double SortedSweepMs(const PathStats& s, double x, double regions) const;
+  /// Wall-clock divisor for a scatter-gathered probe: min(gather_width,
+  /// shards_probed) thread overlap, additionally capped by the device queue
+  /// depth on flash (the channels, not the pool, bound concurrent service).
+  /// On the spinning-disk profile this is the classic formula, untouched.
+  double GatherSpeedup(const PathStats& s, double shards_probed) const;
 
   Plan Choose(std::vector<PlanCandidate> candidates) const;
 
   const AccessPath* path_;
-  sim::CostParams params_;
+  sim::DeviceProfile profile_{};
+  sim::CostParams params_;  // == profile_.cost (kept for formula brevity)
   obs::Counter* plans_total_ = nullptr;  // null = unregistered planner
 };
 

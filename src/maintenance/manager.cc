@@ -9,7 +9,7 @@ MaintenanceManager::MaintenanceManager(storage::DbEnv* env,
                                        MaintenanceManagerOptions options)
     : env_(env),
       options_(options),
-      policy_(options.policy, env->params()),
+      policy_(options.policy, env->profile()),
       m_flushes_(env->metrics()->counter("upi_maintenance_flushes_total")),
       m_partial_merges_(
           env->metrics()->counter("upi_maintenance_partial_merges_total")),
@@ -123,7 +123,14 @@ void MaintenanceManager::ExecuteAndFollowUp(const MaintenanceTask& task) {
     // Checkpoints are database-wide (no per-table slot, no follow-up).
     UpdateQueueGauge();
     sim::StatsWindow window(env_->disk());
-    Status st = Execute(task);
+    Status st;
+    {
+      // Maintenance I/O is an independent issuer to the device queue: on a
+      // profile with internal parallelism it overlaps with concurrent query
+      // traffic (no effect on the spinning disk's single head).
+      sim::ConcurrentIoScope io_scope(env_->disk());
+      st = Execute(task);
+    }
     double sim_ms = window.ElapsedMs();
     if (m_task_sim_ms_ != nullptr) m_task_sim_ms_->Record(sim_ms);
     {
@@ -138,7 +145,11 @@ void MaintenanceManager::ExecuteAndFollowUp(const MaintenanceTask& task) {
   }
   UpdateQueueGauge();
   sim::StatsWindow window(env_->disk());
-  Status st = Execute(task);
+  Status st;
+  {
+    sim::ConcurrentIoScope io_scope(env_->disk());
+    st = Execute(task);
+  }
   double sim_ms = window.ElapsedMs();
   if (m_task_sim_ms_ != nullptr) m_task_sim_ms_->Record(sim_ms);
 

@@ -59,14 +59,14 @@ double QueryMs(const core::CostModel& model, double selectivity,
 }  // namespace
 
 double MergePolicy::PredictQueryMs(const core::FracturedUpi& table) const {
-  core::CostModel model(params_, core::TableStats::Of(table));
+  core::CostModel model(profile_, core::TableStats::Of(table));
   return QueryMs(model, Selectivity(table), ExpectedProbed(table));
 }
 
 Decision MergePolicy::DecideMerge(const core::FracturedUpi& table) const {
   Decision d;
   core::TableStats stats = core::TableStats::Of(table);
-  core::CostModel model(params_, stats);
+  core::CostModel model(profile_, stats);
   double sel = Selectivity(table);
   d.expected_probed = ExpectedProbed(table);
   // Cost_frac with the pruning-aware fan-out: the second term is the tax a
@@ -76,7 +76,7 @@ Decision MergePolicy::DecideMerge(const core::FracturedUpi& table) const {
   core::TableStats merged_stats = stats;
   merged_stats.num_fractures = 1;
   d.merged_query_ms =
-      core::CostModel(params_, merged_stats).FracturedQueryMs(sel);
+      core::CostModel(profile_, merged_stats).FracturedQueryMs(sel);
   if (!options_.merges_enabled) return d;
 
   const size_t deltas =

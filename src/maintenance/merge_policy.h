@@ -28,11 +28,17 @@
 // query. The policy prices the tax with that expected fan-out, so a table
 // whose fractures are mostly prunable deteriorates slower and merges can be
 // deferred longer at the same query cost.
+// Device-aware deferral: the policy prices with a sim::DeviceProfile, and on
+// flash the fracture tax (Costinit + H * Tseek per probed fracture) is two
+// orders of magnitude smaller, so the same thresholds fire far later — merges
+// defer and write amplification is avoided without any flash-specific rule.
+// The CostParams ctor remains and prices identically to the spinning profile.
 #pragma once
 
 #include <string>
 
 #include "sim/cost_params.h"
+#include "sim/device_profile.h"
 
 namespace upi::core {
 class FracturedUpi;
@@ -89,8 +95,12 @@ struct Decision {
 
 class MergePolicy {
  public:
+  /// Spinning-disk compatibility shape; prices exactly as before profiles.
   MergePolicy(MergePolicyOptions options, sim::CostParams params)
-      : options_(options), params_(params) {}
+      : MergePolicy(options, sim::DeviceProfile::SpinningDisk(params)) {}
+
+  MergePolicy(MergePolicyOptions options, sim::DeviceProfile profile)
+      : options_(options), profile_(profile) {}
 
   /// Watermark check; cheap enough for every NotifyWrite (three counter
   /// reads under the table's shared lock).
@@ -105,6 +115,7 @@ class MergePolicy {
   double PredictQueryMs(const core::FracturedUpi& table) const;
 
   const MergePolicyOptions& options() const { return options_; }
+  const sim::DeviceProfile& profile() const { return profile_; }
 
  private:
   double Selectivity(const core::FracturedUpi& table) const;
@@ -113,7 +124,7 @@ class MergePolicy {
   double ExpectedProbed(const core::FracturedUpi& table) const;
 
   MergePolicyOptions options_;
-  sim::CostParams params_;
+  sim::DeviceProfile profile_{};
 };
 
 }  // namespace upi::maintenance

@@ -1,0 +1,62 @@
+#include "sim/device_profile.h"
+
+namespace upi::sim {
+
+const char* DeviceKindName(DeviceKind kind) {
+  switch (kind) {
+    case DeviceKind::kSpinningDisk: return "spinning-disk";
+    case DeviceKind::kSsd: return "ssd";
+  }
+  return "?";
+}
+
+DeviceProfile DeviceProfile::SpinningDisk(CostParams params) {
+  DeviceProfile p;
+  p.kind = DeviceKind::kSpinningDisk;
+  p.cost = params;
+  p.queue_depth = 1;
+  p.erase_block_bytes = 0;
+  p.gc_debt_horizon_bytes = 0;
+  p.gc_write_amp_max = 0.0;
+  return p;
+}
+
+DeviceProfile DeviceProfile::Ssd() {
+  DeviceProfile p;
+  p.kind = DeviceKind::kSsd;
+  // "Seek" on flash is the FTL's mapping lookup, not head motion: flat and
+  // tiny. Keeping min_seek < seek preserves the planner's short-vs-long hop
+  // distinction (now channel-local vs cross-die), just two orders of
+  // magnitude down.
+  p.cost.seek_ms = 0.05;
+  p.cost.min_seek_ms = 0.02;
+  // ~350 MB/s sequential read, ~100 MB/s sustained program rate: the
+  // read/write asymmetry is 3.3x before GC amplification.
+  p.cost.read_ms_per_mb = 3.0;
+  p.cost.write_ms_per_mb = 10.0;
+  // Opening a DB file costs metadata reads, not a platter excursion.
+  p.cost.init_ms = 2.0;
+  // The commit barrier: a device write-cache flush (program barrier), not a
+  // platter revolution. This is the term whose collapse shrinks the group-
+  // commit advantage on flash.
+  p.cost.rotation_ms = 0.05;
+  p.queue_depth = 8;           // internal channel parallelism
+  p.erase_block_bytes = 2ull << 20;
+  p.gc_debt_horizon_bytes = 256ull << 20;
+  p.gc_write_amp_max = 1.5;
+  return p;
+}
+
+bool DeviceProfile::Parse(std::string_view name, DeviceProfile* out) {
+  if (name == "hdd" || name == "spinning" || name == "spinning-disk") {
+    *out = SpinningDisk();
+    return true;
+  }
+  if (name == "ssd" || name == "flash") {
+    *out = Ssd();
+    return true;
+  }
+  return false;
+}
+
+}  // namespace upi::sim

@@ -22,6 +22,10 @@ DiskStats DiskStats::operator-(const DiskStats& rhs) const {
   d.bytes_written = bytes_written - rhs.bytes_written;
   d.file_opens = file_opens - rhs.file_opens;
   d.rotations = rotations - rhs.rotations;
+  d.gc_ms = gc_ms - rhs.gc_ms;
+  d.gc_erases = gc_erases - rhs.gc_erases;
+  d.overlapped_ios = overlapped_ios - rhs.overlapped_ios;
+  d.overlap_saved_ms = overlap_saved_ms - rhs.overlap_saved_ms;
   return d;
 }
 
@@ -34,13 +38,18 @@ DiskStats& DiskStats::operator+=(const DiskStats& rhs) {
   bytes_written += rhs.bytes_written;
   file_opens += rhs.file_opens;
   rotations += rhs.rotations;
+  gc_ms += rhs.gc_ms;
+  gc_erases += rhs.gc_erases;
+  overlapped_ios += rhs.overlapped_ios;
+  overlap_saved_ms += rhs.overlap_saved_ms;
   return *this;
 }
 
 double DiskStats::SimMs(const CostParams& p) const {
   return seek_ms + p.ReadMs(bytes_read) + p.WriteMs(bytes_written) +
          static_cast<double>(file_opens) * p.init_ms +
-         static_cast<double>(rotations) * p.rotation_ms;
+         static_cast<double>(rotations) * p.rotation_ms + gc_ms -
+         overlap_saved_ms;
 }
 
 std::string DiskStats::ToString(const CostParams& p) const {
@@ -93,14 +102,25 @@ SimDisk::SeekCharge SimDisk::AccessLocked(uint64_t addr, uint64_t bytes) {
   if (head_ != addr) {
     charge.seeked = true;
     if (head_ == UINT64_MAX) {
-      charge.ms = params_.seek_ms;  // unknown position: average seek
+      charge.ms = params().seek_ms;  // unknown position: average seek
     } else {
       uint64_t dist = head_ > addr ? head_ - addr : addr - head_;
-      charge.ms = params_.SeekMs(dist, SeekSpanLocked());
+      charge.ms = params().SeekMs(dist, SeekSpanLocked());
     }
   }
   head_ = addr + bytes;
   return charge;
+}
+
+double SimDisk::OverlapDiscount(double service_ms) {
+  uint32_t n = concurrent_issuers_.load(std::memory_order_relaxed);
+  size_t bucket = n < 1 ? 1 : (n < kQueueDepthBuckets ? n
+                                                      : kQueueDepthBuckets - 1);
+  queue_depth_counts_[bucket].fetch_add(1, std::memory_order_relaxed);
+  if (n < 2 || profile_.queue_depth < 2) return 0.0;
+  double ways = static_cast<double>(
+      n < profile_.queue_depth ? n : profile_.queue_depth);
+  return service_ms * (1.0 - 1.0 / ways);
 }
 
 void SimDisk::Read(uint64_t addr, uint64_t bytes) {
@@ -110,6 +130,8 @@ void SimDisk::Read(uint64_t addr, uint64_t bytes) {
     std::lock_guard<sync::Mutex> lock(mu_);
     charge = AccessLocked(addr, bytes);
   }
+  double service = charge.ms + params().ReadMs(bytes);
+  double saved = OverlapDiscount(service);
   Stripe& s = ThisThreadStripe();
   {
     std::lock_guard<sync::Mutex> lock(s.mu);
@@ -117,17 +139,38 @@ void SimDisk::Read(uint64_t addr, uint64_t bytes) {
     s.stats.seek_ms += charge.ms;
     ++s.stats.reads;
     s.stats.bytes_read += bytes;
+    if (saved > 0.0) {
+      ++s.stats.overlapped_ios;
+      s.stats.overlap_saved_ms += saved;
+    }
   }
-  MaybeSleep(charge.ms + params_.ReadMs(bytes));
+  MaybeSleep(service - saved);
 }
 
 void SimDisk::Write(uint64_t addr, uint64_t bytes) {
   sync::CheckIoAllowed("SimDisk::Write");
   SeekCharge charge;
+  double gc_ms = 0.0;
+  uint64_t erases = 0;
   {
     std::lock_guard<sync::Mutex> lock(mu_);
     charge = AccessLocked(addr, bytes);
+    if (profile_.erase_block_bytes > 0 && profile_.gc_debt_horizon_bytes > 0) {
+      // GC debt: every written byte moves the FTL closer to having to
+      // relocate live pages. Pressure ramps linearly over the horizon, and
+      // the surcharge is the amplified share of this write's program time.
+      uint64_t before = gc_written_;
+      gc_written_ += bytes;
+      erases = gc_written_ / profile_.erase_block_bytes -
+               before / profile_.erase_block_bytes;
+      double pressure = static_cast<double>(gc_written_) /
+                        static_cast<double>(profile_.gc_debt_horizon_bytes);
+      if (pressure > 1.0) pressure = 1.0;
+      gc_ms = params().WriteMs(bytes) * profile_.gc_write_amp_max * pressure;
+    }
   }
+  double service = charge.ms + params().WriteMs(bytes) + gc_ms;
+  double saved = OverlapDiscount(service);
   Stripe& s = ThisThreadStripe();
   {
     std::lock_guard<sync::Mutex> lock(s.mu);
@@ -135,8 +178,14 @@ void SimDisk::Write(uint64_t addr, uint64_t bytes) {
     s.stats.seek_ms += charge.ms;
     ++s.stats.writes;
     s.stats.bytes_written += bytes;
+    s.stats.gc_ms += gc_ms;
+    s.stats.gc_erases += erases;
+    if (saved > 0.0) {
+      ++s.stats.overlapped_ios;
+      s.stats.overlap_saved_ms += saved;
+    }
   }
-  MaybeSleep(charge.ms + params_.WriteMs(bytes));
+  MaybeSleep(service - saved);
 }
 
 void SimDisk::ChargeFileOpen() {
@@ -146,7 +195,7 @@ void SimDisk::ChargeFileOpen() {
     std::lock_guard<sync::Mutex> lock(s.mu);
     ++s.stats.file_opens;
   }
-  MaybeSleep(params_.init_ms);
+  MaybeSleep(params().init_ms);
 }
 
 void SimDisk::ChargeRotation() {
@@ -156,7 +205,7 @@ void SimDisk::ChargeRotation() {
     std::lock_guard<sync::Mutex> lock(s.mu);
     ++s.stats.rotations;
   }
-  MaybeSleep(params_.rotation_ms);
+  MaybeSleep(params().rotation_ms);
 }
 
 void SimDisk::ResetHead() {
@@ -171,6 +220,15 @@ DiskStats SimDisk::stats() const {
     total += s.stats;
   }
   return total;
+}
+
+std::array<uint64_t, SimDisk::kQueueDepthBuckets> SimDisk::QueueDepthHistogram()
+    const {
+  std::array<uint64_t, kQueueDepthBuckets> h{};
+  for (size_t i = 0; i < kQueueDepthBuckets; ++i) {
+    h[i] = queue_depth_counts_[i].load(std::memory_order_relaxed);
+  }
+  return h;
 }
 
 DiskStats SimDisk::thread_stats() const {

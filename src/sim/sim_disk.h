@@ -32,14 +32,25 @@
 // bench_throughput uses to measure multi-client scaling of the storage stack
 // independently of host core count. Off by default; no existing bench or
 // test is affected.
+//
+// Device profiles (sim/device_profile.h): the disk can also impersonate a
+// flash device. The SSD profile surcharges writes with GC-pressure debt
+// (DiskStats::gc_ms), lets accesses issued inside overlapping
+// ConcurrentIoScopes divide their service time by min(issuers, queue_depth)
+// (DiskStats::overlap_saved_ms, subtracted by SimMs), and tracks a
+// queue-depth histogram for observability. On the spinning-disk profile
+// (queue_depth 1, no GC model) every one of those fields is exactly 0.0, so
+// SimMs is bit-identical to the pre-profile accounting.
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <cstdint>
 #include <mutex>
 #include <string>
 
 #include "sim/cost_params.h"
+#include "sim/device_profile.h"
 #include "sync/sync.h"
 
 namespace upi::sim {
@@ -54,10 +65,16 @@ struct DiskStats {
   uint64_t bytes_written = 0;
   uint64_t file_opens = 0;       // charged Costinit each
   uint64_t rotations = 0;        // full-revolution waits (commit barriers)
+  double gc_ms = 0.0;            // flash GC write surcharge (0 on spinning)
+  uint64_t gc_erases = 0;        // erase-block reclaims crossed by writes
+  uint64_t overlapped_ios = 0;   // accesses that shared the device queue
+  double overlap_saved_ms = 0.0;  // service time absorbed by queue overlap
 
   DiskStats operator-(const DiskStats& rhs) const;
   DiskStats& operator+=(const DiskStats& rhs);
-  /// Simulated elapsed time for these counters under `p`.
+  /// Simulated elapsed time for these counters under `p`: the classic
+  /// seek/transfer/open/rotation arithmetic plus the GC surcharge, minus the
+  /// service time the device queue overlapped away.
   double SimMs(const CostParams& p) const;
   [[deprecated(
       "pretty-print via obs::MetricsSnapshot (DbEnv::metrics()->Snapshot()) "
@@ -70,7 +87,17 @@ struct DiskStats {
 /// interleaving shows up as seeks, as it would on the paper's single spindle.
 class SimDisk {
  public:
-  explicit SimDisk(CostParams params = CostParams{}) : params_(params) {}
+  /// Buckets of the queue-depth histogram: index d counts accesses issued
+  /// with d concurrent issuers registered (index kQueueDepthBuckets - 1
+  /// absorbs everything deeper).
+  static constexpr size_t kQueueDepthBuckets = 16;
+
+  /// Legacy shape: a spinning disk with these Table 6 constants —
+  /// bit-identical to the pre-profile SimDisk.
+  explicit SimDisk(CostParams params = CostParams{})
+      : profile_(DeviceProfile::SpinningDisk(params)) {}
+
+  explicit SimDisk(DeviceProfile profile) : profile_(profile) {}
 
   /// Reserves `bytes` of address space at the current end of the device and
   /// returns the starting address. Allocation itself costs nothing; writes do.
@@ -122,7 +149,12 @@ class SimDisk {
   void WithdrawThreadStats(const DiskStats& d);
   void DepositThreadStats(const DiskStats& d);
 
-  const CostParams& params() const { return params_; }
+  /// Snapshot of the queue-depth histogram: how many accesses were issued at
+  /// each concurrency level. Bucket 1 is the solo (unqueued) case.
+  std::array<uint64_t, kQueueDepthBuckets> QueueDepthHistogram() const;
+
+  const DeviceProfile& profile() const { return profile_; }
+  const CostParams& params() const { return profile_.cost; }
   uint64_t size_bytes() const {
     std::lock_guard<sync::Mutex> lock(mu_);
     return next_addr_;
@@ -133,7 +165,7 @@ class SimDisk {
   uint64_t SeekSpan() const;
 
   /// Simulated total time since construction.
-  double TotalMs() const { return stats().SimMs(params_); }
+  double TotalMs() const { return stats().SimMs(params()); }
 
  private:
   static constexpr size_t kStripes = 64;
@@ -153,13 +185,51 @@ class SimDisk {
   Stripe& ThisThreadStripe() const;
   void MaybeSleep(double sim_ms) const;
 
-  CostParams params_;
-  // Head position + address allocator only.
+  /// The queue-overlap discount on `service_ms` with `issuers` concurrent
+  /// issuers registered: service_ms * (1 - 1/min(issuers, queue_depth)).
+  /// Exactly 0.0 when issuers < 2 or queue_depth == 1 (spinning disk). Also
+  /// records the depth sample in the histogram.
+  double OverlapDiscount(double service_ms);
+
+  friend class ConcurrentIoScope;
+  void BeginConcurrentIo() {
+    concurrent_issuers_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void EndConcurrentIo() {
+    concurrent_issuers_.fetch_sub(1, std::memory_order_relaxed);
+  }
+
+  DeviceProfile profile_;
+  // Head position + address allocator + the GC debt accumulator (cumulative
+  // writes are as inherently serial as the head position).
   mutable sync::Mutex mu_{sync::LockRank::kSimDiskHead};
   uint64_t next_addr_ = 0;
   uint64_t head_ = UINT64_MAX;  // UINT64_MAX = unknown position
+  uint64_t gc_written_ = 0;     // cumulative bytes written (GC debt proxy)
   std::atomic<double> realtime_us_per_sim_ms_{0.0};
+  std::atomic<uint32_t> concurrent_issuers_{0};
+  mutable std::atomic<uint64_t> queue_depth_counts_[kQueueDepthBuckets] = {};
   mutable Stripe stripes_[kStripes];
+};
+
+/// \brief RAII registration of an in-flight concurrent I/O issuer: a gather
+/// pool shard probe or a maintenance worker task declares, for its duration,
+/// that its accesses run concurrently with the other registered issuers'.
+/// On a profile with queue_depth > 1 the device then overlaps their service
+/// time; on the spinning disk (queue_depth 1) registration is free and
+/// changes nothing. Scopes may nest (each level counts as one issuer).
+class ConcurrentIoScope {
+ public:
+  explicit ConcurrentIoScope(SimDisk* disk) : disk_(disk) {
+    disk_->BeginConcurrentIo();
+  }
+  ~ConcurrentIoScope() { disk_->EndConcurrentIo(); }
+
+  ConcurrentIoScope(const ConcurrentIoScope&) = delete;
+  ConcurrentIoScope& operator=(const ConcurrentIoScope&) = delete;
+
+ private:
+  SimDisk* disk_;
 };
 
 /// \brief RAII window over a SimDisk's stats: captures a snapshot at

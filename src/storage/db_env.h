@@ -32,7 +32,15 @@ class DbEnv {
   explicit DbEnv(uint64_t pool_bytes = 32ull << 20,
                  sim::CostParams params = sim::CostParams{},
                  size_t pool_shards = BufferPool::kDefaultShards)
-      : disk_(params), pool_(pool_bytes, pool_shards) {
+      : DbEnv(pool_bytes, sim::DeviceProfile::SpinningDisk(params),
+              pool_shards) {}
+
+  /// Device-profile shape: the environment's disk impersonates `profile`
+  /// (sim/device_profile.h); planner and merge policy built on this
+  /// environment price against the same profile via profile().
+  DbEnv(uint64_t pool_bytes, sim::DeviceProfile profile,
+        size_t pool_shards = BufferPool::kDefaultShards)
+      : disk_(profile), pool_(pool_bytes, pool_shards) {
     // Export the counters disk and pool already maintain for themselves as
     // snapshot-time hooks — zero hot-path cost, no double accounting. The
     // hook captures `this`; registry and subjects share this DbEnv's
@@ -99,6 +107,7 @@ class DbEnv {
   BufferPool* pool() { return &pool_; }
   obs::MetricsRegistry* metrics() const { return &registry_; }
   const sim::CostParams& params() const { return disk_.params(); }
+  const sim::DeviceProfile& profile() const { return disk_.profile(); }
 
   /// Total footprint of all files (the paper's "DB size").
   uint64_t TotalFileBytes() const {
@@ -123,6 +132,20 @@ class DbEnv {
             static_cast<double>(d.bytes_written));
     counter("upi_disk_file_opens_total", static_cast<double>(d.file_opens));
     counter("upi_disk_sim_ms_total", d.SimMs(disk_.params()));
+    // Device-profile families: all-zero on the spinning-disk profile, live on
+    // flash (GC surcharge, queue-overlap savings, depth distribution).
+    counter("upi_device_gc_ms_total", d.gc_ms);
+    counter("upi_device_gc_erases_total", static_cast<double>(d.gc_erases));
+    counter("upi_device_overlapped_io_total",
+            static_cast<double>(d.overlapped_ios));
+    counter("upi_device_overlap_saved_ms_total", d.overlap_saved_ms);
+    auto depth_hist = disk_.QueueDepthHistogram();
+    for (size_t depth = 1; depth < depth_hist.size(); ++depth) {
+      if (depth_hist[depth] == 0) continue;
+      snap->counters.push_back({"upi_device_queue_depth_total",
+                                "depth=\"" + std::to_string(depth) + "\"",
+                                static_cast<double>(depth_hist[depth])});
+    }
     for (size_t i = 0; i < pool_.num_shards(); ++i) {
       BufferPool::PoolCounters c = pool_.shard_counters(i);
       std::string label = "shard=\"" + std::to_string(i) + "\"";

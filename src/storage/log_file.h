@@ -14,7 +14,10 @@
 //    10k RPM) for the sector to come back around before the 512-byte
 //    rewrite. A per-commit-sync workload pays one rotation per commit
 //    while group commit pays one per batch — the entire economics of the
-//    leader/follower protocol in one constant.
+//    leader/follower protocol in one constant. On a flash profile
+//    (sim/device_profile.h) the same charge is the NAND program barrier
+//    (rotation_ms = 0.05), which is why group commit's advantage shrinks
+//    there without any WAL change.
 //  * ChargeSequentialRead() — recovery's single pass over the bytes written
 //    so far (used once, at Database open, to price replay).
 //

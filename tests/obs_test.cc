@@ -251,6 +251,45 @@ TEST(ObsEngineTest, ExplainAnalyzeClusteredPtq) {
   EXPECT_NE(a.text.find("est rows="), std::string::npos);
 }
 
+TEST(ObsEngineTest, ExplainAnalyzeReconcilesOnSsdProfile) {
+  // The SSD profile's extra charges (GC surcharge, overlap savings) flow
+  // through the same DiskStats every actuals pipeline reads, so per-op
+  // reconciliation stays exact on flash too.
+  engine::DatabaseOptions opts;
+  opts.device = sim::DeviceProfile::Ssd();
+  DbFx fx(opts);
+  const sim::SimDisk* disk = fx.db.env()->disk();
+
+  // The bulk build already wrote the table: GC debt is live and priced.
+  sim::DiskStats built = disk->stats();
+  EXPECT_GT(built.gc_ms, 0.0);
+
+  fx.db.ColdCache();
+  sim::ThreadStatsWindow outer(disk);
+  auto r = fx.authors_table->AnalyzeQuery(
+      engine::Query::Ptq(fx.SomeInstitution(), 0.5));
+  sim::DiskStats outer_delta = outer.Delta();
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const engine::Table::AnalyzeResult& a = r.value();
+  EXPECT_EQ(a.trace.total.reads, outer_delta.reads);
+  EXPECT_EQ(a.trace.total.seeks, outer_delta.seeks);
+  EXPECT_EQ(a.trace.OpReads(), a.trace.total.reads);
+  // The pinned equality: EXPLAIN ANALYZE's total simulated ms IS the window
+  // delta priced with the SSD constants — including the device-profile
+  // fields — down to the last bit.
+  EXPECT_EQ(a.trace.total_sim_ms, outer_delta.SimMs(disk->params()));
+
+  // The upi_device_* families export the same accounting.
+  MetricsSnapshot snap = fx.db.MetricsSnapshot();
+  EXPECT_GT(snap.SumOf("upi_device_gc_ms_total"), 0.0);
+  EXPECT_GT(snap.SumOf("upi_device_queue_depth_total"), 0.0);
+  std::string prom = snap.ToPrometheus();
+  EXPECT_NE(prom.find("upi_device_gc_ms_total"), std::string::npos);
+  EXPECT_NE(prom.find("upi_device_overlap_saved_ms_total"), std::string::npos);
+  EXPECT_NE(prom.find("upi_device_queue_depth_total{depth=\"1\"}"),
+            std::string::npos);
+}
+
 TEST(ObsEngineTest, ExplainAnalyzeFracturedPrunedProbe) {
   // A 16-fracture table whose fractures hold disjoint institution ranges:
   // a point probe can touch exactly one, and the zone maps prove it.
